@@ -1,0 +1,67 @@
+"""Ablation A3: FactorJoin bucket-count sweep.
+
+The paper fixes FactorJoin's equi-height bucket count at 200; this ablation
+sweeps the bucket count and reports join-estimation accuracy (median and
+P90 Q-Error on the JOB-Hybrid join queries) against the join-bucket model
+size, exposing the accuracy/size trade-off behind the choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import record_table, render_grid
+
+from repro.estimators.factorjoin import FactorJoinEstimator
+from repro.metrics import qerror_many
+
+BUCKET_COUNTS = (10, 50, 100, 200, 400)
+
+
+def _measure(lab) -> list[dict[str, float]]:
+    bundle = lab.bundles["IMDB"]
+    workload = lab.workloads["IMDB"]
+    join_queries = [q for q in workload.queries if q.joins]
+    truths = [workload.true_counts[q.name] for q in join_queries]
+    points = []
+    for buckets in BUCKET_COUNTS:
+        estimator = FactorJoinEstimator.train(
+            bundle.catalog, bundle.filter_columns, num_buckets=buckets
+        )
+        errors = qerror_many(
+            [estimator.estimate_count(q) for q in join_queries], truths
+        )
+        points.append(
+            {
+                "buckets": buckets,
+                "median": float(np.median(errors)),
+                "p90": float(np.quantile(errors, 0.9)),
+                "kb": estimator.nbytes / 1024.0,
+            }
+        )
+    return points
+
+
+def test_ablation_buckets(lab, benchmark):
+    points = benchmark.pedantic(lambda: _measure(lab), rounds=1, iterations=1)
+    rows = [
+        [
+            str(p["buckets"]),
+            f"{p['median']:.2f}",
+            f"{p['p90']:.1f}",
+            f"{p['kb']:.0f}",
+        ]
+        for p in points
+    ]
+    table = render_grid(
+        "Ablation A3: FactorJoin bucket count vs accuracy and size "
+        "(JOB-Hybrid joins)",
+        ["buckets", "median Q-Error", "P90 Q-Error", "bucket size (KB)"],
+        rows,
+    )
+    record_table("ablation_buckets", table)
+
+    by_buckets = {p["buckets"]: p for p in points}
+    # More buckets cost more bytes ...
+    assert by_buckets[400]["kb"] > by_buckets[10]["kb"]
+    # ... and very coarse bucketing hurts accuracy vs the paper's 200.
+    assert by_buckets[200]["median"] <= by_buckets[10]["median"] * 1.05

@@ -1,0 +1,116 @@
+"""Ablation A2: dynamic reader selection -- the selectivity crossover.
+
+Section 5.1.2: no single materialization strategy is universally optimal.
+This bench sweeps predicate selectivity on one table and measures the cost
+of forcing each reader, exposing the crossover the paper's 0.15-style
+threshold exploits: multi-stage wins on selective predicates (block
+skipping), single-stage wins on non-selective ones (no random-read penalty
+or staged tuple construction).  It then verifies the dynamic policy tracks
+the per-point winner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import record_table, render_grid
+
+from repro.engine import EngineConfig, ReaderKind
+from repro.engine.executor import Executor
+from repro.engine.optimizer import Optimizer, PhysicalPlan
+from repro.estimators.bn import BNCountEstimator
+from repro.sql.query import CardQuery, PredicateOp, TablePredicate
+from repro.storage import Catalog, Table
+
+_BLOCK = 1024
+_ROWS = 192 * _BLOCK
+
+#: fraction of rows kept at each sweep point
+SWEEP = (0.01, 0.05, 0.1, 0.2, 0.4, 0.7, 0.95)
+
+
+def _sweep_catalog():
+    rng = np.random.default_rng(77)
+    # 'ramp' is block-clustered so selective predicates skip whole blocks;
+    # 'payload' must be materialized either way.
+    ramp = np.arange(_ROWS, dtype=np.int64)
+    return Catalog(), Table.from_arrays(
+        "sweep",
+        {
+            "ramp": ramp,
+            "other": rng.integers(0, 1000, _ROWS),
+            "payload": rng.integers(0, 100, _ROWS),
+        },
+        block_size=_BLOCK,
+    )
+
+
+def _forced_plan(query, reader, optimizer) -> PhysicalPlan:
+    plan = optimizer.plan(query)
+    for table in plan.readers:
+        plan.readers[table] = reader
+    return plan
+
+
+def _measure() -> list[dict[str, float]]:
+    catalog, table = _sweep_catalog()
+    catalog.register(table)
+    bn = BNCountEstimator.train(catalog, {"sweep": ["ramp", "other"]})
+    config = EngineConfig()
+    optimizer = Optimizer(bn, None, config)
+    executor = Executor(catalog, config)
+    points = []
+    for keep in SWEEP:
+        query = CardQuery(
+            tables=("sweep",),
+            predicates=(
+                TablePredicate(
+                    "sweep", "ramp", PredicateOp.LT, float(keep * _ROWS)
+                ),
+                TablePredicate("sweep", "other", PredicateOp.LT, 900.0),
+            ),
+        )
+        costs = {}
+        for reader in (ReaderKind.SINGLE_STAGE, ReaderKind.MULTI_STAGE):
+            result = executor.execute(_forced_plan(query, reader, optimizer))
+            costs[reader.value] = result.io_cost + result.cpu_cost
+        dynamic_plan = optimizer.plan(query)
+        dynamic = executor.execute(dynamic_plan)
+        points.append(
+            {
+                "keep": keep,
+                "single": costs["single-stage"],
+                "multi": costs["multi-stage"],
+                "dynamic": dynamic.io_cost + dynamic.cpu_cost,
+                "chosen": dynamic_plan.readers["sweep"].value,
+            }
+        )
+    return points
+
+
+def test_ablation_reader_choice(benchmark):
+    points = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    rows = [
+        [
+            f"{p['keep']:.2f}",
+            f"{p['single']:.1f}",
+            f"{p['multi']:.1f}",
+            f"{p['dynamic']:.1f}",
+            p["chosen"],
+        ]
+        for p in points
+    ]
+    table = render_grid(
+        "Ablation A2: reader-selection sweep (execution cost, lower=better)",
+        ["selectivity", "single-stage", "multi-stage", "dynamic", "chosen"],
+        rows,
+    )
+    record_table("ablation_reader_choice", table)
+
+    # Crossover exists: multi wins at the selective end, single wins at
+    # the non-selective end.
+    assert points[0]["multi"] < points[0]["single"]
+    assert points[-1]["single"] < points[-1]["multi"]
+    # The dynamic policy is never materially worse than the best forced
+    # reader at any point.
+    for p in points:
+        assert p["dynamic"] <= min(p["single"], p["multi"]) * 1.05

@@ -1,0 +1,65 @@
+"""Figure 5: end-to-end query latency per workload and estimator.
+
+Reproduces the paper's Figure 5(a-c): normalized query latency at the
+50th/75th/90th/99th percentiles for the sketch-based, sample-based, and
+ByteCard configurations on JOB-Hybrid, STATS-Hybrid, and AEOLUS-Online.
+
+Expected shape:
+* ByteCard shows the best (or tied-best) latency at essentially all
+  quantiles;
+* the sample-based method pays its real-time estimation overhead, visible
+  at the lower quantiles (and dominating AEOLUS, whose queries are cheap);
+* the largest P99 gap between ByteCard and the traditional methods appears
+  on STATS-Hybrid (its data distribution is the hardest to estimate).
+"""
+
+from __future__ import annotations
+
+from conftest import record_table, render_grid
+
+from repro.metrics import LatencyProfile
+
+METHODS = ("sketch", "sample", "bytecard")
+QUANTILES = (0.50, 0.75, 0.90, 0.99)
+
+
+def _run_dataset(lab, dataset: str) -> dict[str, dict[float, float]]:
+    profiles = {}
+    for method in METHODS:
+        session = lab.session(dataset, method)
+        profiles[method] = session.run_workload(lab.workloads[dataset].queries)
+    return LatencyProfile.normalize(profiles, QUANTILES)
+
+
+def test_fig5_query_latency(lab, benchmark):
+    results = benchmark.pedantic(
+        lambda: {d: _run_dataset(lab, d) for d in ("IMDB", "STATS", "AEOLUS")},
+        rounds=1,
+        iterations=1,
+    )
+    for dataset in ("IMDB", "STATS", "AEOLUS"):
+        bars = results[dataset]
+        rows = [
+            [method] + [f"{bars[method][q]:.3f}" for q in QUANTILES]
+            for method in METHODS
+        ]
+        table = render_grid(
+            f"Figure 5 ({lab.workload_names[dataset]}): normalized latency",
+            ["method", "P50", "P75", "P90", "P99"],
+            rows,
+        )
+        record_table(f"fig5_latency_{dataset.lower()}", table)
+
+    # Shape assertions.
+    for dataset in ("IMDB", "STATS", "AEOLUS"):
+        bars = results[dataset]
+        # ByteCard at least ties the best method at P90 (5% tolerance).
+        best_p90 = min(bars[m][0.90] for m in METHODS)
+        assert bars["bytecard"][0.90] <= best_p90 * 1.10
+        # ByteCard improves on the sketch baseline at P99.
+        assert bars["bytecard"][0.99] <= bars["sketch"][0.99] * 1.02
+    # Sample-based estimation overhead shows up at P50 somewhere.
+    assert any(
+        results[d]["sample"][0.50] > results[d]["bytecard"][0.50]
+        for d in ("IMDB", "STATS", "AEOLUS")
+    )

@@ -1,0 +1,67 @@
+"""Figure 6(b): hash-table resizing frequency versus data scale (AEOLUS).
+
+Reproduces the paper's Figure 6(b): total hash-table resizes during the
+aggregation queries of AEOLUS-Online at several dataset scales, with and
+without ByteCard (i.e. with RBX pre-sizing the tables versus the engine's
+default initial capacity).
+
+Expected shape: without ByteCard, resizes grow rapidly with scale; with
+RBX's estimates they stay near-flat even as scale grows.  RBX's
+workload-independence means the *same* network serves every scale.
+"""
+
+from __future__ import annotations
+
+from conftest import record_table, render_grid
+
+from repro.datasets import make_aeolus
+from repro.engine import EngineSession, EstimatorSuite
+from repro.estimators.factorjoin import FactorJoinEstimator
+from repro.estimators.rbx import RBXNdvEstimator
+from repro.workloads import aeolus_online
+
+SCALES = (0.25, 0.5, 1.0, 2.0)
+
+
+def _measure(lab) -> dict[float, dict[str, int]]:
+    results: dict[float, dict[str, int]] = {}
+    for scale in SCALES:
+        bundle = make_aeolus(scale=scale)
+        workload = aeolus_online(bundle, num_queries=60)
+        grouped = [q for q in workload.queries if q.group_by]
+        count_est = FactorJoinEstimator.train(
+            bundle.catalog, bundle.filter_columns
+        )
+        # One RBX network for every scale: workload-independent.
+        with_bytecard = EstimatorSuite(
+            "bytecard", count_est, RBXNdvEstimator(bundle.catalog, lab.rbx_network)
+        )
+        without = EstimatorSuite("no-bytecard", count_est, None)
+        per: dict[str, int] = {}
+        for name, suite in (("without", without), ("bytecard", with_bytecard)):
+            session = EngineSession(bundle.catalog, suite)
+            per[name] = sum(session.run(q).resize_count for q in grouped)
+        results[scale] = per
+    return results
+
+
+def test_fig6b_resizing(lab, benchmark):
+    results = benchmark.pedantic(lambda: _measure(lab), rounds=1, iterations=1)
+    rows = [
+        [f"{scale:g}x", str(results[scale]["without"]), str(results[scale]["bytecard"])]
+        for scale in SCALES
+    ]
+    table = render_grid(
+        "Figure 6(b): Hash-table resizes on AEOLUS aggregations",
+        ["scale", "without ByteCard", "with ByteCard (RBX)"],
+        rows,
+    )
+    record_table("fig6b_resizing", table)
+
+    # Shape: ByteCard reduces resizes at every scale, dramatically so at
+    # the largest ones; resizes without ByteCard grow with scale.
+    for scale in SCALES:
+        assert results[scale]["bytecard"] < results[scale]["without"]
+    assert results[SCALES[-1]]["without"] > results[SCALES[0]]["without"]
+    largest = results[SCALES[-1]]
+    assert largest["bytecard"] < 0.5 * largest["without"]

@@ -1,0 +1,131 @@
+"""Shared fixtures for the benchmark harness.
+
+One *lab* is built per session: the three datasets at benchmark scale, the
+paper's three workloads (Table 5 sizes: 100 / 200 / 200 queries), and the
+three estimator suites (sketch-based, sample-based, ByteCard).  Every
+``bench_*`` module draws from it, so dataset generation and model training
+are paid once.
+
+Each benchmark registers its result table with :func:`record_table`; the
+tables are printed in the terminal summary (pytest captures stdout during
+the run) and written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import make_aeolus, make_imdb, make_stats
+from repro.engine import EngineSession, EstimatorSuite
+from repro.estimators.factorjoin import FactorJoinEstimator
+from repro.estimators.rbx import RBXNdvEstimator, train_rbx
+from repro.estimators.traditional import (
+    SamplingCountEstimator,
+    SamplingNdvEstimator,
+    SelingerEstimator,
+    SketchNdvEstimator,
+)
+from repro.workloads import aeolus_online, job_hybrid, stats_hybrid
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_TABLES: list[tuple[str, str]] = []
+
+
+def record_table(name: str, text: str) -> None:
+    """Register a rendered result table for the terminal summary + disk."""
+    _TABLES.append((name, text))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+
+
+def render_grid(title: str, headers: list[str], rows: list[list[str]]) -> str:
+    """Minimal fixed-width table renderer."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [title, ""]
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines) + "\n"
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.section("reproduction result tables")
+    for name, text in _TABLES:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"==== {name} ====")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+class Lab:
+    """All shared artifacts of the benchmark session."""
+
+    SAMPLE_RATE = 0.03
+
+    def __init__(self) -> None:
+        self.bundles = {
+            "IMDB": make_imdb(scale=1.0),
+            "STATS": make_stats(scale=1.0),
+            "AEOLUS": make_aeolus(scale=1.0),
+        }
+        self.workloads = {
+            "IMDB": job_hybrid(self.bundles["IMDB"], num_queries=100),
+            "STATS": stats_hybrid(self.bundles["STATS"], num_queries=200),
+            "AEOLUS": aeolus_online(self.bundles["AEOLUS"], num_queries=200),
+        }
+        #: the paper's workload display names per dataset
+        self.workload_names = {
+            "IMDB": "JOB-Hybrid",
+            "STATS": "STATS-Hybrid",
+            "AEOLUS": "AEOLUS-Online",
+        }
+        self.rbx_network = train_rbx(num_examples=2500, epochs=30)
+        self._suites: dict[tuple[str, str], EstimatorSuite] = {}
+
+    # ------------------------------------------------------------------
+    def suite(self, dataset: str, method: str) -> EstimatorSuite:
+        """Lazily built estimator suite for (dataset, method)."""
+        key = (dataset, method)
+        if key not in self._suites:
+            bundle = self.bundles[dataset]
+            if method == "sketch":
+                suite = EstimatorSuite(
+                    "sketch",
+                    SelingerEstimator(bundle.catalog),
+                    SketchNdvEstimator(bundle.catalog),
+                )
+            elif method == "sample":
+                suite = EstimatorSuite(
+                    "sample",
+                    SamplingCountEstimator(bundle.catalog, rate=self.SAMPLE_RATE),
+                    SamplingNdvEstimator(bundle.catalog, rate=self.SAMPLE_RATE),
+                )
+            elif method == "bytecard":
+                suite = EstimatorSuite(
+                    "bytecard",
+                    FactorJoinEstimator.train(
+                        bundle.catalog, bundle.filter_columns
+                    ),
+                    RBXNdvEstimator(bundle.catalog, self.rbx_network),
+                )
+            else:
+                raise ValueError(f"unknown method {method!r}")
+            self._suites[key] = suite
+        return self._suites[key]
+
+    def session(self, dataset: str, method: str) -> EngineSession:
+        return EngineSession(self.bundles[dataset].catalog, self.suite(dataset, method))
+
+
+@pytest.fixture(scope="session")
+def lab() -> Lab:
+    return Lab()

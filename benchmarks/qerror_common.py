@@ -1,0 +1,56 @@
+"""Shared Q-Error table machinery for the Table 1 / Table 2 benchmarks."""
+
+from __future__ import annotations
+
+from repro.metrics import qerror_many, summarize_qerrors
+from repro.workloads import true_ndv
+
+QERROR_HEADERS = [
+    "CardEst",
+    "IMDB 50%",
+    "IMDB 90%",
+    "IMDB 99%",
+    "STATS 50%",
+    "STATS 90%",
+    "STATS 99%",
+    "AEOLUS 50%",
+    "AEOLUS 90%",
+    "AEOLUS 99%",
+]
+
+
+def fmt(value: float) -> str:
+    if value >= 10_000:
+        return f"{value:.0e}"
+    if value >= 100:
+        return f"{value:.0f}"
+    return f"{value:.2f}"
+
+
+def qerror_row(lab, kind: str, method: str) -> list[str]:
+    """One row of a Table 1/2-style grid: kind in {COUNT, NDV}."""
+    cells = [f"{kind} Est."]
+    for dataset in ("IMDB", "STATS", "AEOLUS"):
+        workload = lab.workloads[dataset]
+        suite = lab.suite(dataset, method)
+        catalog = lab.bundles[dataset].catalog
+        if kind == "COUNT":
+            estimates = [
+                suite.count_estimator.estimate_count(q) for q in workload.queries
+            ]
+            truths = [workload.true_counts[q.name] for q in workload.queries]
+        else:
+            estimates, truths = [], []
+            for q in workload.ndv_queries:
+                truth = true_ndv(catalog, q)
+                if truth == 0:
+                    continue
+                estimates.append(suite.ndv_estimator.estimate_ndv(q))
+                truths.append(truth)
+        summary = summarize_qerrors(qerror_many(estimates, truths))
+        cells.extend(fmt(v) for v in summary.as_row())
+    return cells
+
+
+def parse_cell(cell: str) -> float:
+    return float(cell)

@@ -1,0 +1,66 @@
+"""Aggregation hash-table pre-sizing with RBX (the paper's Section 5.2).
+
+Run with::
+
+    python examples/aggregation_sizing.py
+
+Executes AEOLUS-Online's aggregation queries twice -- once with the
+engine's default hash-table capacity, once with RBX pre-sizing -- and
+reports the resize counts and rehash volumes, the effect Figure 6(b)
+plots.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import make_aeolus
+from repro.engine import EngineSession, EstimatorSuite
+from repro.estimators.factorjoin import FactorJoinEstimator
+from repro.estimators.rbx import RBXNdvEstimator, train_rbx
+from repro.workloads import aeolus_online
+
+
+def main() -> None:
+    print("Generating the synthetic AEOLUS dataset ...")
+    bundle = make_aeolus(scale=1.0)
+    workload = aeolus_online(bundle, num_queries=60)
+    aggregations = [q for q in workload.queries if q.group_by]
+    print(f"  {len(aggregations)} aggregation queries "
+          f"(2-4 group-by keys each)")
+
+    print("Training estimators (FactorJoin + one universal RBX network) ...")
+    count_estimator = FactorJoinEstimator.train(
+        bundle.catalog, bundle.filter_columns
+    )
+    rbx = RBXNdvEstimator(bundle.catalog, train_rbx(num_examples=1500, epochs=25))
+
+    configurations = {
+        "default capacity (no ByteCard)": EstimatorSuite(
+            "no-bytecard", count_estimator, None
+        ),
+        "RBX pre-sizing (ByteCard)": EstimatorSuite(
+            "bytecard", count_estimator, rbx
+        ),
+    }
+
+    print(f"\n{'configuration':36} {'resizes':>8} {'rehashed entries':>17} "
+          f"{'agg cost':>9}")
+    for name, suite in configurations.items():
+        session = EngineSession(bundle.catalog, suite)
+        resizes = moved = 0
+        cost = 0.0
+        for query in aggregations:
+            result = session.run(query)
+            resizes += result.resize_count
+            moved += result.moved_entries
+            cost += result.cpu_cost
+        print(f"{name:36} {resizes:8d} {moved:17,d} {cost:9.1f}")
+
+    print(
+        "\nRBX sizes each table from the query's *filtered* sample profile,"
+        "\nwhich precomputed statistics cannot do (the aggregation keys sit"
+        "\nbehind user-defined predicates)."
+    )
+
+
+if __name__ == "__main__":
+    main()

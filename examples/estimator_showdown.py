@@ -1,0 +1,95 @@
+"""Estimator showdown: every implemented estimator on one workload.
+
+Run with::
+
+    python examples/estimator_showdown.py
+
+Trains all six COUNT estimator families (sketch, sample, MSCN, DeepDB,
+BayesCard, ByteCard) and both NDV families on the STATS dataset and prints
+their Q-Error summaries side by side -- the condensed version of the
+paper's Tables 1-3 on a single workload, using the evaluation harness.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import make_stats
+from repro.estimators.bayescard import train_bayescard
+from repro.estimators.deepdb import train_deepdb
+from repro.estimators.factorjoin import FactorJoinEstimator
+from repro.estimators.mscn import train_mscn
+from repro.estimators.rbx import RBXNdvEstimator, train_rbx
+from repro.estimators.traditional import (
+    SamplingCountEstimator,
+    SamplingNdvEstimator,
+    SelingerEstimator,
+    SketchNdvEstimator,
+)
+from repro.evaluation import evaluate_count, evaluate_ndv
+from repro.utils.timer import Stopwatch
+from repro.workloads import stats_hybrid
+
+
+def main() -> None:
+    print("Generating STATS and the STATS-Hybrid workload ...")
+    bundle = make_stats(scale=0.5)
+    workload = stats_hybrid(bundle, num_queries=80)
+
+    count_estimators = {}
+    print("Training COUNT estimators ...")
+    for name, builder in {
+        "sketch": lambda: SelingerEstimator(bundle.catalog),
+        "sample": lambda: SamplingCountEstimator(bundle.catalog, rate=0.03),
+        "mscn": lambda: train_mscn(bundle, num_training_queries=300, epochs=25),
+        "deepdb": lambda: train_deepdb(bundle),
+        "bayescard": lambda: train_bayescard(bundle.catalog, bundle.filter_columns),
+        "bytecard": lambda: FactorJoinEstimator.train(
+            bundle.catalog, bundle.filter_columns
+        ),
+    }.items():
+        with Stopwatch() as sw:
+            count_estimators[name] = (builder(), sw)
+        print(f"  {name:10} trained in {sw.elapsed:6.2f}s")
+
+    print(f"\nCOUNT Q-Error on {workload.name} "
+          f"({len(workload.queries)} queries):")
+    print(f"  {'estimator':10} {'P50':>8} {'P90':>10} {'P99':>12} {'max':>12}")
+    for name, (estimator, _sw) in count_estimators.items():
+        eval_workload = workload
+        note = ""
+        if name == "deepdb":
+            # DeepDB has no OR support: evaluate its supported subset.
+            from repro.workloads.generator import Workload
+
+            subset = [q for q in workload.queries if not q.or_groups]
+            eval_workload = Workload(
+                name=workload.name,
+                queries=subset,
+                true_counts=dict(workload.true_counts),
+            )
+            note = f"  (on {len(subset)} OR-free queries)"
+        summary = evaluate_count(bundle.catalog, eval_workload, estimator)
+        print(
+            f"  {name:10} {summary.p50:8.2f} {summary.p90:10.1f} "
+            f"{summary.p99:12.1f} {summary.maximum:12.0f}{note}"
+        )
+
+    print("\nTraining NDV estimators ...")
+    rbx = RBXNdvEstimator(bundle.catalog, train_rbx(num_examples=1500, epochs=25))
+    ndv_estimators = {
+        "sketch": SketchNdvEstimator(bundle.catalog),
+        "sample": SamplingNdvEstimator(bundle.catalog, rate=0.03),
+        "rbx": rbx,
+    }
+    print(f"\nNDV Q-Error on {workload.name} "
+          f"({len(workload.ndv_queries)} queries):")
+    print(f"  {'estimator':10} {'P50':>8} {'P90':>10} {'P99':>12}")
+    for name, estimator in ndv_estimators.items():
+        summary = evaluate_ndv(bundle.catalog, workload, estimator)
+        print(
+            f"  {name:10} {summary.p50:8.2f} {summary.p90:10.1f} "
+            f"{summary.p99:12.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

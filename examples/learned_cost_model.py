@@ -1,0 +1,92 @@
+"""Extending the framework with a learned cost model (paper Section 7).
+
+Run with::
+
+    python examples/learned_cost_model.py
+
+The paper's future-work section prescribes exactly how the next
+ML-enhanced component should be integrated: train query-driven cost models
+from runtime traces inside the ModelForge Service, publish them through the
+registry, and serve them behind the same Inference Engine interface as the
+CardEst models.  This example walks that path end to end:
+
+1. execute a workload and collect (plan features, measured cost) traces;
+2. train the cost model and publish it;
+3. load it through the standard Model Loader (size + health validation);
+4. predict costs for unseen queries and compare with their measured costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.costmodel import (
+    CostModelInferenceEngine,
+    QueryTraceCollector,
+    serialize_cost_model,
+    train_cost_model,
+)
+from repro.core.loader import ModelLoader
+from repro.core.registry import ModelRegistry
+from repro.core.validator import ModelValidator
+from repro.datasets import make_stats
+from repro.engine import EngineSession, EstimatorSuite
+from repro.estimators.factorjoin import FactorJoinEstimator
+from repro.metrics import qerror
+from repro.workloads import stats_hybrid
+
+
+def main() -> None:
+    print("Preparing STATS and a ByteCard-style estimator ...")
+    bundle = make_stats(scale=0.5)
+    count_estimator = FactorJoinEstimator.train(
+        bundle.catalog, bundle.filter_columns
+    )
+    session = EngineSession(
+        bundle.catalog, EstimatorSuite("bytecard", count_estimator, None)
+    )
+    training = stats_hybrid(bundle, num_queries=80, seed=301)
+    holdout = stats_hybrid(bundle, num_queries=25, seed=302)
+
+    print("1. collecting runtime traces from 80 executed queries ...")
+    collector = QueryTraceCollector(bundle.catalog, count_estimator)
+    collector.collect_from_session(session, training.queries)
+
+    print("2. training the cost model in ModelForge style ...")
+    model = train_cost_model(collector)
+
+    print("3. publishing + loading through the standard lifecycle ...")
+    registry = ModelRegistry()
+    registry.publish("costmodel", "engine", serialize_cost_model(model))
+    validator = ModelValidator(max_model_bytes=16 << 20)
+    loader = ModelLoader(
+        registry,
+        validator,
+        engine_factory=lambda kind, name: CostModelInferenceEngine(
+            bundle.catalog, validator, count_estimator
+        ),
+        max_total_bytes=256 << 20,
+    )
+    report = loader.refresh()
+    print(f"   loaded: {report.loaded}")
+    engine = loader.get("costmodel", "engine")
+    assert isinstance(engine, CostModelInferenceEngine)
+
+    print("4. predicting costs for 25 unseen queries ...")
+    errors = []
+    print(f"   {'query':24} {'predicted':>10} {'measured':>10} {'q-err':>6}")
+    for query in holdout.queries[:8]:
+        predicted = engine.estimate(query)
+        measured = session.run(query).total_cost
+        errors.append(qerror(max(predicted, 1e-3), max(measured, 1e-3)))
+        print(f"   {query.name:24} {predicted:10.1f} {measured:10.1f} "
+              f"{errors[-1]:6.2f}")
+    for query in holdout.queries[8:]:
+        predicted = engine.estimate(query)
+        measured = session.run(query).total_cost
+        errors.append(qerror(max(predicted, 1e-3), max(measured, 1e-3)))
+    print(f"   median cost Q-Error over the holdout: {np.median(errors):.2f}")
+
+
+if __name__ == "__main__":
+    main()

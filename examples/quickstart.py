@@ -1,0 +1,83 @@
+"""Quickstart: train ByteCard on a synthetic IMDB and estimate SQL queries.
+
+Run with::
+
+    python examples/quickstart.py
+
+Builds the JOB-light-schema IMDB dataset, trains ByteCard's learned
+estimators (per-table Bayesian networks + FactorJoin join buckets + the RBX
+NDV network), and compares its estimates against ground truth and the
+traditional sketch-based estimator for a handful of SQL queries.
+"""
+
+from __future__ import annotations
+
+from repro.core import ByteCard, ByteCardConfig
+from repro.datasets import make_imdb
+from repro.metrics import qerror
+from repro.sql import bind_sql
+from repro.workloads import true_count, true_ndv
+
+COUNT_QUERIES = [
+    "SELECT COUNT(*) FROM title WHERE production_year > 1990",
+    "SELECT COUNT(*) FROM title WHERE kind_id = 1 AND production_year > 2000",
+    (
+        "SELECT COUNT(*) FROM title t JOIN cast_info ci ON t.id = ci.movie_id "
+        "WHERE t.production_year > 1980 AND ci.role_id = 1"
+    ),
+    (
+        "SELECT COUNT(*) FROM title t "
+        "JOIN cast_info ci ON t.id = ci.movie_id "
+        "JOIN movie_keyword mk ON t.id = mk.movie_id "
+        "WHERE t.kind_id = 0"
+    ),
+]
+
+NDV_QUERIES = [
+    "SELECT COUNT(DISTINCT person_id) FROM cast_info WHERE role_id = 1",
+    (
+        "SELECT COUNT(DISTINCT keyword_id) FROM movie_keyword "
+        "WHERE movie_id < 2000"
+    ),
+]
+
+
+def main() -> None:
+    print("Generating the synthetic IMDB dataset (JOB-light schema) ...")
+    bundle = make_imdb(scale=0.5)
+    print(f"  {len(bundle.catalog.table_names())} tables, "
+          f"{bundle.total_rows():,} rows total")
+
+    print("Training ByteCard (ModelForge -> registry -> loader -> monitor) ...")
+    config = ByteCardConfig(rbx_corpus_size=1500, rbx_epochs=25)
+    bytecard = ByteCard.build(bundle, config=config)
+    status = bytecard.status()
+    print(f"  loaded models: {status.loaded_models}")
+    print(f"  fallback tables: {sorted(status.fallback_tables) or 'none'}")
+
+    print("\nCOUNT estimation (estimate | truth | Q-Error | sketch Q-Error):")
+    for sql in COUNT_QUERIES:
+        query = bind_sql(sql, bundle.catalog)
+        truth = true_count(bundle.catalog, query)
+        learned = bytecard.estimate_count(query)
+        sketch = bytecard._traditional_count.estimate_count(query)
+        print(f"  {sql}")
+        print(
+            f"    bytecard={learned:10.0f}  truth={truth:8d}  "
+            f"q={qerror(learned, truth):6.2f}  sketch-q={qerror(sketch, truth):6.2f}"
+        )
+
+    print("\nNDV estimation (estimate | truth | Q-Error):")
+    for sql in NDV_QUERIES:
+        query = bind_sql(sql, bundle.catalog)
+        truth = true_ndv(bundle.catalog, query)
+        learned = bytecard.estimate_ndv(query)
+        print(f"  {sql}")
+        print(
+            f"    rbx={learned:10.0f}  truth={truth:8d}  "
+            f"q={qerror(learned, truth):6.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

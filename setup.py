@@ -1,0 +1,19 @@
+"""Legacy setup shim.
+
+The reproduction environment has no network access and no ``wheel`` package,
+so PEP 660 editable installs (``pip install -e .``) cannot build a wheel.
+This shim lets ``python setup.py develop --no-deps`` (or ``pip install -e .
+--no-build-isolation`` on tool-chains that have ``wheel``) install the package
+in editable mode from ``src/``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+)

@@ -1,0 +1,306 @@
+"""The ByteCard facade: the full framework wired together.
+
+:meth:`ByteCard.build` runs the production bootstrap end to end --
+preprocess, train in ModelForge, publish to the registry, load through the
+Model Loader (size + health validation), assemble the serving estimators,
+and run the Model Monitor to establish fallback decisions.  The resulting
+object is a :class:`CountEstimator` *and* :class:`NdvEstimator` with the
+paper's fallback semantics: queries touching a gated table are served by
+the traditional estimator instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import ByteCardConfig
+from repro.core.engine import BNInferenceEngine, RBXInferenceEngine
+from repro.core.loader import ModelLoader
+from repro.core.modelforge import ModelForgeService
+from repro.core.monitor import ModelMonitor, MonitorReport
+from repro.core.preprocessor import ModelPreprocessor
+from repro.core.registry import ModelRegistry
+from repro.core.serialization import deserialize_rbx
+from repro.core.validator import ModelValidator
+from repro.datasets.base import DatasetBundle
+from repro.engine.session import EstimatorSuite
+from repro.errors import EstimationError, ModelError
+from repro.estimators.base import CountEstimator, NdvEstimator
+from repro.estimators.bn.model import TreeBayesNet
+from repro.estimators.factorjoin.estimator import FactorJoinEstimator
+from repro.estimators.rbx.estimator import RBXNdvEstimator
+from repro.estimators.traditional.hyperloglog import SketchNdvEstimator
+from repro.estimators.traditional.selinger import SelingerEstimator
+from repro.sql.query import AggKind, CardQuery
+
+
+@dataclass
+class ByteCardStatus:
+    """Introspection snapshot for examples and tests."""
+
+    loaded_models: list[tuple[str, str]] = field(default_factory=list)
+    fallback_tables: set[str] = field(default_factory=set)
+    calibrated_columns: list[tuple[str, str]] = field(default_factory=list)
+    monitor_reports: list[MonitorReport] = field(default_factory=list)
+
+
+class ByteCard(CountEstimator, NdvEstimator):
+    """The deployed framework, serving COUNT and NDV estimates."""
+
+    name = "bytecard"
+
+    def __init__(
+        self,
+        bundle: DatasetBundle,
+        config: ByteCardConfig | None = None,
+        registry: ModelRegistry | None = None,
+    ):
+        self.bundle = bundle
+        self.catalog = bundle.catalog
+        self.config = config or ByteCardConfig()
+        self.registry = registry or ModelRegistry()
+        self.validator = ModelValidator(self.config.max_model_bytes)
+        self.forge = ModelForgeService(self.registry, self.config)
+        self.monitor = ModelMonitor(bundle, self.config)
+        self.preprocessor = ModelPreprocessor(
+            self.catalog, self.config.join_bucket_count
+        )
+        # Traditional estimators kept warm for fallback.
+        self._traditional_count = SelingerEstimator(self.catalog)
+        self._traditional_ndv = SketchNdvEstimator(self.catalog)
+        # Serving state, assembled by refresh().
+        self._factorjoin: FactorJoinEstimator | None = None
+        self._rbx: RBXNdvEstimator | None = None
+        self.fallback_tables: set[str] = set()
+        self.monitor_reports: list[MonitorReport] = []
+        self._rbx_samples = {
+            name: self.catalog.table(name).sample(
+                min(self.config.rbx_sample_rows, len(self.catalog.table(name))),
+                _sample_rng(bundle.seed, name),
+            )
+            for name in self.catalog.table_names()
+        }
+        self.loader = ModelLoader(
+            self.registry,
+            self.validator,
+            engine_factory=self._make_engine,
+            max_total_bytes=self.config.max_total_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        bundle: DatasetBundle,
+        config: ByteCardConfig | None = None,
+        registry: ModelRegistry | None = None,
+        run_monitor: bool = True,
+    ) -> "ByteCard":
+        """Train, publish, load, assemble, and (optionally) monitor."""
+        bytecard = cls(bundle, config=config, registry=registry)
+        bytecard.forge.train_count_models(bundle)
+        bytecard.forge.train_rbx_universal()
+        bytecard.refresh()
+        if run_monitor:
+            bytecard.run_monitor()
+        return bytecard
+
+    def _make_engine(self, kind: str, name: str):
+        if kind == "bn":
+            return BNInferenceEngine(self.catalog, self.validator)
+        if kind == "rbx":
+            return RBXInferenceEngine(
+                self.catalog, self.validator, self._rbx_samples
+            )
+        raise ModelError(f"no inference engine for model kind {kind!r}")
+
+    def refresh(self) -> None:
+        """One Model Loader pass, then reassemble the serving estimators."""
+        self.loader.refresh()
+        models: dict[str, TreeBayesNet] = {}
+        for kind, name in self.loader.loaded_keys():
+            if kind != "bn" or "@shard" in name:
+                continue
+            engine = self.loader.get(kind, name)
+            assert isinstance(engine, BNInferenceEngine)
+            if engine.model is not None:
+                models[name] = engine.model
+        if models:
+            bucketizer = self.preprocessor.build_join_buckets()
+            self._factorjoin = FactorJoinEstimator(
+                self.catalog, models, bucketizer
+            )
+        universal = self.loader.get("rbx", "universal")
+        if isinstance(universal, RBXInferenceEngine) and universal.network is not None:
+            rbx = RBXNdvEstimator.__new__(RBXNdvEstimator)
+            rbx.catalog = self.catalog
+            rbx.model = universal.network
+            rbx.calibrated = {}
+            rbx._samples = self._rbx_samples
+            self._rbx = rbx
+            # Install any published per-column calibrated weights.
+            for kind, name in self.loader.loaded_keys():
+                if kind == "rbx" and name != "universal" and "." in name:
+                    engine = self.loader.get(kind, name)
+                    assert isinstance(engine, RBXInferenceEngine)
+                    if engine.network is not None:
+                        table, column = name.split(".", 1)
+                        rbx.install_calibrated(table, column, engine.network)
+
+    # ------------------------------------------------------------------
+    # Monitoring and calibration
+    # ------------------------------------------------------------------
+    def run_monitor(self, fine_tune: bool = True) -> list[MonitorReport]:
+        """Gate COUNT models; detect and calibrate problematic NDV columns."""
+        reports: list[MonitorReport] = []
+        if self._factorjoin is not None:
+            for table in sorted(self._factorjoin.models):
+                report = self.monitor.assess_count_model(table, self._factorjoin)
+                reports.append(report)
+                if not report.passed:
+                    self.fallback_tables.add(table)
+                else:
+                    self.fallback_tables.discard(table)
+        if self._rbx is not None:
+            for table, column in self.bundle.high_ndv_columns:
+                report = self.monitor.assess_ndv_column(table, column, self._rbx)
+                reports.append(report)
+                if not report.passed and fine_tune:
+                    self._calibrate_column(table, column)
+        self.monitor_reports = reports
+        return reports
+
+    def monitor_and_heal(self, max_cycles: int = 2) -> list[MonitorReport]:
+        """The self-healing loop around a data-distribution shift.
+
+        The paper's lifecycle when the Model Monitor "detects that the
+        performance of models is decreased due to the shift of data
+        distribution": the affected table falls back to the traditional
+        estimator immediately, an ingestion-style signal marks it dirty,
+        ModelForge retrains it on (fresh samples of) the current data, the
+        Model Loader picks up the newer timestamp, and the monitor
+        re-assesses -- lifting the fallback once the retrained model passes.
+        """
+        from repro.core.modelforge import IngestionSignal
+
+        reports = self.run_monitor(fine_tune=False)
+        for _cycle in range(max_cycles):
+            failing = sorted(self.fallback_tables)
+            if not failing:
+                break
+            for table in failing:
+                self.forge.ingest_signal(
+                    IngestionSignal(table=table, source="monitor-drift")
+                )
+            self.forge.run_training_cycle(self.bundle)
+            self.refresh()
+            reports = self.run_monitor(fine_tune=False)
+        self.monitor_reports = reports
+        return reports
+
+    def _calibrate_column(self, table: str, column: str) -> None:
+        """The calibration protocol: fine-tune, validate, install."""
+        assert self._rbx is not None
+        samples = self.monitor.collect_column_samples(table, column)
+        self.forge.fine_tune_column(self._rbx.model, table, column, samples)
+        record = self.registry.latest("rbx", f"{table}.{column}")
+        assert record is not None
+        tuned, _meta = deserialize_rbx(record.blob)
+        # Validate before installing (the paper: "only integrates a RBX
+        # model ... once the Monitor has validated the new parameters").
+        probe = self._rbx.calibrated.get((table, column))
+        self._rbx.install_calibrated(table, column, tuned)
+        recheck = self.monitor.assess_ndv_column(table, column, self._rbx)
+        if not recheck.passed and recheck.p90 >= self.config.ndv_finetune_trigger:
+            # Tuning did not help enough; keep it only if it improved.
+            baseline = self.monitor.assess_ndv_column(
+                table,
+                column,
+                _WithoutCalibration(self._rbx, table, column),
+            )
+            if baseline.p90 <= recheck.p90:
+                if probe is None:
+                    del self._rbx.calibrated[(table, column)]
+                else:
+                    self._rbx.calibrated[(table, column)] = probe
+
+    # ------------------------------------------------------------------
+    # Serving (CountEstimator / NdvEstimator)
+    # ------------------------------------------------------------------
+    def _needs_fallback(self, query: CardQuery) -> bool:
+        return any(t in self.fallback_tables for t in query.tables)
+
+    def estimate_count(self, query: CardQuery) -> float:
+        if self._factorjoin is None:
+            return self._traditional_count.estimate_count(query)
+        if self._needs_fallback(query):
+            return self._traditional_count.estimate_count(query)
+        missing = [t for t in query.tables if t not in self._factorjoin.models]
+        if missing:
+            return self._traditional_count.estimate_count(query)
+        return self._factorjoin.estimate_count(query)
+
+    def selectivity(self, query: CardQuery) -> float:
+        if (
+            self._factorjoin is None
+            or self._needs_fallback(query)
+            or query.tables[0] not in self._factorjoin.models
+        ):
+            return self._traditional_count.selectivity(query)
+        return self._factorjoin.selectivity(query)
+
+    def estimate_ndv(self, query: CardQuery) -> float:
+        if query.agg.kind is not AggKind.COUNT_DISTINCT:
+            raise EstimationError("estimate_ndv requires COUNT DISTINCT")
+        if self._rbx is None or self._needs_fallback(query):
+            return self._traditional_ndv.estimate_ndv(query)
+        return self._rbx.estimate_ndv(query)
+
+    def group_ndv(self, query: CardQuery) -> float:
+        if self._rbx is None:
+            raise EstimationError("RBX model not loaded")
+        return self._rbx.group_ndv(query)
+
+    def estimation_overhead(self, query: CardQuery) -> float:
+        if self._factorjoin is not None and not self._needs_fallback(query):
+            return self._factorjoin.estimation_overhead(query)
+        return self._traditional_count.estimation_overhead(query)
+
+    # ------------------------------------------------------------------
+    def as_suite(self) -> EstimatorSuite:
+        """Expose ByteCard as an engine estimator suite."""
+        return EstimatorSuite("bytecard", count_estimator=self, ndv_estimator=self)
+
+    def status(self) -> ByteCardStatus:
+        return ByteCardStatus(
+            loaded_models=self.loader.loaded_keys(),
+            fallback_tables=set(self.fallback_tables),
+            calibrated_columns=sorted(self._rbx.calibrated) if self._rbx else [],
+            monitor_reports=list(self.monitor_reports),
+        )
+
+
+class _WithoutCalibration(NdvEstimator):
+    """View of an RBX estimator with one column's calibration masked off."""
+
+    name = "rbx-uncalibrated"
+
+    def __init__(self, rbx: RBXNdvEstimator, table: str, column: str):
+        self._rbx = rbx
+        self._key = (table, column)
+
+    def estimate_ndv(self, query: CardQuery) -> float:
+        saved = self._rbx.calibrated.pop(self._key, None)
+        try:
+            return self._rbx.estimate_ndv(query)
+        finally:
+            if saved is not None:
+                self._rbx.calibrated[self._key] = saved
+
+
+def _sample_rng(seed: int, name: str):
+    from repro.utils.rng import derive_rng
+
+    return derive_rng(seed, "bytecard-sample", name)

@@ -1,0 +1,196 @@
+"""Learned cost model: the paper's flagged next ML-enhanced component.
+
+Section 7 ("Future Integration of More ML-Enhanced Components") lays out
+how ByteCard's abstractions extend beyond cardinality estimation: cost
+models are *query-driven*, trained from runtime traces the warehouse
+already collects in system tables, with training running in the ModelForge
+Service and inference integrated through the ``CardEstInferenceEngine``
+interface.  This module implements that plan:
+
+* :class:`QueryTraceCollector` -- the "designated system table": executed
+  queries with their plan features and measured cost;
+* :func:`train_cost_model` -- ModelForge-side training of a small MLP from
+  plan-time features to log-cost;
+* :class:`CostModelInferenceEngine` -- the Inference Engine implementation
+  serving cost predictions on the query path (load / validate /
+  init_context / featurize / estimate).
+
+Plan-time features only: everything the model sees is available before
+execution (table sizes, the optimizer's cardinality estimates, query
+shape), so the model is usable for plan selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.serialization import pack, unpack
+from repro.core.validator import ModelValidator, ValidationReport
+from repro.engine.executor import QueryResult
+from repro.engine.session import EngineSession
+from repro.errors import ModelError, TrainingError
+from repro.estimators.base import CountEstimator
+from repro.estimators.rbx.network import MLP, AdamState
+from repro.sql.query import CardQuery
+from repro.storage.catalog import Catalog
+
+#: Dimension of the plan-time feature vector.
+COST_FEATURE_DIM = 8
+
+
+def cost_features(
+    catalog: Catalog, query: CardQuery, count_estimator: CountEstimator
+) -> np.ndarray:
+    """Plan-time features of one query."""
+    total_rows = sum(len(catalog.table(t)) for t in query.tables)
+    try:
+        estimated_rows = max(1.0, count_estimator.estimate_count(query))
+    except Exception:  # noqa: BLE001 - any estimator failure is a feature, too
+        estimated_rows = 1.0
+    return np.array(
+        [
+            len(query.tables),
+            len(query.joins),
+            len(query.predicates),
+            len(query.or_groups),
+            len(query.group_by),
+            np.log1p(total_rows),
+            np.log1p(estimated_rows),
+            1.0,  # bias feature
+        ],
+        dtype=np.float64,
+    )
+
+
+@dataclass
+class QueryTrace:
+    """One row of the runtime-trace system table."""
+
+    features: np.ndarray
+    measured_cost: float
+    query_name: str
+
+
+@dataclass
+class QueryTraceCollector:
+    """Accumulates (plan features, measured cost) pairs from executions."""
+
+    catalog: Catalog
+    count_estimator: CountEstimator
+    traces: list[QueryTrace] = field(default_factory=list)
+
+    def record(self, query: CardQuery, result: QueryResult) -> None:
+        self.traces.append(
+            QueryTrace(
+                features=cost_features(self.catalog, query, self.count_estimator),
+                measured_cost=float(result.total_cost),
+                query_name=query.name,
+            )
+        )
+
+    def collect_from_session(
+        self, session: EngineSession, queries: list[CardQuery]
+    ) -> None:
+        """Execute a workload and record every query's trace."""
+        for query in queries:
+            result = session.run(query)
+            self.record(query, result)
+
+
+def train_cost_model(
+    collector: QueryTraceCollector,
+    hidden: tuple[int, ...] = (64, 32),
+    epochs: int = 120,
+    learning_rate: float = 1e-3,
+    seed: int = 41,
+) -> MLP:
+    """Fit an MLP from plan features to log total cost."""
+    if len(collector.traces) < 10:
+        raise TrainingError(
+            f"cost-model training needs >= 10 traces, have {len(collector.traces)}"
+        )
+    features = np.stack([t.features for t in collector.traces])
+    targets = np.log1p(np.array([t.measured_cost for t in collector.traces]))
+    model = MLP(COST_FEATURE_DIM, hidden=hidden, seed=seed)
+    state = AdamState()
+    rng = np.random.default_rng(seed)
+    n = features.shape[0]
+    batch = min(32, n)
+    for _epoch in range(epochs):
+        order = rng.permutation(n)
+        for start in range(0, n, batch):
+            index = order[start : start + batch]
+            model.train_step(
+                features[index], targets[index], state, learning_rate=learning_rate
+            )
+    return model
+
+
+def serialize_cost_model(model: MLP) -> bytes:
+    return pack("costmodel", {"feature_dim": COST_FEATURE_DIM}, model.state_dict())
+
+
+def deserialize_cost_model(blob: bytes) -> MLP:
+    kind, meta, arrays = unpack(blob)
+    if kind != "costmodel":
+        raise ModelError(f"expected a 'costmodel' blob, found {kind!r}")
+    if meta.get("feature_dim") != COST_FEATURE_DIM:
+        raise ModelError("cost-model blob has an incompatible feature layout")
+    return MLP.from_state_dict(arrays)
+
+
+class CostModelInferenceEngine:
+    """Inference Engine integration for the learned cost model.
+
+    Mirrors the ``CardEstInferenceEngine`` lifecycle so the Model Loader
+    can manage cost models exactly like CardEst models -- the engineering
+    path the paper prescribes for further AI4DB components.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        validator: ModelValidator,
+        count_estimator: CountEstimator,
+    ):
+        self.catalog = catalog
+        self.validator = validator
+        self.count_estimator = count_estimator
+        self.network: MLP | None = None
+        self._context_ready = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def load_model(self, blob: bytes) -> bool:
+        try:
+            self.network = deserialize_cost_model(blob)
+        except ModelError:
+            self.network = None
+            return False
+        self._context_ready = False
+        return True
+
+    def validate(self) -> ValidationReport:
+        if self.network is None:
+            return ValidationReport.failure("no model loaded")
+        return self.validator.check_rbx_health(self.network, COST_FEATURE_DIM)
+
+    def init_context(self) -> None:
+        if self.network is None:
+            raise ModelError("cannot init_context without a loaded model")
+        for array in (*self.network.weights, *self.network.biases):
+            array.setflags(write=False)
+        self._context_ready = True
+
+    # -- inference -----------------------------------------------------------
+    def featurize(self, query: CardQuery) -> np.ndarray:
+        return cost_features(self.catalog, query, self.count_estimator)
+
+    def estimate(self, query: CardQuery) -> float:
+        """Predicted total execution cost (engine cost units)."""
+        if not self._context_ready:
+            raise ModelError("estimate() called before init_context()")
+        assert self.network is not None
+        log_cost = float(self.network.forward(self.featurize(query)[np.newaxis, :])[0])
+        return float(np.expm1(np.clip(log_cost, 0.0, 40.0)))

@@ -1,0 +1,123 @@
+"""The Model Loader: timestamp-based refresh, size gating, LRU eviction.
+
+Runs as one of the Daemon Manager's background tasks in production; here it
+is driven explicitly via :meth:`ModelLoader.refresh`.  Semantics follow the
+paper:
+
+* only blobs with a **newer timestamp** than the loaded version are
+  considered ("only models with the most recent timestamp are considered
+  for loading and updating");
+* a blob failing the **size checker** or the **health detector** is
+  refused, keeping the previous version serving;
+* when the cumulative size exceeds the budget, the **least recently used**
+  models are evicted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import CardEstInferenceEngine
+from repro.core.registry import ModelRegistry
+from repro.core.validator import ModelValidator
+
+
+@dataclass
+class _LoadedModel:
+    engine: CardEstInferenceEngine
+    timestamp: int
+    nbytes: int
+    last_used: int = 0
+
+
+@dataclass
+class RefreshReport:
+    """What one refresh pass did."""
+
+    loaded: list[tuple[str, str]] = field(default_factory=list)
+    refused: list[tuple[str, str, str]] = field(default_factory=list)
+    evicted: list[tuple[str, str]] = field(default_factory=list)
+    unchanged: list[tuple[str, str]] = field(default_factory=list)
+
+
+class ModelLoader:
+    """Loads models from the registry into inference engines."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        validator: ModelValidator,
+        engine_factory,
+        max_total_bytes: int,
+    ):
+        """``engine_factory(kind, name)`` builds an empty engine per model."""
+        self.registry = registry
+        self.validator = validator
+        self.engine_factory = engine_factory
+        self.max_total_bytes = max_total_bytes
+        self._loaded: dict[tuple[str, str], _LoadedModel] = {}
+        self._tick = 0
+
+    # ------------------------------------------------------------------
+    def refresh(self) -> RefreshReport:
+        """One loader pass over everything the registry holds."""
+        report = RefreshReport()
+        self._tick += 1
+        for key in self.registry.keys():
+            kind, name = key
+            record = self.registry.latest(kind, name)
+            assert record is not None
+            current = self._loaded.get(key)
+            if current is not None and current.timestamp >= record.timestamp:
+                report.unchanged.append(key)
+                continue
+            size_check = self.validator.check_size(record.blob)
+            if not size_check.ok:
+                report.refused.append((kind, name, "; ".join(size_check.problems)))
+                continue
+            engine = self.engine_factory(kind, name)
+            if not engine.load_model(record.blob):
+                report.refused.append((kind, name, "deserialization failed"))
+                continue
+            health = engine.validate()
+            if not health.ok:
+                report.refused.append((kind, name, "; ".join(health.problems)))
+                continue
+            engine.init_context()
+            self._loaded[key] = _LoadedModel(
+                engine=engine,
+                timestamp=record.timestamp,
+                nbytes=record.nbytes,
+                last_used=self._tick,
+            )
+            report.loaded.append(key)
+        self._evict_over_budget(report)
+        return report
+
+    def _evict_over_budget(self, report: RefreshReport) -> None:
+        total = sum(m.nbytes for m in self._loaded.values())
+        if total <= self.max_total_bytes:
+            return
+        # Least-recently-used first.
+        for key in sorted(self._loaded, key=lambda k: self._loaded[k].last_used):
+            if total <= self.max_total_bytes:
+                break
+            total -= self._loaded[key].nbytes
+            del self._loaded[key]
+            report.evicted.append(key)
+
+    # ------------------------------------------------------------------
+    def get(self, kind: str, name: str) -> CardEstInferenceEngine | None:
+        """Fetch a loaded engine, updating its LRU recency."""
+        entry = self._loaded.get((kind, name))
+        if entry is None:
+            return None
+        self._tick += 1
+        entry.last_used = self._tick
+        return entry.engine
+
+    def loaded_keys(self) -> list[tuple[str, str]]:
+        return sorted(self._loaded)
+
+    def total_bytes(self) -> int:
+        return sum(m.nbytes for m in self._loaded.values())

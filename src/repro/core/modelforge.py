@@ -1,0 +1,258 @@
+"""The ModelForge Service: isolated training and model management.
+
+A standalone service in production -- training never touches the online
+query path.  Responsibilities reproduced here:
+
+* **routine training** of per-table COUNT models: Chow-Liu structure
+  learning + EM parameter learning on sampled data, with join keys
+  discretized on the Model Preprocessor's join buckets;
+* **RBX lifecycle**: one universal offline training run, plus occasional
+  calibration fine-tuning of problematic columns from the established
+  checkpoint;
+* **ingestion signals**: upstream sources (Hive/Kafka in the paper) notify
+  the service of data changes; the next training cycle retrains exactly the
+  dirty tables;
+* **shard training**: per-shard models when a table's distribution varies
+  across shards.
+
+Every trained model is serialized and published to the registry with a
+fresh timestamp; training times and sizes are recorded (they are the rows
+of the paper's Tables 3 and 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import ByteCardConfig
+from repro.core.preprocessor import ModelPreprocessor
+from repro.core.registry import ModelRegistry
+from repro.core.serialization import serialize_bn, serialize_rbx
+from repro.datasets.base import DatasetBundle
+from repro.errors import TrainingError
+from repro.estimators.bn.model import fit_tree_bn
+from repro.estimators.factorjoin.buckets import JoinBucketizer
+from repro.estimators.frequency import FrequencyProfile
+from repro.estimators.rbx.network import MLP
+from repro.estimators.rbx.training import fine_tune_rbx, train_rbx
+from repro.utils.rng import derive_rng
+from repro.utils.timer import Stopwatch
+
+
+@dataclass(frozen=True)
+class TrainedModelInfo:
+    """Size/time record of one trained model (a Table 6 row)."""
+
+    kind: str
+    name: str
+    seconds: float
+    nbytes: int
+    timestamp: int
+
+
+@dataclass
+class IngestionSignal:
+    """A Data Ingestor notification (Hive/Kafka metadata in the paper)."""
+
+    table: str
+    source: str = "kafka"
+    details: dict = field(default_factory=dict)
+
+
+class ModelForgeService:
+    """Training orchestration around one registry."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        config: ByteCardConfig | None = None,
+    ):
+        self.registry = registry
+        self.config = config or ByteCardConfig()
+        self._dirty_tables: set[str] = set()
+        self.history: list[TrainedModelInfo] = []
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest_signal(self, signal: IngestionSignal) -> None:
+        """Record that a table's data changed upstream."""
+        self._dirty_tables.add(signal.table)
+
+    def dirty_tables(self) -> set[str]:
+        return set(self._dirty_tables)
+
+    # ------------------------------------------------------------------
+    # COUNT models
+    # ------------------------------------------------------------------
+    def train_count_models(
+        self,
+        bundle: DatasetBundle,
+        tables: list[str] | None = None,
+    ) -> list[TrainedModelInfo]:
+        """Train and publish BN models for the given (or all) tables."""
+        preprocessor = ModelPreprocessor(
+            bundle.catalog, join_bucket_count=self.config.join_bucket_count
+        )
+        bucketizer = preprocessor.build_join_buckets()
+        training_columns = preprocessor.training_columns(bundle.filter_columns)
+        targets = tables if tables is not None else sorted(training_columns)
+        infos: list[TrainedModelInfo] = []
+        for table_name in targets:
+            columns = training_columns.get(table_name)
+            if not columns:
+                continue
+            infos.append(
+                self._train_one_bn(bundle, bucketizer, table_name, columns)
+            )
+        return infos
+
+    def _train_one_bn(
+        self,
+        bundle: DatasetBundle,
+        bucketizer: JoinBucketizer,
+        table_name: str,
+        columns: list[str],
+    ) -> TrainedModelInfo:
+        table = bundle.catalog.table(table_name)
+        join_keys = [c for c in columns if bucketizer.has_class(table_name, c)]
+        bucket_edges = {
+            key: bucketizer.edges_for(table_name, key) for key in join_keys
+        }
+        rng = derive_rng(bundle.seed, "modelforge", table_name)
+        with Stopwatch() as sw:
+            model = fit_tree_bn(
+                table,
+                columns,
+                max_bins=self.config.max_bins,
+                bucket_edges=bucket_edges,
+                sample_rows=self.config.training_sample_rows,
+                rng=rng,
+            )
+            blob = serialize_bn(model)
+        record = self.registry.publish("bn", table_name, blob)
+        info = TrainedModelInfo(
+            kind="bn",
+            name=table_name,
+            seconds=sw.elapsed,
+            nbytes=len(blob),
+            timestamp=record.timestamp,
+        )
+        self.history.append(info)
+        self._dirty_tables.discard(table_name)
+        return info
+
+    def run_training_cycle(self, bundle: DatasetBundle) -> list[TrainedModelInfo]:
+        """Retrain exactly the tables flagged dirty by ingestion signals."""
+        if not self._dirty_tables:
+            return []
+        return self.train_count_models(bundle, tables=sorted(self._dirty_tables))
+
+    # ------------------------------------------------------------------
+    # Shard training
+    # ------------------------------------------------------------------
+    def train_sharded(
+        self,
+        bundle: DatasetBundle,
+        table_name: str,
+        shard_column: str,
+        num_shards: int,
+    ) -> list[TrainedModelInfo]:
+        """Per-shard models when shard distributions differ.
+
+        The shard function is hash-mod on the shard key, the common
+        ByteHouse configuration.
+        """
+        if num_shards <= 1:
+            raise TrainingError("shard training needs at least two shards")
+        table = bundle.catalog.table(table_name)
+        if not table.has_column(shard_column):
+            raise TrainingError(
+                f"table {table_name!r} has no shard column {shard_column!r}"
+            )
+        preprocessor = ModelPreprocessor(
+            bundle.catalog, join_bucket_count=self.config.join_bucket_count
+        )
+        columns = preprocessor.training_columns(bundle.filter_columns).get(
+            table_name, []
+        )
+        if not columns:
+            raise TrainingError(f"no trainable columns for table {table_name!r}")
+        shard_of = table.column(shard_column).values.astype(np.int64) % num_shards
+        infos: list[TrainedModelInfo] = []
+        for shard in range(num_shards):
+            shard_table = table.select_rows(shard_of == shard)
+            if len(shard_table) == 0:
+                continue
+            rng = derive_rng(bundle.seed, "modelforge-shard", table_name, shard)
+            with Stopwatch() as sw:
+                model = fit_tree_bn(
+                    shard_table,
+                    columns,
+                    max_bins=self.config.max_bins,
+                    sample_rows=self.config.training_sample_rows,
+                    rng=rng,
+                )
+                blob = serialize_bn(model)
+            record = self.registry.publish("bn", f"{table_name}@shard{shard}", blob)
+            infos.append(
+                TrainedModelInfo(
+                    kind="bn",
+                    name=f"{table_name}@shard{shard}",
+                    seconds=sw.elapsed,
+                    nbytes=len(blob),
+                    timestamp=record.timestamp,
+                )
+            )
+        self.history.extend(infos)
+        return infos
+
+    # ------------------------------------------------------------------
+    # RBX
+    # ------------------------------------------------------------------
+    def train_rbx_universal(self, seed: int = 9) -> TrainedModelInfo:
+        """The single offline training run of the universal RBX model."""
+        with Stopwatch() as sw:
+            model = train_rbx(
+                num_examples=self.config.rbx_corpus_size,
+                epochs=self.config.rbx_epochs,
+                seed=seed,
+            )
+            blob = serialize_rbx(model, meta={"scope": "universal"})
+        record = self.registry.publish("rbx", "universal", blob)
+        info = TrainedModelInfo(
+            kind="rbx",
+            name="universal",
+            seconds=sw.elapsed,
+            nbytes=len(blob),
+            timestamp=record.timestamp,
+        )
+        self.history.append(info)
+        return info
+
+    def fine_tune_column(
+        self,
+        base_model: MLP,
+        table: str,
+        column: str,
+        column_samples: list[tuple[FrequencyProfile, int]],
+        seed: int = 10,
+    ) -> TrainedModelInfo:
+        """Calibration fine-tuning for one problematic column."""
+        with Stopwatch() as sw:
+            tuned = fine_tune_rbx(base_model, column_samples, seed=seed)
+            blob = serialize_rbx(
+                tuned, meta={"scope": "column", "table": table, "column": column}
+            )
+        record = self.registry.publish("rbx", f"{table}.{column}", blob)
+        info = TrainedModelInfo(
+            kind="rbx",
+            name=f"{table}.{column}",
+            seconds=sw.elapsed,
+            nbytes=len(blob),
+            timestamp=record.timestamp,
+        )
+        self.history.append(info)
+        return info

@@ -1,0 +1,194 @@
+"""The Model Monitor: quality gating and fine-tune triggering.
+
+Following the paper (Section 4.4.2): the monitor auto-generates test
+queries with multiple predicates per table, executes them for true
+cardinalities, computes Q-Errors of the deployed models, and
+
+* **gates COUNT models**: a table whose single-table model exceeds the
+  Q-Error threshold is put on the *fallback list* -- ByteCard reverts to
+  the traditional estimator for queries touching it.  Only single-table
+  models are assessed (computing true join sizes online is too expensive);
+  since FactorJoin composes single-table models, monitoring them indirectly
+  covers the multi-table estimates;
+* **detects problematic NDV columns**: columns whose RBX estimates carry
+  large Q-Errors (typically exceptionally high true NDVs) trigger the
+  calibration fine-tuning procedure in ModelForge; the tuned weights are
+  installed for those columns only, after validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import ByteCardConfig
+from repro.datasets.base import DatasetBundle
+from repro.estimators.base import CountEstimator, NdvEstimator
+from repro.estimators.frequency import FrequencyProfile, frequency_profile
+from repro.metrics.qerror import qerror
+from repro.metrics.quantiles import quantile
+from repro.sql.query import (
+    AggKind,
+    AggSpec,
+    CardQuery,
+    PredicateOp,
+    TablePredicate,
+)
+from repro.utils.rng import derive_rng
+from repro.workloads.truth import true_count, true_ndv
+
+
+@dataclass
+class MonitorReport:
+    """Assessment of one model (a table's BN, or one NDV column)."""
+
+    name: str
+    qerrors: list[float] = field(default_factory=list)
+    passed: bool = True
+
+    @property
+    def p90(self) -> float:
+        return quantile(self.qerrors, 0.9) if self.qerrors else 1.0
+
+    @property
+    def worst(self) -> float:
+        return max(self.qerrors) if self.qerrors else 1.0
+
+
+class ModelMonitor:
+    """Generates test queries and gates model quality."""
+
+    def __init__(self, bundle: DatasetBundle, config: ByteCardConfig | None = None):
+        self.bundle = bundle
+        self.config = config or ByteCardConfig()
+        self._rng = derive_rng(bundle.seed, "monitor")
+
+    # ------------------------------------------------------------------
+    # Test-query generation (the cardestbench-style generator)
+    # ------------------------------------------------------------------
+    def _random_predicates(
+        self, table: str, count: int, exclude: str | None = None
+    ) -> list[TablePredicate]:
+        columns = [
+            c for c in self.bundle.filter_columns.get(table, []) if c != exclude
+        ]
+        if not columns:
+            return []
+        catalog_table = self.bundle.catalog.table(table)
+        predicates: list[TablePredicate] = []
+        used: set[str] = set()
+        for _ in range(count * 3):
+            if len(predicates) >= count:
+                break
+            column = columns[self._rng.integers(len(columns))]
+            if column in used:
+                continue
+            used.add(column)
+            values = catalog_table.column(column).values
+            anchor = float(values[self._rng.integers(len(values))])
+            roll = self._rng.random()
+            if roll < 0.4:
+                predicates.append(TablePredicate(table, column, PredicateOp.EQ, anchor))
+            elif roll < 0.7:
+                predicates.append(TablePredicate(table, column, PredicateOp.LE, anchor))
+            else:
+                predicates.append(TablePredicate(table, column, PredicateOp.GE, anchor))
+        return predicates
+
+    def generate_count_tests(self, table: str) -> list[CardQuery]:
+        """Multi-predicate single-table COUNT test queries for one table."""
+        queries = []
+        for index in range(self.config.monitor_queries_per_table):
+            num_predicates = int(self._rng.integers(1, 4))
+            predicates = self._random_predicates(table, num_predicates)
+            if not predicates:
+                continue
+            queries.append(
+                CardQuery(
+                    tables=(table,),
+                    predicates=tuple(predicates),
+                    name=f"monitor-{table}-{index:02d}",
+                )
+            )
+        return queries
+
+    def generate_ndv_tests(self, table: str, column: str) -> list[CardQuery]:
+        """Filtered COUNT-DISTINCT test queries for one column."""
+        queries = []
+        for index in range(self.config.monitor_queries_per_table // 2):
+            predicates = self._random_predicates(
+                table, int(self._rng.integers(0, 3)), exclude=column
+            )
+            queries.append(
+                CardQuery(
+                    tables=(table,),
+                    predicates=tuple(predicates),
+                    agg=AggSpec(AggKind.COUNT_DISTINCT, table, column),
+                    name=f"monitor-ndv-{table}-{column}-{index:02d}",
+                )
+            )
+        return queries
+
+    # ------------------------------------------------------------------
+    # Assessments
+    # ------------------------------------------------------------------
+    def assess_count_model(
+        self, table: str, estimator: CountEstimator
+    ) -> MonitorReport:
+        """Q-Error-gate one table's single-table COUNT model."""
+        report = MonitorReport(name=table)
+        for query in self.generate_count_tests(table):
+            truth = true_count(self.bundle.catalog, query)
+            estimate = estimator.estimate_count(query)
+            report.qerrors.append(qerror(estimate, truth))
+        report.passed = bool(
+            report.qerrors and report.p90 <= self.config.qerror_gate
+        ) or not report.qerrors
+        return report
+
+    def assess_ndv_column(
+        self, table: str, column: str, estimator: NdvEstimator
+    ) -> MonitorReport:
+        """Q-Error-check RBX on one column; flags fine-tune candidates."""
+        report = MonitorReport(name=f"{table}.{column}")
+        for query in self.generate_ndv_tests(table, column):
+            truth = true_ndv(self.bundle.catalog, query)
+            if truth == 0:
+                continue
+            estimate = estimator.estimate_ndv(query)
+            report.qerrors.append(qerror(estimate, truth))
+        report.passed = bool(
+            not report.qerrors or report.p90 <= self.config.ndv_finetune_trigger
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    # Fine-tune corpus collection
+    # ------------------------------------------------------------------
+    def collect_column_samples(
+        self,
+        table: str,
+        column: str,
+        rates: tuple[float, ...] = (0.01, 0.03, 0.1),
+        repeats: int = 4,
+    ) -> list[tuple[FrequencyProfile, int]]:
+        """(frequency profile, true NDV) pairs for calibration fine-tuning.
+
+        Profiles are drawn at several sampling rates so the tuned model
+        stays robust across the rates it will see in production.
+        """
+        catalog_table = self.bundle.catalog.table(table)
+        values = catalog_table.column(column).values
+        truth = int(np.unique(values).size)
+        samples: list[tuple[FrequencyProfile, int]] = []
+        for rate in rates:
+            for _ in range(repeats):
+                take = max(1, int(len(values) * rate))
+                picked = values[
+                    self._rng.choice(len(values), size=take, replace=False)
+                ]
+                samples.append(
+                    (frequency_profile(picked, population_size=len(values)), truth)
+                )
+        return samples

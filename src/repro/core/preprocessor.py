@@ -1,0 +1,102 @@
+"""The Model Preprocessor (paper Section 4.4.1).
+
+Runs inside the analyzer/optimizer and prepares everything training needs:
+
+* **column selection** -- excludes complex types (Array/Map) that the
+  CardEst models cannot handle;
+* **preliminary type mapping** -- converts database types into ML types
+  (Binary / Categorical / Continuous);
+* **join-pattern collection** -- gathers joinable column pairs from the
+  analyzer (ByteHouse customers do not declare PK-FK constraints);
+* **join-bucket construction** -- builds FactorJoin's equi-height buckets
+  from the joint domains of each join-key class, reusing the optimizer's
+  histogram machinery.
+
+The first two steps land in the ``model_preprocessor_info`` system table,
+which ModelForge reads to know what to train on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.estimators.factorjoin.buckets import JoinBucketizer
+from repro.storage.catalog import Catalog
+from repro.storage.types import MLType, ml_type_for
+
+
+@dataclass(frozen=True)
+class PreprocessorInfo:
+    """One row of the ``model_preprocessor_info`` system table."""
+
+    table: str
+    column: str
+    ml_type: MLType
+    distinct_count: int
+    is_join_key: bool
+
+
+class ModelPreprocessor:
+    """Builds the preprocessor info table and the join buckets."""
+
+    def __init__(self, catalog: Catalog, join_bucket_count: int = 200):
+        self.catalog = catalog
+        self.join_bucket_count = join_bucket_count
+
+    # ------------------------------------------------------------------
+    def collect_join_patterns(self) -> list[tuple[str, str, str, str]]:
+        """The joinable column pairs known to the analyzer."""
+        return [
+            (e.left_table, e.left_column, e.right_table, e.right_column)
+            for e in self.catalog.join_schema
+        ]
+
+    def build_join_buckets(self) -> JoinBucketizer:
+        """Construct the join-bucket boundaries for every join-key class."""
+        return JoinBucketizer(self.catalog, num_buckets=self.join_bucket_count)
+
+    def preprocessor_info(
+        self, filter_columns: dict[str, list[str]] | None = None
+    ) -> list[PreprocessorInfo]:
+        """Column selection + type mapping for every table.
+
+        ``filter_columns`` optionally restricts the non-key columns per
+        table (the dataset bundles carry this); join keys are always
+        included because FactorJoin needs them.
+        """
+        bucketizer = self.build_join_buckets()
+        rows: list[PreprocessorInfo] = []
+        for table_name in self.catalog.table_names():
+            table = self.catalog.table(table_name)
+            join_keys = set(bucketizer.join_key_columns(table_name))
+            if filter_columns is not None:
+                wanted = set(filter_columns.get(table_name, [])) | join_keys
+            else:
+                wanted = set(table.column_names())
+            for column_name in table.column_names():
+                if column_name not in wanted:
+                    continue
+                column = table.column(column_name)
+                if column.ctype.is_complex:
+                    continue  # the column-selection exclusion rule
+                distinct = column.distinct_count()
+                rows.append(
+                    PreprocessorInfo(
+                        table=table_name,
+                        column=column_name,
+                        ml_type=ml_type_for(column.ctype, distinct),
+                        distinct_count=distinct,
+                        is_join_key=column_name in join_keys,
+                    )
+                )
+        return rows
+
+    def training_columns(
+        self, filter_columns: dict[str, list[str]] | None = None
+    ) -> dict[str, list[str]]:
+        """Columns ModelForge should include per table (keys + filters)."""
+        info = self.preprocessor_info(filter_columns)
+        columns: dict[str, list[str]] = {}
+        for row in info:
+            columns.setdefault(row.table, []).append(row.column)
+        return columns

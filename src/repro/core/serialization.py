@@ -1,0 +1,127 @@
+"""Model (de)serialization.
+
+Every model kind serializes to a single ``bytes`` blob -- a JSON metadata
+header plus an ``npz`` archive of its arrays -- which is what the registry
+stores, the size checker measures, and the loader deserializes.  The format
+is self-describing (``kind`` in the header) so the loader can dispatch to
+the right inference engine.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.estimators.bn.discretize import Discretizer
+from repro.estimators.bn.model import TreeBayesNet
+from repro.estimators.rbx.network import MLP
+
+_MAGIC = b"BCM1"
+
+
+def pack(kind: str, meta: dict, arrays: dict[str, np.ndarray]) -> bytes:
+    """Pack a model into the blob format."""
+    header = json.dumps({"kind": kind, "meta": meta}).encode("utf-8")
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    body = buffer.getvalue()
+    return _MAGIC + len(header).to_bytes(8, "little") + header + body
+
+
+def unpack(blob: bytes) -> tuple[str, dict, dict[str, np.ndarray]]:
+    """Unpack a blob into (kind, meta, arrays)."""
+    if len(blob) < 12 or blob[:4] != _MAGIC:
+        raise ModelError("not a ByteCard model blob (bad magic)")
+    header_len = int.from_bytes(blob[4:12], "little")
+    if len(blob) < 12 + header_len:
+        raise ModelError("truncated model blob header")
+    try:
+        header = json.loads(blob[12 : 12 + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ModelError(f"corrupt model blob header: {exc}") from exc
+    body = blob[12 + header_len :]
+    try:
+        with np.load(io.BytesIO(body)) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+    except Exception as exc:  # np.load raises a zoo of exceptions
+        raise ModelError(f"corrupt model blob body: {exc}") from exc
+    return header["kind"], header["meta"], arrays
+
+
+# ---------------------------------------------------------------------------
+# Tree Bayesian networks
+# ---------------------------------------------------------------------------
+def serialize_bn(model: TreeBayesNet) -> bytes:
+    arrays: dict[str, np.ndarray] = {"parents": model.parents}
+    for i, cpd in enumerate(model.cpds):
+        arrays[f"cpd_{i}"] = cpd
+    for column in model.columns:
+        disc = model.discretizers[column]
+        arrays[f"edges_{column}"] = disc.edges
+        arrays[f"counts_{column}"] = disc.bin_counts
+        arrays[f"ndv_{column}"] = disc.bin_ndv
+        if disc.exact_values is not None:
+            arrays[f"exact_{column}"] = disc.exact_values
+    meta = {
+        "table": model.table_name,
+        "columns": list(model.columns),
+        "total_rows": model.total_rows,
+    }
+    return pack("bn", meta, arrays)
+
+
+def deserialize_bn(blob: bytes) -> TreeBayesNet:
+    kind, meta, arrays = unpack(blob)
+    if kind != "bn":
+        raise ModelError(f"expected a 'bn' blob, found {kind!r}")
+    columns = tuple(meta["columns"])
+    parents = arrays["parents"].astype(np.int64)
+    cpds = []
+    for i in range(len(columns)):
+        key = f"cpd_{i}"
+        if key not in arrays:
+            raise ModelError(f"bn blob missing CPD {i}")
+        cpds.append(arrays[key])
+    discretizers: dict[str, Discretizer] = {}
+    for column in columns:
+        disc = Discretizer.__new__(Discretizer)
+        disc.edges = arrays[f"edges_{column}"]
+        disc.num_bins = disc.edges.size - 1
+        disc.bin_counts = arrays[f"counts_{column}"]
+        disc.bin_ndv = arrays[f"ndv_{column}"]
+        exact_key = f"exact_{column}"
+        disc.exact = exact_key in arrays
+        disc.exact_values = arrays[exact_key] if disc.exact else None
+        if disc.exact:
+            disc.min_value = float(disc.exact_values[0])
+            disc.max_value = float(disc.exact_values[-1])
+        else:
+            disc.min_value = float(disc.edges[0])
+            disc.max_value = float(disc.edges[-1])
+        disc.total_rows = int(meta["total_rows"])
+        discretizers[column] = disc
+    return TreeBayesNet(
+        table_name=meta["table"],
+        columns=columns,
+        discretizers=discretizers,
+        parents=parents,
+        cpds=cpds,
+        total_rows=int(meta["total_rows"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# RBX networks
+# ---------------------------------------------------------------------------
+def serialize_rbx(model: MLP, meta: dict | None = None) -> bytes:
+    return pack("rbx", meta or {}, model.state_dict())
+
+
+def deserialize_rbx(blob: bytes) -> tuple[MLP, dict]:
+    kind, meta, arrays = unpack(blob)
+    if kind != "rbx":
+        raise ModelError(f"expected an 'rbx' blob, found {kind!r}")
+    return MLP.from_state_dict(arrays), meta

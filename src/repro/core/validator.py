@@ -1,0 +1,122 @@
+"""The Model Validator: size checker and health detector.
+
+Validation runs after a model is loaded into memory and before it is
+installed for inference -- "crucial for preventing potential crashes during
+actual inference" (paper Section 4.2.1).  Two checks:
+
+* the **size checker** refuses any single blob above the per-model cap
+  (the total-budget LRU lives in the loader, which owns the set of loaded
+  models);
+* the **health detector** verifies structural legitimacy: for Bayesian
+  networks, that the parent structure is a DAG (cyclic-structure
+  detection), that CPDs are row-stochastic and non-negative, and that
+  discretizers line up with CPD shapes; for RBX, that the weight chain is
+  dimensionally consistent and finite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.estimators.bn.model import TreeBayesNet
+from repro.estimators.rbx.network import MLP
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one model."""
+
+    ok: bool
+    problems: list[str] = field(default_factory=list)
+
+    @classmethod
+    def failure(cls, *problems: str) -> "ValidationReport":
+        return cls(ok=False, problems=list(problems))
+
+    @classmethod
+    def success(cls) -> "ValidationReport":
+        return cls(ok=True)
+
+
+class ModelValidator:
+    """Stateless validation logic shared by the loader and tests."""
+
+    def __init__(self, max_model_bytes: int):
+        self.max_model_bytes = max_model_bytes
+
+    # ------------------------------------------------------------------
+    def check_size(self, blob: bytes) -> ValidationReport:
+        if len(blob) > self.max_model_bytes:
+            return ValidationReport.failure(
+                f"model blob of {len(blob)} bytes exceeds the per-model cap "
+                f"of {self.max_model_bytes}"
+            )
+        return ValidationReport.success()
+
+    # ------------------------------------------------------------------
+    def check_bn_health(self, model: TreeBayesNet) -> ValidationReport:
+        problems: list[str] = []
+        parents = model.parents
+        d = parents.size
+        roots = int(np.sum(parents < 0))
+        if roots != 1:
+            problems.append(f"structure has {roots} roots (expected exactly 1)")
+        # Cyclic detection: follow parent pointers from every node; a walk
+        # longer than d nodes means a cycle.
+        for start in range(d):
+            node = start
+            steps = 0
+            while node >= 0:
+                node = int(parents[node]) if parents[node] < d else -2
+                steps += 1
+                if steps > d:
+                    problems.append(
+                        f"cyclic parent structure detected from node {start}"
+                    )
+                    break
+            if problems and "cyclic" in problems[-1]:
+                break
+        if len(model.cpds) != d:
+            problems.append(f"{d} nodes but {len(model.cpds)} CPDs")
+        for i, cpd in enumerate(model.cpds):
+            if not np.all(np.isfinite(cpd)) or np.any(cpd < 0):
+                problems.append(f"CPD {i} has negative or non-finite entries")
+                continue
+            sums = cpd.sum(axis=-1)
+            if not np.allclose(sums, 1.0, atol=1e-6):
+                problems.append(f"CPD {i} rows do not sum to 1")
+        for i, column in enumerate(model.columns):
+            disc = model.discretizers.get(column)
+            if disc is None:
+                problems.append(f"no discretizer for column {column!r}")
+                continue
+            if i < len(model.cpds) and model.cpds[i].shape[-1] != disc.num_bins:
+                problems.append(
+                    f"CPD {i} width {model.cpds[i].shape[-1]} does not match "
+                    f"{column!r}'s {disc.num_bins} bins"
+                )
+        if problems:
+            return ValidationReport(ok=False, problems=problems)
+        return ValidationReport.success()
+
+    # ------------------------------------------------------------------
+    def check_rbx_health(self, model: MLP, expected_input: int) -> ValidationReport:
+        problems: list[str] = []
+        if model.weights[0].shape[0] != expected_input:
+            problems.append(
+                f"input width {model.weights[0].shape[0]} does not match the "
+                f"featurizer's {expected_input}"
+            )
+        for i in range(model.num_layers - 1):
+            if model.weights[i].shape[1] != model.weights[i + 1].shape[0]:
+                problems.append(f"layer {i} -> {i + 1} dimension mismatch")
+        if model.weights[-1].shape[1] != 1:
+            problems.append("output layer must have width 1")
+        for i, (w, b) in enumerate(zip(model.weights, model.biases)):
+            if not (np.all(np.isfinite(w)) and np.all(np.isfinite(b))):
+                problems.append(f"layer {i} has non-finite parameters")
+        if problems:
+            return ValidationReport(ok=False, problems=problems)
+        return ValidationReport.success()

@@ -1,0 +1,206 @@
+"""Synthetic AEOLUS: a ByteDance-style ad-analytics star schema.
+
+AEOLUS is the paper's internal business dataset; only aggregate properties
+are disclosed (five business tables, 200 online queries with 2-5-way joins
+and 2-4 group-by keys, and columns with exceptionally high NDV that trip the
+RBX estimator before calibration).  This generator reproduces those
+properties with an advertising-placement schema modeled on the paper's
+Figure 4 example: ``ads`` carries a ``target_platform -> content_type``
+dependency, and the ``impressions`` fact table carries very-high-NDV session
+and user-hash columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import (
+    DatasetBundle,
+    cluster_rows,
+    correlated_codes,
+    dates_column,
+    foreign_key,
+    high_ndv_column,
+    zipf_codes,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+from repro.utils.rng import derive_rng
+
+BASE_ROWS = {
+    "campaigns": 300,
+    "ads": 3000,
+    "impressions": 50000,
+    "clicks": 12000,
+    "conversions": 2500,
+}
+
+_DAY0 = 19700  # ~2023 in days-since-1970
+
+
+def make_aeolus(seed: int = 44, scale: float = 1.0) -> DatasetBundle:
+    """Generate the synthetic AEOLUS bundle."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    rows = {name: max(10, int(count * scale)) for name, count in BASE_ROWS.items()}
+    catalog = Catalog()
+
+    # -- campaigns --------------------------------------------------------
+    rng = derive_rng(seed, "aeolus", "campaigns")
+    n_camp = rows["campaigns"]
+    campaign_id = np.arange(n_camp, dtype=np.int64)
+    advertiser = zipf_codes(rng, n_camp, domain=60, skew=1.3)
+    budget_tier = correlated_codes(rng, advertiser, domain=5, strength=0.7, skew=0.8)
+    objective = correlated_codes(rng, budget_tier, domain=4, strength=0.6, skew=0.9)
+    catalog.register(
+        Table.from_arrays(
+            "campaigns",
+            cluster_rows({
+                "campaign_id": campaign_id,
+                "advertiser_id": advertiser,
+                "budget_tier": budget_tier,
+                "objective": objective,
+            }, order_by=["advertiser_id"]),
+        )
+    )
+
+    # -- ads (the paper's Figure 4 table) -----------------------------------
+    rng = derive_rng(seed, "aeolus", "ads")
+    n_ads = rows["ads"]
+    ad_id = np.arange(n_ads, dtype=np.int64)
+    campaign_fk = foreign_key(rng, n_ads, n_camp, skew=1.2)
+    target_platform = zipf_codes(rng, n_ads, domain=6, skew=1.0)
+    # The Figure 4 tree: content_type depends on target_platform, landing
+    # page on content_type, duration on content_type.
+    content_type = correlated_codes(rng, target_platform, domain=8, strength=0.8, skew=1.0)
+    landing_page = correlated_codes(rng, content_type, domain=30, strength=0.7, skew=1.2)
+    duration = correlated_codes(rng, content_type, domain=12, strength=0.75, skew=0.9)
+    bid_price = correlated_codes(rng, target_platform, domain=100, strength=0.5, skew=1.4)
+    catalog.register(
+        Table.from_arrays(
+            "ads",
+            cluster_rows({
+                "ad_id": ad_id,
+                "campaign_id": campaign_fk,
+                "target_platform": target_platform,
+                "content_type": content_type,
+                "landing_page": landing_page,
+                "duration": duration,
+                "bid_price": bid_price,
+            }, order_by=["target_platform", "content_type"]),
+        )
+    )
+
+    # -- impressions (big fact; high-NDV session/user columns) ---------------
+    rng = derive_rng(seed, "aeolus", "impressions")
+    n_imp = rows["impressions"]
+    imp_ad = foreign_key(rng, n_imp, n_ads, skew=1.5)
+    region = zipf_codes(rng, n_imp, domain=34, skew=1.2)
+    device_type = correlated_codes(rng, region, domain=5, strength=0.4, skew=0.8)
+    hour = zipf_codes(rng, n_imp, domain=24, skew=0.6)
+    user_segment = correlated_codes(rng, region, domain=50, strength=0.6, skew=1.3)
+    session_id = high_ndv_column(rng, n_imp, ndv_fraction=0.92)
+    user_hash = high_ndv_column(rng, n_imp, ndv_fraction=0.55)
+    cost_millis = correlated_codes(rng, imp_ad % 100, domain=500, strength=0.5, skew=1.6)
+    catalog.register(
+        Table.from_arrays(
+            "impressions",
+            cluster_rows({
+                "imp_id": np.arange(n_imp, dtype=np.int64),
+                "ad_id": imp_ad,
+                "region": region,
+                "device_type": device_type,
+                "hour": hour,
+                "user_segment": user_segment,
+                "session_id": session_id,
+                "user_hash": user_hash,
+                "cost_millis": cost_millis,
+                "event_date": dates_column(rng, n_imp, _DAY0, 90),
+            }, order_by=["event_date", "region"]),
+        )
+    )
+
+    # -- clicks ---------------------------------------------------------------
+    rng = derive_rng(seed, "aeolus", "clicks")
+    n_clicks = rows["clicks"]
+    click_ad = foreign_key(rng, n_clicks, n_ads, skew=1.6)
+    catalog.register(
+        Table.from_arrays(
+            "clicks",
+            cluster_rows({
+                "click_id": np.arange(n_clicks, dtype=np.int64),
+                "ad_id": click_ad,
+                "region": zipf_codes(rng, n_clicks, domain=34, skew=1.3),
+                "device_type": zipf_codes(rng, n_clicks, domain=5, skew=0.9),
+                "dwell_bucket": correlated_codes(
+                    rng, click_ad % 12, domain=10, strength=0.5, skew=1.1
+                ),
+                "event_date": dates_column(rng, n_clicks, _DAY0, 90),
+            }, order_by=["event_date", "region"]),
+        )
+    )
+
+    # -- conversions -------------------------------------------------------------
+    rng = derive_rng(seed, "aeolus", "conversions")
+    n_conv = rows["conversions"]
+    conv_ad = foreign_key(rng, n_conv, n_ads, skew=1.7)
+    conv_type = correlated_codes(rng, conv_ad % 6, domain=6, strength=0.6, skew=1.0)
+    catalog.register(
+        Table.from_arrays(
+            "conversions",
+            cluster_rows({
+                "conv_id": np.arange(n_conv, dtype=np.int64),
+                "ad_id": conv_ad,
+                "conv_type": conv_type,
+                "value_millis": correlated_codes(
+                    rng, conv_type, domain=1000, strength=0.55, skew=1.8
+                ),
+                "event_date": dates_column(rng, n_conv, _DAY0, 90),
+            }, order_by=["event_date", "conv_type"]),
+        )
+    )
+
+    catalog.add_join_edge("campaigns", "campaign_id", "ads", "campaign_id")
+    catalog.add_join_edge("ads", "ad_id", "impressions", "ad_id")
+    catalog.add_join_edge("ads", "ad_id", "clicks", "ad_id")
+    catalog.add_join_edge("ads", "ad_id", "conversions", "ad_id")
+
+    bundle = DatasetBundle(
+        name="aeolus",
+        catalog=catalog,
+        primary_keys={"campaigns": "campaign_id", "ads": "ad_id"},
+        foreign_keys={
+            ("ads", "campaign_id"): "campaigns",
+            ("impressions", "ad_id"): "ads",
+            ("clicks", "ad_id"): "ads",
+            ("conversions", "ad_id"): "ads",
+        },
+        filter_columns={
+            "campaigns": ["advertiser_id", "budget_tier", "objective"],
+            "ads": [
+                "target_platform",
+                "content_type",
+                "landing_page",
+                "duration",
+                "bid_price",
+            ],
+            "impressions": [
+                "region",
+                "device_type",
+                "hour",
+                "user_segment",
+                "cost_millis",
+                "event_date",
+            ],
+            "clicks": ["region", "device_type", "dwell_bucket", "event_date"],
+            "conversions": ["conv_type", "value_millis", "event_date"],
+        },
+        high_ndv_columns=[
+            ("impressions", "session_id"),
+            ("impressions", "user_hash"),
+        ],
+        seed=seed,
+        scale=scale,
+    )
+    bundle.validate_references()
+    return bundle

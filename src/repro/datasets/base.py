@@ -1,0 +1,186 @@
+"""Generation primitives shared by the dataset modules.
+
+The generators are built from three ingredients that reproduce the failure
+modes of traditional estimators:
+
+* **Zipfian skew** (:func:`zipf_codes`) -- real-world categorical columns are
+  heavy-tailed, which breaks uniformity assumptions;
+* **cross-column correlation** (:func:`correlated_codes`) -- e.g. the paper's
+  Figure 4 example where ``Content Type`` depends on ``Target Platform``,
+  which breaks the attribute-independence assumption;
+* **skewed foreign-key fan-out** (:func:`foreign_key`) -- a few "hot" parent
+  rows own most children, which breaks the join-uniformity assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.storage.catalog import Catalog
+
+
+def zipf_weights(domain: int, skew: float) -> np.ndarray:
+    """Normalized Zipf(``skew``) probabilities over ``domain`` values."""
+    if domain <= 0:
+        raise ValueError(f"domain must be positive, got {domain}")
+    if skew < 0:
+        raise ValueError(f"skew must be non-negative, got {skew}")
+    ranks = np.arange(1, domain + 1, dtype=np.float64)
+    weights = ranks**-skew
+    return weights / weights.sum()
+
+
+def zipf_codes(
+    rng: np.random.Generator, n: int, domain: int, skew: float = 1.0
+) -> np.ndarray:
+    """``n`` integer codes in ``[0, domain)`` with Zipfian frequency skew.
+
+    Codes are shuffled so the hottest value is not always 0; the shuffle is
+    drawn from ``rng`` so the mapping is reproducible.
+    """
+    weights = zipf_weights(domain, skew)
+    permutation = rng.permutation(domain)
+    drawn = rng.choice(domain, size=n, p=weights)
+    return permutation[drawn].astype(np.int64)
+
+
+def correlated_codes(
+    rng: np.random.Generator,
+    parent: np.ndarray,
+    domain: int,
+    strength: float = 0.8,
+    skew: float = 1.0,
+) -> np.ndarray:
+    """A column correlated with ``parent``.
+
+    With probability ``strength`` a row's value is a deterministic function of
+    its parent value (a per-parent-value preferred child code); otherwise it
+    is drawn independently with Zipfian skew.  ``strength=0`` yields an
+    independent column, ``strength=1`` a functional dependency.
+    """
+    if not 0.0 <= strength <= 1.0:
+        raise ValueError(f"strength must be in [0, 1], got {strength}")
+    n = len(parent)
+    parent_domain = int(parent.max()) + 1 if n else 0
+    preferred = rng.integers(0, domain, size=max(parent_domain, 1))
+    independent = zipf_codes(rng, n, domain, skew)
+    follow = rng.random(n) < strength
+    values = np.where(follow, preferred[parent], independent)
+    return values.astype(np.int64)
+
+
+def foreign_key(
+    rng: np.random.Generator, n: int, parent_count: int, skew: float = 1.2
+) -> np.ndarray:
+    """``n`` foreign-key values referencing ``[0, parent_count)`` parents.
+
+    Fan-out is Zipf-skewed: a handful of parents receive most references,
+    the long tail few or none -- the pattern that makes join-uniformity
+    estimates wrong by orders of magnitude.
+    """
+    return zipf_codes(rng, n, parent_count, skew)
+
+
+def dates_column(
+    rng: np.random.Generator, n: int, start_day: int, span_days: int, skew: float = 0.5
+) -> np.ndarray:
+    """Days-since-epoch integers, denser toward the end of the span.
+
+    Real ingestion volume grows over time, so later dates are more frequent.
+    """
+    weights = zipf_weights(span_days, skew)[::-1].copy()
+    weights /= weights.sum()
+    offsets = rng.choice(span_days, size=n, p=weights)
+    return (start_day + offsets).astype(np.int64)
+
+
+def high_ndv_column(rng: np.random.Generator, n: int, ndv_fraction: float = 0.9) -> np.ndarray:
+    """A column whose NDV is close to the row count (e.g. session ids).
+
+    These are the columns the paper reports RBX underestimating before
+    calibration fine-tuning (Section 6.3, "Model Details").
+    """
+    if not 0.0 < ndv_fraction <= 1.0:
+        raise ValueError(f"ndv_fraction must be in (0, 1], got {ndv_fraction}")
+    domain = max(1, int(n * ndv_fraction))
+    return rng.integers(0, domain, size=n).astype(np.int64)
+
+
+def cluster_rows(
+    arrays: dict[str, np.ndarray], order_by: list[str]
+) -> dict[str, np.ndarray]:
+    """Sort a table's rows by the given ORDER BY key columns.
+
+    ByteHouse-style warehouses physically cluster each table on an ORDER BY
+    key (typically a low-cardinality dimension plus an ingestion-time
+    column).  Clustering is what lets the multi-stage reader skip whole
+    blocks for selective predicates, so the generators apply it to every
+    table -- randomly ordered rows would make block skipping (and thus
+    Figure 6a's reader-choice effects) impossible.
+    """
+    if not order_by:
+        return arrays
+    keys = [arrays[column] for column in reversed(order_by)]
+    order = np.lexsort(keys)
+    return {name: values[order] for name, values in arrays.items()}
+
+
+@dataclass
+class DatasetBundle:
+    """A generated database plus the metadata the framework needs.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier ("imdb", "stats", "aeolus").
+    catalog:
+        Tables and collected join schema.
+    primary_keys:
+        ``table -> key column`` for tables with a synthetic surrogate key.
+        The scaler uses these to remap keys when replicating rows.
+    foreign_keys:
+        ``(child_table, child_column) -> parent_table`` references, also for
+        the scaler.
+    filter_columns:
+        ``table -> columns`` suitable for workload predicates (non-key,
+        non-complex).
+    high_ndv_columns:
+        ``(table, column)`` pairs with near-row-count NDV, used by the RBX
+        calibration experiments.
+    seed:
+        Seed the bundle was generated from.
+    scale:
+        Multiplicative size factor relative to the module's base size.
+    """
+
+    name: str
+    catalog: Catalog
+    primary_keys: dict[str, str] = field(default_factory=dict)
+    foreign_keys: dict[tuple[str, str], str] = field(default_factory=dict)
+    filter_columns: dict[str, list[str]] = field(default_factory=dict)
+    high_ndv_columns: list[tuple[str, str]] = field(default_factory=list)
+    seed: int = 0
+    scale: float = 1.0
+
+    def validate_references(self) -> None:
+        """Check that all FK values reference existing parent keys."""
+        for (child_table, child_column), parent_table in self.foreign_keys.items():
+            parent_key = self.primary_keys.get(parent_table)
+            if parent_key is None:
+                raise SchemaError(f"parent table {parent_table!r} has no primary key")
+            parent_values = self.catalog.table(parent_table).column(parent_key).values
+            child_values = self.catalog.table(child_table).column(child_column).values
+            if len(child_values) == 0:
+                continue
+            missing = ~np.isin(child_values, parent_values)
+            if missing.any():
+                raise SchemaError(
+                    f"{child_table}.{child_column} has {int(missing.sum())} "
+                    f"dangling references into {parent_table}"
+                )
+
+    def total_rows(self) -> int:
+        return self.catalog.total_rows()

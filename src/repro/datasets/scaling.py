@@ -1,0 +1,172 @@
+"""Distribution-preserving dataset scaling.
+
+The paper scales IMDB and STATS to 1 TB with the zero-shot-cost-model
+scaling procedure (Hilprecht & Binnig 2022), which replicates rows while
+remapping keys so that per-table value distributions, cross-column
+correlations, and join fan-out distributions are preserved exactly and true
+cardinalities remain computable.  :func:`scale_bundle` implements that
+procedure:
+
+* the integer part of the factor replicates every table, offsetting primary
+  keys (and the foreign keys referencing them) per replica so each replica
+  joins only with itself;
+* the fractional part appends one partial replica containing a key-prefix of
+  each parent table and exactly the child rows whose references fall inside
+  that prefix, keeping referential integrity.
+
+Because primary keys are dense ``arange`` columns in every generator, a key
+prefix is simply ``key < cutoff``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.datasets.base import DatasetBundle
+from repro.storage.catalog import Catalog, JoinEdge
+from repro.storage.column import Column
+from repro.storage.table import Table
+
+
+def _replica_arrays(
+    bundle: DatasetBundle,
+    table: Table,
+    offset_units: int,
+    parent_sizes: dict[str, int],
+    keep_mask: np.ndarray | None,
+) -> dict[str, np.ndarray]:
+    """One replica of ``table`` with keys shifted by ``offset_units`` replicas."""
+    arrays: dict[str, np.ndarray] = {}
+    pk = bundle.primary_keys.get(table.name)
+    for name in table.column_names():
+        values = table.column(name).values
+        if keep_mask is not None:
+            values = values[keep_mask]
+        else:
+            values = values.copy()
+        if name == pk:
+            values = values + offset_units * len(table)
+        else:
+            parent = bundle.foreign_keys.get((table.name, name))
+            if parent is not None:
+                values = values + offset_units * parent_sizes[parent]
+        arrays[name] = values
+    return arrays
+
+
+def scale_bundle(bundle: DatasetBundle, factor: float) -> DatasetBundle:
+    """Return a new bundle scaled by ``factor`` (>= fractional epsilon).
+
+    ``factor`` may be fractional; values below 1 simply take a key-prefix
+    slice of the original.  The result shares no arrays with the input.
+    """
+    if factor <= 0:
+        raise ValueError(f"scale factor must be positive, got {factor}")
+    whole = math.floor(factor)
+    frac = factor - whole
+    if frac < 1e-9:
+        frac = 0.0
+
+    parent_sizes = {
+        parent: len(bundle.catalog.table(parent))
+        for parent in bundle.primary_keys
+    }
+    fractional_masks = (
+        _fractional_masks(bundle, frac) if frac > 0.0 else {}
+    )
+
+    catalog = Catalog()
+    for table_name in bundle.catalog.table_names():
+        table = bundle.catalog.table(table_name)
+        pieces: list[dict[str, np.ndarray]] = []
+        for replica in range(whole):
+            pieces.append(_replica_arrays(bundle, table, replica, parent_sizes, None))
+        if frac > 0.0:
+            mask = fractional_masks[table_name]
+            # An all-false mask is legitimate: under heavy fan-out skew a
+            # small key prefix of the parent may match no child rows at
+            # all, leaving the child empty at sub-1 factors.
+            pieces.append(_replica_arrays(bundle, table, whole, parent_sizes, mask))
+        merged = {
+            name: np.concatenate([piece[name] for piece in pieces])
+            for name in table.column_names()
+        }
+        columns = [
+            Column(name, table.column(name).ctype, merged[name],
+                   dictionary=table.column(name).dictionary)
+            for name in table.column_names()
+        ]
+        catalog.register(Table(table_name, columns, block_size=table.block_size))
+
+    for edge in bundle.catalog.join_schema:
+        catalog.join_schema.add(
+            JoinEdge(edge.left_table, edge.left_column, edge.right_table, edge.right_column)
+        )
+
+    scaled = DatasetBundle(
+        name=bundle.name,
+        catalog=catalog,
+        primary_keys=dict(bundle.primary_keys),
+        foreign_keys=dict(bundle.foreign_keys),
+        filter_columns={t: list(cols) for t, cols in bundle.filter_columns.items()},
+        high_ndv_columns=list(bundle.high_ndv_columns),
+        seed=bundle.seed,
+        scale=bundle.scale * factor,
+    )
+    scaled.validate_references()
+    return scaled
+
+
+def _fractional_masks(
+    bundle: DatasetBundle, frac: float
+) -> dict[str, np.ndarray]:
+    """Per-table row masks of the fractional partial replica.
+
+    Masks are computed parents-first: a table keeps a key-prefix of its
+    primary keys, *intersected* with its own foreign-key constraints; its
+    children then keep exactly the rows whose references fall inside the
+    parent's actually-kept key set.  (Filtering children against the raw
+    key prefix instead would dangle whenever a parent row inside the prefix
+    was itself dropped by one of the parent's own foreign keys -- a table
+    that is both parent and child, like a fact's dimension.)
+    """
+    masks: dict[str, np.ndarray] = {}
+    kept_keys: dict[str, np.ndarray] = {}
+    pending = list(bundle.catalog.table_names())
+    while pending:
+        progressed = False
+        for table_name in list(pending):
+            parents = {
+                parent
+                for (child, _col), parent in bundle.foreign_keys.items()
+                if child == table_name
+            }
+            if any(parent not in kept_keys for parent in parents):
+                continue  # a referenced parent is not resolved yet
+            table = bundle.catalog.table(table_name)
+            mask = np.ones(len(table), dtype=bool)
+            pk = bundle.primary_keys.get(table_name)
+            if pk is not None:
+                cutoff = int(frac * len(table))
+                mask &= table.column(pk).values < cutoff
+            has_fk = False
+            for name in table.column_names():
+                parent = bundle.foreign_keys.get((table_name, name))
+                if parent is None:
+                    continue
+                has_fk = True
+                mask &= np.isin(table.column(name).values, kept_keys[parent])
+            if pk is None and not has_fk:
+                prefix = np.zeros(len(table), dtype=bool)
+                prefix[: int(frac * len(table))] = True
+                mask = prefix
+            masks[table_name] = mask
+            if pk is not None:
+                kept_keys[table_name] = table.column(pk).values[mask]
+            pending.remove(table_name)
+            progressed = True
+        if not progressed:
+            raise ValueError("cyclic foreign-key dependencies in the bundle")
+    return masks

@@ -1,0 +1,205 @@
+"""Physical-plan execution and the cost model.
+
+Executes a :class:`PhysicalPlan`: scans each table with its chosen reader
+(charging block I/O), runs the hash joins in the chosen order, and -- for
+GROUP BY queries -- hash-aggregates with the plan's NDV-driven initial
+capacity.  The result carries the full cost breakdown the benchmarks plot:
+blocks read (Figure 6a), resize counts (Figure 6b), and total latency in
+cost units (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.aggregation import AggregationResult, hash_aggregate
+from repro.engine.config import EngineConfig
+from repro.engine.join import JoinExecution, hash_join_tree
+from repro.engine.optimizer import PhysicalPlan
+from repro.engine.readers import (
+    ReaderKind,
+    ScanResult,
+    multi_stage_scan,
+    single_stage_scan,
+)
+from repro.metrics.latency import LatencyRecord
+from repro.sql.query import CardQuery
+from repro.storage.catalog import Catalog
+from repro.storage.io_stats import IOCounter
+
+
+@dataclass
+class QueryResult:
+    """Everything the benchmarks need from one executed query."""
+
+    query: CardQuery
+    result_rows: int
+    groups: int | None
+    #: the query's scalar answer when it has no GROUP BY (COUNT(*) rows,
+    #: SUM/AVG/MIN/MAX of the target, or the exact COUNT DISTINCT)
+    aggregate_value: float | None
+    blocks_read: int
+    rows_scanned: int
+    resize_count: int
+    moved_entries: int
+    estimation_cost: float
+    io_cost: float
+    cpu_cost: float
+    scans: dict[str, ScanResult]
+    aggregation: AggregationResult | None
+
+    @property
+    def total_cost(self) -> float:
+        return self.estimation_cost + self.io_cost + self.cpu_cost
+
+    def latency_record(self) -> LatencyRecord:
+        return LatencyRecord(
+            query_id=self.query.name,
+            estimation_cost=self.estimation_cost,
+            io_cost=self.io_cost,
+            cpu_cost=self.cpu_cost,
+        )
+
+
+class Executor:
+    """Executes physical plans against a catalog."""
+
+    def __init__(self, catalog: Catalog, config: EngineConfig | None = None):
+        self.catalog = catalog
+        self.config = config or EngineConfig()
+
+    # ------------------------------------------------------------------
+    def execute(self, plan: PhysicalPlan) -> QueryResult:
+        query = plan.query
+        io = IOCounter()
+        scans: dict[str, ScanResult] = {}
+        for table_name in query.tables:
+            table = self.catalog.table(table_name)
+            payload = self._payload_columns(query, table_name)
+            reader = plan.readers.get(table_name, ReaderKind.SINGLE_STAGE)
+            if reader is ReaderKind.MULTI_STAGE:
+                scans[table_name] = multi_stage_scan(
+                    table,
+                    query,
+                    payload,
+                    io,
+                    column_order=plan.column_orders.get(table_name),
+                )
+            else:
+                scans[table_name] = single_stage_scan(table, query, payload, io)
+
+        scanned_rows = {name: scan.row_indices for name, scan in scans.items()}
+        join_exec = hash_join_tree(
+            self.catalog,
+            query,
+            scanned_rows,
+            plan.join_order,
+            max_intermediate_rows=self.config.max_intermediate_rows,
+        )
+
+        aggregation: AggregationResult | None = None
+        if query.group_by:
+            aggregation = hash_aggregate(
+                self.catalog,
+                query,
+                join_exec.tuples,
+                estimated_ndv=plan.estimated_group_ndv,
+                default_capacity=self.config.default_hash_capacity,
+                load_factor=self.config.hash_load_factor,
+            )
+
+        random_blocks = sum(s.random_blocks for s in scans.values())
+        sequential_blocks = io.blocks_read - random_blocks
+        io_cost = (
+            sequential_blocks * self.config.io_block_cost
+            + random_blocks
+            * self.config.io_block_cost
+            * self.config.random_read_multiplier
+        )
+        cpu_cost = self._cpu_cost(scans, join_exec, aggregation)
+        aggregate_value = (
+            self._scalar_aggregate(query, join_exec) if not query.group_by else None
+        )
+        return QueryResult(
+            query=query,
+            result_rows=join_exec.result_rows,
+            groups=aggregation.groups if aggregation else None,
+            aggregate_value=aggregate_value,
+            blocks_read=io.blocks_read,
+            rows_scanned=sum(s.rows_scanned for s in scans.values()),
+            resize_count=aggregation.resize_count if aggregation else 0,
+            moved_entries=aggregation.moved_entries if aggregation else 0,
+            estimation_cost=plan.estimation_cost,
+            io_cost=io_cost,
+            cpu_cost=cpu_cost,
+            scans=scans,
+            aggregation=aggregation,
+        )
+
+    # ------------------------------------------------------------------
+    def _payload_columns(self, query: CardQuery, table: str) -> list[str]:
+        """Columns of ``table`` the engine must materialize beyond filters."""
+        payload: list[str] = []
+        for join in query.joins_touching(table):
+            column = join.side_for(table)
+            if column not in payload:
+                payload.append(column)
+        for group_table, column in query.group_by:
+            if group_table == table and column not in payload:
+                payload.append(column)
+        if query.agg.table == table and query.agg.column is not None:
+            if query.agg.column not in payload:
+                payload.append(query.agg.column)
+        return payload
+
+    def _scalar_aggregate(
+        self, query: CardQuery, join_exec: JoinExecution
+    ) -> float:
+        """The query's scalar answer for the no-GROUP-BY case."""
+        from repro.sql.query import AggKind
+
+        kind = query.agg.kind
+        if kind is AggKind.COUNT:
+            return float(join_exec.result_rows)
+        assert query.agg.table is not None and query.agg.column is not None
+        rows = join_exec.tuples.get(query.agg.table)
+        if rows is None or rows.size == 0:
+            return 0.0
+        target = (
+            self.catalog.table(query.agg.table)
+            .column(query.agg.column)
+            .values[rows]
+            .astype(float)
+        )
+        if kind is AggKind.COUNT_DISTINCT:
+            import numpy as np
+
+            return float(np.unique(target).size)
+        if kind is AggKind.SUM:
+            return float(target.sum())
+        if kind is AggKind.AVG:
+            return float(target.mean())
+        if kind is AggKind.MIN:
+            return float(target.min())
+        return float(target.max())
+
+    def _cpu_cost(
+        self,
+        scans: dict[str, ScanResult],
+        join_exec: JoinExecution,
+        aggregation: AggregationResult | None,
+    ) -> float:
+        config = self.config
+        cost = sum(s.rows_scanned for s in scans.values()) * config.cpu_tuple_cost
+        # Incremental tuple construction of the multi-stage reader: every
+        # surviving row of every stage is appended to a partial tuple.
+        cost += (
+            sum(sum(s.stage_survivors) for s in scans.values())
+            * config.materialize_tuple_cost
+        )
+        cost += (join_exec.build_rows + join_exec.probe_rows) * config.join_tuple_cost
+        cost += sum(join_exec.intermediate_sizes) * config.materialize_tuple_cost
+        if aggregation is not None:
+            cost += aggregation.rows_aggregated * config.agg_tuple_cost
+            cost += aggregation.moved_entries * config.resize_move_cost
+        return cost

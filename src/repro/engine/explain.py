@@ -1,0 +1,73 @@
+"""EXPLAIN-style rendering of plans and execution results.
+
+``explain_plan`` shows what the optimizer decided (readers, column orders,
+join order, hash pre-sizing) and ``explain_result`` what execution actually
+did (blocks, rows, resizes, cost breakdown) -- the two views a ByteHouse
+engineer diffs when a query regresses.
+"""
+
+from __future__ import annotations
+
+from repro.engine.executor import QueryResult
+from repro.engine.optimizer import PhysicalPlan
+
+
+def explain_plan(plan: PhysicalPlan) -> str:
+    """Render one physical plan as indented text."""
+    query = plan.query
+    lines = [f"Query {query.name or '<unnamed>'}: {query.agg}"]
+    lines.append(f"  tables: {', '.join(query.tables)}")
+    for table in query.tables:
+        reader = plan.readers.get(table)
+        selectivity = plan.table_selectivities.get(table)
+        parts = [f"  scan {table}"]
+        if reader is not None:
+            parts.append(f"reader={reader.value}")
+        if selectivity is not None:
+            parts.append(f"est_selectivity={selectivity:.4f}")
+        order = plan.column_orders.get(table)
+        if order:
+            parts.append("column_order=" + " -> ".join(order))
+        lines.append("  ".join(parts))
+    for index, join in enumerate(plan.join_order, start=1):
+        lines.append(f"  join {index}: {join}")
+    if query.group_by:
+        keys = ", ".join(f"{t}.{c}" for t, c in query.group_by)
+        sizing = (
+            f"pre-sized for ~{plan.estimated_group_ndv:.0f} groups"
+            if plan.estimated_group_ndv is not None
+            else "default capacity"
+        )
+        lines.append(f"  aggregate by ({keys}): {sizing}")
+    lines.append(f"  estimation cost: {plan.estimation_cost:.2f}")
+    return "\n".join(lines)
+
+
+def explain_result(result: QueryResult) -> str:
+    """Render one execution result as indented text."""
+    lines = [f"Result {result.query.name or '<unnamed>'}"]
+    lines.append(f"  rows: {result.result_rows}")
+    if result.groups is not None:
+        lines.append(f"  groups: {result.groups}")
+    if result.aggregate_value is not None:
+        lines.append(f"  answer: {result.aggregate_value:g}")
+    lines.append(
+        f"  io: {result.blocks_read} blocks ({result.rows_scanned} rows scanned)"
+    )
+    for table, scan in sorted(result.scans.items()):
+        lines.append(
+            f"    {table}: {scan.reader.value}, {scan.blocks_read} blocks"
+            + (f" ({scan.random_blocks} random)" if scan.random_blocks else "")
+        )
+    if result.resize_count:
+        lines.append(
+            f"  hash resizes: {result.resize_count} "
+            f"({result.moved_entries} entries rehashed)"
+        )
+    lines.append(
+        "  cost: "
+        f"estimation={result.estimation_cost:.2f} "
+        f"io={result.io_cost:.2f} cpu={result.cpu_cost:.2f} "
+        f"total={result.total_cost:.2f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,311 @@
+"""The optimizer: where cardinality estimates become plan decisions.
+
+Three decisions, each one of the paper's enhanced strategies:
+
+* **column order** for the multi-stage reader -- greedy conditional-
+  selectivity ordering; a correlation-aware estimator (the BN) orders
+  correlated columns together, reproducing Example 1's I/O win.  The
+  enumeration early-stops once the prefix selectivity exceeds a threshold
+  (the paper's constrained enumeration);
+* **reader selection** -- multi-stage when the table's overall estimated
+  selectivity is below the threshold (highly selective predicates),
+  single-stage otherwise;
+* **join order** -- greedy smallest-intermediate-first ordering driven by
+  join-size estimates (FactorJoin in the learned configuration).
+
+The optimizer also totals the estimation overhead it incurred, which the
+cost model folds into the query's latency -- the term that penalizes the
+sample-based method end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.config import EngineConfig
+from repro.engine.readers import ReaderKind
+from repro.errors import EstimationError
+from repro.estimators.base import CountEstimator, NdvEstimator
+from repro.sql.query import CardQuery, JoinCondition
+
+
+@dataclass
+class PhysicalPlan:
+    """The optimizer's output for one query."""
+
+    query: CardQuery
+    readers: dict[str, ReaderKind] = field(default_factory=dict)
+    column_orders: dict[str, list[str]] = field(default_factory=dict)
+    join_order: list[JoinCondition] = field(default_factory=list)
+    estimated_group_ndv: float | None = None
+    estimation_cost: float = 0.0
+    #: per-table estimated selectivities (for introspection/tests)
+    table_selectivities: dict[str, float] = field(default_factory=dict)
+
+
+class Optimizer:
+    """Plans queries with a pluggable estimator pair."""
+
+    def __init__(
+        self,
+        count_estimator: CountEstimator,
+        ndv_estimator: NdvEstimator | None,
+        config: EngineConfig | None = None,
+    ):
+        self.count_estimator = count_estimator
+        self.ndv_estimator = ndv_estimator
+        self.config = config or EngineConfig()
+
+    # ------------------------------------------------------------------
+    def plan(self, query: CardQuery) -> PhysicalPlan:
+        plan = PhysicalPlan(query=query)
+        for table in query.tables:
+            selectivity = self._table_selectivity(query, table, plan)
+            plan.table_selectivities[table] = selectivity
+            plan.readers[table] = self._choose_reader(selectivity)
+            if plan.readers[table] is ReaderKind.MULTI_STAGE:
+                plan.column_orders[table] = self._choose_column_order(
+                    query, table, plan
+                )
+        if query.joins:
+            plan.join_order = self._choose_join_order(query, plan)
+        if query.group_by and self.ndv_estimator is not None:
+            plan.estimated_group_ndv = self._estimate_group_ndv(query, plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    def _charge(self, plan: PhysicalPlan, subquery: CardQuery) -> None:
+        plan.estimation_cost += self.count_estimator.estimation_overhead(subquery)
+
+    def _table_selectivity(
+        self, query: CardQuery, table: str, plan: PhysicalPlan
+    ) -> float:
+        subquery = query.single_table_subquery(table)
+        self._charge(plan, subquery)
+        try:
+            return float(self.count_estimator.selectivity(subquery))
+        except (EstimationError, NotImplementedError):
+            # Estimators without a selectivity interface (e.g. MSCN) fall
+            # back to count / table-size when possible, else neutral.
+            try:
+                estimate = self.count_estimator.estimate_count(subquery)
+            except EstimationError:
+                return 1.0
+            rows = self._table_rows(table)
+            return min(1.0, estimate / rows) if rows else 1.0
+
+    def _table_rows(self, table: str) -> int:
+        catalog = getattr(self.count_estimator, "catalog", None)
+        if catalog is None:
+            return 0
+        return len(catalog.table(table))
+
+    def _choose_reader(self, selectivity: float) -> ReaderKind:
+        if selectivity < self.config.reader_selectivity_threshold:
+            return ReaderKind.MULTI_STAGE
+        return ReaderKind.SINGLE_STAGE
+
+    def _choose_column_order(
+        self, query: CardQuery, table: str, plan: PhysicalPlan
+    ) -> list[str]:
+        """Greedy conditional-selectivity ordering of filter columns.
+
+        At each step, append the column whose addition to the already-chosen
+        prefix yields the lowest estimated *combined* selectivity -- this is
+        what lets a correlation-aware model read ``col2`` and ``col3``
+        before ``col1`` in the paper's Example 1.
+        """
+        predicates = query.predicates_on(table)
+        columns = list(dict.fromkeys(p.column for p in predicates))
+        # OR-group columns are evaluated last (after the AND stages).
+        for group in query.or_groups:
+            for pred in group:
+                if pred.table == table and pred.column not in columns:
+                    columns.append(pred.column)
+        and_columns = list(dict.fromkeys(p.column for p in predicates))
+        ordered: list[str] = []
+        remaining = list(and_columns)
+        prefix_selectivity = 1.0
+        while remaining:
+            if prefix_selectivity > self.config.column_order_early_stop and ordered:
+                # Constrained enumeration: prefix is already non-selective
+                # enough that further ordering effort cannot pay off.
+                ordered.extend(remaining)
+                break
+            best_column = None
+            best_selectivity = float("inf")
+            for column in remaining:
+                chosen = [
+                    p
+                    for p in predicates
+                    if p.column in ordered or p.column == column
+                ]
+                subquery = query.single_table_subquery(table).with_predicates(chosen)
+                self._charge(plan, subquery)
+                try:
+                    selectivity = float(self.count_estimator.selectivity(subquery))
+                except (EstimationError, NotImplementedError):
+                    selectivity = 1.0
+                if selectivity < best_selectivity:
+                    best_selectivity = selectivity
+                    best_column = column
+            assert best_column is not None
+            ordered.append(best_column)
+            remaining.remove(best_column)
+            prefix_selectivity = best_selectivity
+        # Append OR-group-only columns at the end.
+        ordered.extend(c for c in columns if c not in ordered)
+        return ordered
+
+    def _choose_join_order(
+        self, query: CardQuery, plan: PhysicalPlan
+    ) -> list[JoinCondition]:
+        if self.config.join_order_strategy == "dp":
+            return self._dp_join_order(query, plan)
+        return self._greedy_join_order(query, plan)
+
+    def _greedy_join_order(
+        self, query: CardQuery, plan: PhysicalPlan
+    ) -> list[JoinCondition]:
+        """Greedy smallest-intermediate-first join ordering."""
+        start = min(
+            query.tables,
+            key=lambda t: plan.table_selectivities.get(t, 1.0)
+            * max(1, self._table_rows(t)),
+        )
+        joined = {start}
+        order: list[JoinCondition] = []
+        used_joins: list[JoinCondition] = []
+        remaining = list(query.joins)
+        while remaining:
+            candidates = [
+                j
+                for j in remaining
+                if (j.left_table in joined) != (j.right_table in joined)
+            ]
+            if not candidates:
+                # Shouldn't happen for connected tree queries, but stay safe.
+                candidates = remaining[:1]
+            best_join = None
+            best_size = float("inf")
+            for join in candidates:
+                new_tables = joined | set(join.tables())
+                subquery = self._connected_subquery(query, new_tables, used_joins + [join])
+                self._charge(plan, subquery)
+                try:
+                    size = self.count_estimator.estimate_count(subquery)
+                except EstimationError:
+                    size = float("inf")
+                if size < best_size:
+                    best_size = size
+                    best_join = join
+            assert best_join is not None
+            order.append(best_join)
+            used_joins.append(best_join)
+            joined |= set(best_join.tables())
+            remaining.remove(best_join)
+        return order
+
+    def _dp_join_order(
+        self, query: CardQuery, plan: PhysicalPlan
+    ) -> list[JoinCondition]:
+        """Exact left-deep join ordering by dynamic programming.
+
+        States are connected table subsets; the cost of a state is the sum
+        of estimated intermediate sizes along its best build order (the
+        quantity the executor's materialization cost charges).  Exponential
+        in the number of tables, which is fine for the paper's <= 8-way
+        joins.
+        """
+        tables = list(query.tables)
+        index_of = {t: i for i, t in enumerate(tables)}
+        full_mask = (1 << len(tables)) - 1
+
+        # Adjacency: join conditions between table pairs.
+        edges: dict[frozenset[str], JoinCondition] = {}
+        for join in query.joins:
+            edges[frozenset(join.tables())] = join
+
+        size_cache: dict[int, float] = {}
+
+        def subset_size(mask: int) -> float:
+            if mask in size_cache:
+                return size_cache[mask]
+            subset = {tables[i] for i in range(len(tables)) if mask & (1 << i)}
+            joins = [
+                join
+                for pair, join in edges.items()
+                if pair <= subset
+            ]
+            subquery = self._connected_subquery(query, subset, joins)
+            self._charge(plan, subquery)
+            try:
+                size = float(self.count_estimator.estimate_count(subquery))
+            except EstimationError:
+                size = float("inf")
+            size_cache[mask] = size
+            return size
+
+        # best[mask] = (total intermediate cost, join order reaching mask)
+        best: dict[int, tuple[float, list[JoinCondition]]] = {}
+        for i, table in enumerate(tables):
+            best[1 << i] = (0.0, [])
+        frontier = sorted(best)
+        while frontier:
+            next_states: set[int] = set()
+            for mask in frontier:
+                cost, order = best[mask]
+                in_set = {tables[i] for i in range(len(tables)) if mask & (1 << i)}
+                for pair, join in edges.items():
+                    left, right = tuple(pair)
+                    new = None
+                    if left in in_set and right not in in_set:
+                        new = right
+                    elif right in in_set and left not in in_set:
+                        new = left
+                    if new is None:
+                        continue
+                    new_mask = mask | (1 << index_of[new])
+                    new_cost = cost + subset_size(new_mask)
+                    entry = best.get(new_mask)
+                    if entry is None or new_cost < entry[0]:
+                        best[new_mask] = (new_cost, order + [join])
+                        next_states.add(new_mask)
+            frontier = sorted(next_states)
+        final = best.get(full_mask)
+        if final is None:
+            # Disconnected under the available edges; fall back to greedy.
+            return self._greedy_join_order(query, plan)
+        return final[1]
+
+    @staticmethod
+    def _connected_subquery(
+        query: CardQuery, tables: set[str], joins: list[JoinCondition]
+    ) -> CardQuery:
+        ordered_tables = tuple(t for t in query.tables if t in tables)
+        predicates = tuple(p for p in query.predicates if p.table in tables)
+        or_groups = tuple(
+            group
+            for group in query.or_groups
+            if all(p.table in tables for p in group)
+        )
+        return CardQuery(
+            tables=ordered_tables,
+            joins=tuple(joins),
+            predicates=predicates,
+            or_groups=or_groups,
+            name=f"{query.name}:sub",
+        )
+
+    def _estimate_group_ndv(
+        self, query: CardQuery, plan: PhysicalPlan
+    ) -> float | None:
+        assert self.ndv_estimator is not None
+        plan.estimation_cost += self.ndv_estimator.estimation_overhead(query)
+        group_ndv = getattr(self.ndv_estimator, "group_ndv", None)
+        if group_ndv is None:
+            return None
+        try:
+            return float(group_ndv(query))
+        except EstimationError:
+            return None

@@ -1,0 +1,59 @@
+"""The engine session facade: optimizer + executor behind one call.
+
+An :class:`EngineSession` pairs a catalog with an :class:`EstimatorSuite`
+(a named COUNT/NDV estimator pair -- "sketch", "sample", or "bytecard") and
+runs bound queries end to end, which is exactly the setup of the paper's
+Figure 5 comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.config import EngineConfig
+from repro.engine.executor import Executor, QueryResult
+from repro.engine.optimizer import Optimizer
+from repro.estimators.base import CountEstimator, NdvEstimator
+from repro.metrics.latency import LatencyProfile
+from repro.sql.query import CardQuery
+from repro.storage.catalog import Catalog
+
+
+@dataclass
+class EstimatorSuite:
+    """A named pair of estimators the engine consults during planning."""
+
+    name: str
+    count_estimator: CountEstimator
+    ndv_estimator: NdvEstimator | None = None
+
+
+class EngineSession:
+    """Plan-and-execute facade over one catalog."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        suite: EstimatorSuite,
+        config: EngineConfig | None = None,
+    ):
+        self.catalog = catalog
+        self.suite = suite
+        self.config = config or EngineConfig()
+        self.optimizer = Optimizer(
+            suite.count_estimator, suite.ndv_estimator, self.config
+        )
+        self.executor = Executor(catalog, self.config)
+
+    def run(self, query: CardQuery) -> QueryResult:
+        """Plan and execute one query."""
+        plan = self.optimizer.plan(query)
+        return self.executor.execute(plan)
+
+    def run_workload(self, queries: list[CardQuery]) -> LatencyProfile:
+        """Execute a workload and collect its latency profile."""
+        profile = LatencyProfile()
+        for query in queries:
+            result = self.run(query)
+            profile.add(result.latency_record())
+        return profile

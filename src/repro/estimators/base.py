@@ -1,0 +1,56 @@
+"""Estimator interfaces.
+
+Two estimation tasks exist in the paper: ``COUNT`` (row counts of filtered
+joins, driving materialization and join ordering) and ``COUNT-DISTINCT``
+(NDV, driving hash-table pre-sizing).  Every estimator also reports an
+*estimation overhead* in the engine's abstract cost units, because the
+paper's end-to-end result (Figure 5) hinges on the fact that the
+sample-based method's good Q-Error does not translate into good latency --
+its per-query estimation cost is too high.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.sql.query import CardQuery
+
+
+class CountEstimator(abc.ABC):
+    """Estimates COUNT(*) cardinalities of (joined, filtered) queries."""
+
+    #: short identifier used in benchmark tables ("sketch", "sample", ...)
+    name: str = "count-estimator"
+
+    @abc.abstractmethod
+    def estimate_count(self, query: CardQuery) -> float:
+        """Estimated number of result rows of ``query`` (>= 0)."""
+
+    def estimation_overhead(self, query: CardQuery) -> float:
+        """Cost-model units spent producing one estimate for ``query``.
+
+        Default charges a negligible constant; subclasses override to model
+        their real inference cost (e.g. real-time sampling).
+        """
+        return 0.01
+
+    def selectivity(self, query: CardQuery) -> float:
+        """Estimated fraction of the unfiltered result the query keeps.
+
+        Only meaningful for single-table queries; used by the reader-choice
+        optimizer.
+        """
+        raise NotImplementedError
+
+
+class NdvEstimator(abc.ABC):
+    """Estimates COUNT(DISTINCT column) for filtered single-table queries."""
+
+    name: str = "ndv-estimator"
+
+    @abc.abstractmethod
+    def estimate_ndv(self, query: CardQuery) -> float:
+        """Estimated number of distinct values of the aggregate target."""
+
+    def estimation_overhead(self, query: CardQuery) -> float:
+        return 0.01

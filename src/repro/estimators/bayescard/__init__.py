@@ -1,0 +1,17 @@
+"""BayesCard (Wu et al. 2020): the BN baseline ByteCard evolved from.
+
+BayesCard also builds tree-structured Bayesian networks per table, but
+handles joins by *denormalization*: each table's model is augmented with
+extra fan-out columns describing how many rows of each joined table match
+(the paper: "de-normalizing will add extra columns to facilitate later
+inference. The number of extra columns will expand rapidly as the number
+of join conditions increases").  That augmentation is what makes its
+training slower and its models larger than ByteCard's (Table 3), and its
+expectation-based join inference is what "is prone to underestimate join
+sizes with substantial true cardinalities" (Section 7) -- both behaviours
+this implementation reproduces.
+"""
+
+from repro.estimators.bayescard.estimator import BayesCardEstimator, train_bayescard
+
+__all__ = ["BayesCardEstimator", "train_bayescard"]

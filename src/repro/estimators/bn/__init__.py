@@ -1,0 +1,27 @@
+"""Tree-structured Bayesian networks: ByteCard's single-table COUNT model.
+
+Structure is learned with the Chow-Liu algorithm (maximum-spanning tree over
+pairwise mutual information), parameters with EM (which reduces to smoothed
+maximum likelihood on fully observed data), and inference runs by variable
+elimination (sum-product) over an *immutable inference context* -- the
+topologically-indexed CPD arrays the paper's ``initContext`` interface
+prepares so that query threads can estimate lock-free.
+"""
+
+from repro.estimators.bn.discretize import Discretizer
+from repro.estimators.bn.chow_liu import chow_liu_tree, mutual_information_matrix
+from repro.estimators.bn.learning import learn_parameters
+from repro.estimators.bn.model import TreeBayesNet, fit_tree_bn
+from repro.estimators.bn.inference import BNInferenceContext
+from repro.estimators.bn.estimator import BNCountEstimator
+
+__all__ = [
+    "Discretizer",
+    "chow_liu_tree",
+    "mutual_information_matrix",
+    "learn_parameters",
+    "TreeBayesNet",
+    "fit_tree_bn",
+    "BNInferenceContext",
+    "BNCountEstimator",
+]

@@ -1,0 +1,189 @@
+"""Variable-elimination (sum-product) inference over an immutable context.
+
+:class:`BNInferenceContext` is the reproduction of the paper's
+``initContext`` output for the single-table model: the tree with its CPDs is
+flattened into topologically-indexed, read-only arrays ("Root
+Identification" and "CPD Indexing" in Section 5.1), after which
+``selectivity``/``beliefs`` perform no allocation-shared mutation and can be
+called concurrently from many query threads without locking.
+
+Inference is the standard two-pass sum-product on a tree:
+
+* upward pass (leaves to root): each node sends
+  ``m_i(p) = sum_c P(c | p) * e_i(c) * prod_j m_j(c)`` to its parent;
+* downward pass (root to leaves) for per-node beliefs
+  ``b_i(c) = P(i = c, evidence)``.
+
+The probability of the evidence -- the query's selectivity -- is the root's
+belief total.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+class BNInferenceContext:
+    """Frozen, topologically-indexed tree BN ready for lock-free inference."""
+
+    def __init__(
+        self,
+        order: np.ndarray,
+        parents: np.ndarray,
+        children: tuple[tuple[int, ...], ...],
+        cpds: tuple[np.ndarray, ...],
+    ):
+        self.order = order
+        self.parents = parents
+        self.children = children
+        self.cpds = cpds
+        self.num_nodes = parents.size
+        self.root = int(order[0])
+        for array in (self.order, self.parents, *self.cpds):
+            array.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_structure(
+        cls, parents: np.ndarray, cpds: Sequence[np.ndarray]
+    ) -> "BNInferenceContext":
+        """Build the context: root identification + topological CPD indexing."""
+        parents = np.asarray(parents, dtype=np.int64)
+        d = parents.size
+        if len(cpds) != d:
+            raise ModelError(f"{d} nodes but {len(cpds)} CPDs")
+        roots = np.flatnonzero(parents < 0)
+        if roots.size != 1:
+            raise ModelError(f"tree must have exactly one root, found {roots.size}")
+        children_lists: list[list[int]] = [[] for _ in range(d)]
+        for node in range(d):
+            parent = int(parents[node])
+            if parent >= 0:
+                if not 0 <= parent < d:
+                    raise ModelError(f"node {node} has out-of-range parent {parent}")
+                children_lists[parent].append(node)
+        # Topological order by BFS from the root; also validates acyclicity.
+        order: list[int] = [int(roots[0])]
+        cursor = 0
+        while cursor < len(order):
+            order.extend(children_lists[order[cursor]])
+            cursor += 1
+        if len(order) != d:
+            raise ModelError("structure is cyclic or disconnected")
+        frozen_cpds = tuple(np.ascontiguousarray(c, dtype=np.float64) for c in cpds)
+        for node in range(d):
+            parent = int(parents[node])
+            cpd = frozen_cpds[node]
+            if parent < 0 and cpd.ndim != 1:
+                raise ModelError("root CPD must be 1-D")
+            if parent >= 0 and cpd.ndim != 2:
+                raise ModelError(f"node {node} CPD must be 2-D")
+        return cls(
+            order=np.asarray(order, dtype=np.int64),
+            parents=parents.copy(),
+            children=tuple(tuple(c) for c in children_lists),
+            cpds=frozen_cpds,
+        )
+
+    # ------------------------------------------------------------------
+    def bin_count(self, node: int) -> int:
+        cpd = self.cpds[node]
+        return int(cpd.shape[-1])
+
+    @property
+    def nbytes(self) -> int:
+        return int(sum(c.nbytes for c in self.cpds))
+
+    def _check_evidence(self, evidence: Sequence[np.ndarray]) -> None:
+        if len(evidence) != self.num_nodes:
+            raise ModelError(
+                f"expected {self.num_nodes} evidence vectors, got {len(evidence)}"
+            )
+        for node, vec in enumerate(evidence):
+            if vec.shape != (self.bin_count(node),):
+                raise ModelError(
+                    f"evidence for node {node} has shape {vec.shape}, "
+                    f"expected ({self.bin_count(node)},)"
+                )
+
+    # ------------------------------------------------------------------
+    def _upward(self, evidence: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Messages to parents, computed leaves-first.
+
+        ``messages[i]`` is ``m_i`` over the *parent's* bins (unused for the
+        root slot).
+        """
+        messages: list[np.ndarray | None] = [None] * self.num_nodes
+        partials: list[np.ndarray | None] = [None] * self.num_nodes
+        for node in self.order[::-1]:
+            node = int(node)
+            local = evidence[node].astype(np.float64, copy=True)
+            for child in self.children[node]:
+                message = messages[child]
+                assert message is not None
+                local *= message
+            partials[node] = local
+            parent = int(self.parents[node])
+            if parent >= 0:
+                messages[node] = self.cpds[node] @ local
+        # Stash the root's combined local factor in its message slot.
+        root_local = partials[self.root]
+        assert root_local is not None
+        messages[self.root] = root_local
+        return [m if m is not None else np.ones(1) for m in messages]
+
+    def selectivity(self, evidence: Sequence[np.ndarray]) -> float:
+        """P(evidence): the fraction of rows satisfying all evidence."""
+        self._check_evidence(evidence)
+        messages = self._upward(evidence)
+        root_belief = self.cpds[self.root] * messages[self.root]
+        return float(np.clip(root_belief.sum(), 0.0, 1.0))
+
+    def beliefs(
+        self, evidence: Sequence[np.ndarray]
+    ) -> tuple[list[np.ndarray], float]:
+        """Joint vectors ``b_i(c) = P(i = c, evidence)`` plus P(evidence)."""
+        self._check_evidence(evidence)
+        up: list[np.ndarray | None] = [None] * self.num_nodes
+        local: list[np.ndarray] = [np.empty(0)] * self.num_nodes
+        for node in self.order[::-1]:
+            node = int(node)
+            combined = evidence[node].astype(np.float64, copy=True)
+            for child in self.children[node]:
+                message = up[child]
+                assert message is not None
+                combined *= message
+            local[node] = combined
+            parent = int(self.parents[node])
+            if parent >= 0:
+                up[node] = self.cpds[node] @ combined
+
+        down: list[np.ndarray] = [np.empty(0)] * self.num_nodes
+        down[self.root] = self.cpds[self.root].copy()
+        beliefs: list[np.ndarray] = [np.empty(0)] * self.num_nodes
+        beliefs[self.root] = down[self.root] * local[self.root]
+        probability = float(np.clip(beliefs[self.root].sum(), 0.0, 1.0))
+        for node in self.order:
+            node = int(node)
+            for child in self.children[node]:
+                # Everything at the parent except the child's own message.
+                context_vec = down[node] * evidence[node]
+                for sibling in self.children[node]:
+                    if sibling != child:
+                        sibling_msg = up[sibling]
+                        assert sibling_msg is not None
+                        context_vec = context_vec * sibling_msg
+                down[child] = context_vec @ self.cpds[child]
+                beliefs[child] = down[child] * local[child]
+        return beliefs, probability
+
+    def marginal_with_evidence(
+        self, node: int, evidence: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """``P(node = c, evidence)`` for every bin ``c`` of ``node``."""
+        beliefs, _probability = self.beliefs(evidence)
+        return beliefs[node]

@@ -1,0 +1,167 @@
+"""The tree Bayesian network model for one table.
+
+Bundles the per-column discretizers, the Chow-Liu structure, the learned
+CPDs, and the frozen :class:`BNInferenceContext`.  Mirrors the paper's
+Figure 4 model: each node is a table column, each edge a conditional
+dependency captured by a 1-D (root) or 2-D CPD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EstimationError, TrainingError
+from repro.estimators.bn.chow_liu import chow_liu_tree, mutual_information_matrix, select_root
+from repro.estimators.bn.discretize import Discretizer
+from repro.estimators.bn.inference import BNInferenceContext
+from repro.estimators.bn.learning import learn_parameters
+from repro.sql.query import TablePredicate
+from repro.storage.table import Table
+
+
+@dataclass
+class TreeBayesNet:
+    """A trained single-table COUNT model."""
+
+    table_name: str
+    columns: tuple[str, ...]
+    discretizers: dict[str, Discretizer]
+    parents: np.ndarray
+    cpds: list[np.ndarray]
+    total_rows: int
+    #: built by ``init_context`` (the paper's initContext); None until then
+    context: BNInferenceContext | None = None
+
+    # ------------------------------------------------------------------
+    def init_context(self) -> BNInferenceContext:
+        """Build (or return) the immutable inference context."""
+        if self.context is None:
+            self.context = BNInferenceContext.from_structure(self.parents, self.cpds)
+        return self.context
+
+    def column_index(self, column: str) -> int:
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise EstimationError(
+                f"BN for {self.table_name!r} does not model column {column!r}"
+            ) from None
+
+    @property
+    def nbytes(self) -> int:
+        """Serialized model size (CPDs + discretizer edges)."""
+        return int(
+            sum(c.nbytes for c in self.cpds)
+            + sum(d.nbytes for d in self.discretizers.values())
+            + self.parents.nbytes
+        )
+
+    # ------------------------------------------------------------------
+    def evidence_for(
+        self, predicates: list[TablePredicate]
+    ) -> list[np.ndarray]:
+        """Per-node evidence vectors for a conjunction of predicates."""
+        context = self.init_context()
+        evidence = [
+            np.ones(context.bin_count(i)) for i in range(len(self.columns))
+        ]
+        for pred in predicates:
+            if pred.table != self.table_name:
+                raise EstimationError(
+                    f"predicate on {pred.table!r} given to BN of {self.table_name!r}"
+                )
+            index = self.column_index(pred.column)
+            evidence[index] = evidence[index] * self.discretizers[
+                pred.column
+            ].evidence(pred)
+        return evidence
+
+    def selectivity(self, predicates: list[TablePredicate]) -> float:
+        """P(all predicates) under the model."""
+        context = self.init_context()
+        if not predicates:
+            return 1.0
+        return context.selectivity(self.evidence_for(predicates))
+
+    def estimate_rows(self, predicates: list[TablePredicate]) -> float:
+        return self.selectivity(predicates) * self.total_rows
+
+    def distribution(
+        self, column: str, predicates: list[TablePredicate]
+    ) -> np.ndarray:
+        """``P(column in bin, predicates)`` over the column's bins.
+
+        This is the marginal FactorJoin consumes: when ``column`` is a join
+        key discretized on join-bucket boundaries, the result is the
+        filtered per-bucket probability mass.
+        """
+        context = self.init_context()
+        index = self.column_index(column)
+        return context.marginal_with_evidence(index, self.evidence_for(predicates))
+
+
+def fit_tree_bn(
+    table: Table,
+    columns: list[str],
+    max_bins: int = 64,
+    bucket_edges: dict[str, np.ndarray] | None = None,
+    sample_rows: int | None = None,
+    rng: np.random.Generator | None = None,
+    smoothing: float = 0.1,
+) -> TreeBayesNet:
+    """Train a tree BN over ``columns`` of ``table``.
+
+    Parameters
+    ----------
+    bucket_edges:
+        Join-bucket boundaries per join-key column: those columns are
+        discretized on exactly these edges so that FactorJoin's buckets and
+        the BN's bins coincide.
+    sample_rows:
+        Train on a uniform sample of this many rows (the ModelForge trains
+        on "online sampled data"); ``None`` uses the whole table.
+    """
+    if not columns:
+        raise TrainingError(f"no columns selected for BN of {table.name!r}")
+    for column in columns:
+        if not table.has_column(column):
+            raise TrainingError(f"table {table.name!r} has no column {column!r}")
+    bucket_edges = bucket_edges or {}
+
+    training = table
+    if sample_rows is not None and sample_rows < len(table):
+        if rng is None:
+            rng = np.random.default_rng(0)
+        training = table.sample(sample_rows, rng)
+
+    discretizers: dict[str, Discretizer] = {}
+    binned_columns: list[np.ndarray] = []
+    bin_counts: list[int] = []
+    for column in columns:
+        full_values = table.column(column).values
+        edges = bucket_edges.get(column)
+        disc = Discretizer(full_values, max_bins=max_bins, edges=edges)
+        discretizers[column] = disc
+        binned_columns.append(disc.bin_of(training.column(column).values))
+        bin_counts.append(disc.num_bins)
+    binned = np.stack(binned_columns, axis=1)
+
+    if len(columns) == 1:
+        parents = np.array([-1], dtype=np.int64)
+    else:
+        mi = mutual_information_matrix(binned, bin_counts)
+        parents = chow_liu_tree(mi, root=select_root(mi))
+    cpds = learn_parameters(binned, parents, bin_counts, smoothing=smoothing)
+
+    model = TreeBayesNet(
+        table_name=table.name,
+        columns=tuple(columns),
+        discretizers=discretizers,
+        parents=parents,
+        cpds=cpds,
+        total_rows=len(table),
+    )
+    model.init_context()
+    return model

@@ -1,0 +1,23 @@
+"""DeepDB-style Sum-Product Networks (Hilprecht et al., VLDB 2020).
+
+The data-driven baseline of Table 3.  SPNs recursively partition a table:
+*product* nodes split near-independent column groups, *sum* nodes split row
+clusters, leaves hold per-column histograms.  For join queries DeepDB trains
+SPNs over *denormalized* join relations -- the design decision the paper
+calls out as the source of its "longer training times and larger model
+sizes", which this implementation reproduces by materializing (sampled)
+FK-join denormalizations per join edge.
+"""
+
+from repro.estimators.deepdb.spn import SPNNode, LeafNode, SumNode, ProductNode, learn_spn
+from repro.estimators.deepdb.estimator import DeepDBEstimator, train_deepdb
+
+__all__ = [
+    "SPNNode",
+    "LeafNode",
+    "SumNode",
+    "ProductNode",
+    "learn_spn",
+    "DeepDBEstimator",
+    "train_deepdb",
+]

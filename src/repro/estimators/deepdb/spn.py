@@ -1,0 +1,249 @@
+"""Sum-Product Network structure learning and inference.
+
+A compact LearnSPN-style implementation: columns are grouped by pairwise
+mutual information (independence test), rows are split with 2-means
+clustering, and leaves are histogram distributions over discretized bins.
+Probability queries are evaluated bottom-up with per-column evidence
+vectors (the same representation the BN uses), so SPN and BN estimates are
+directly comparable.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.estimators.bn.chow_liu import pairwise_mutual_information
+from repro.estimators.bn.discretize import Discretizer
+
+
+class SPNNode(abc.ABC):
+    """A node of the SPN; evaluates P(evidence) over its column scope."""
+
+    scope: tuple[int, ...]
+
+    @abc.abstractmethod
+    def probability(self, evidence: list[np.ndarray]) -> float:
+        """P(evidence) restricted to this node's scope."""
+
+    @abc.abstractmethod
+    def size_bytes(self) -> int:
+        """Approximate serialized size of the subtree."""
+
+    def node_count(self) -> int:
+        return 1
+
+
+@dataclass
+class LeafNode(SPNNode):
+    """Histogram leaf over one column's bins."""
+
+    column: int
+    distribution: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.scope = (self.column,)
+
+    def probability(self, evidence: list[np.ndarray]) -> float:
+        return float(np.dot(self.distribution, evidence[self.column]))
+
+    def size_bytes(self) -> int:
+        return int(self.distribution.nbytes)
+
+
+@dataclass
+class ProductNode(SPNNode):
+    """Independent column groups: probabilities multiply."""
+
+    children: list[SPNNode]
+
+    def __post_init__(self) -> None:
+        self.scope = tuple(sorted(c for child in self.children for c in child.scope))
+
+    def probability(self, evidence: list[np.ndarray]) -> float:
+        result = 1.0
+        for child in self.children:
+            result *= child.probability(evidence)
+        return result
+
+    def size_bytes(self) -> int:
+        return sum(child.size_bytes() for child in self.children) + 16
+
+    def node_count(self) -> int:
+        return 1 + sum(child.node_count() for child in self.children)
+
+
+@dataclass
+class SumNode(SPNNode):
+    """Row clusters: probabilities mix by cluster weight."""
+
+    children: list[SPNNode]
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.children) != self.weights.size:
+            raise TrainingError("sum node weights do not match children")
+        self.scope = tuple(sorted(self.children[0].scope))
+
+    def probability(self, evidence: list[np.ndarray]) -> float:
+        return float(
+            sum(
+                w * child.probability(evidence)
+                for w, child in zip(self.weights, self.children)
+            )
+        )
+
+    def size_bytes(self) -> int:
+        return (
+            sum(child.size_bytes() for child in self.children)
+            + int(self.weights.nbytes)
+            + 16
+        )
+
+    def node_count(self) -> int:
+        return 1 + sum(child.node_count() for child in self.children)
+
+
+# ---------------------------------------------------------------------------
+# Structure learning
+# ---------------------------------------------------------------------------
+def _two_means(
+    data: np.ndarray, rng: np.random.Generator, iterations: int = 8
+) -> np.ndarray:
+    """Cheap 2-means cluster assignment over standardized rows."""
+    std = data.std(axis=0)
+    std[std == 0] = 1.0
+    normalized = (data - data.mean(axis=0)) / std
+    n = normalized.shape[0]
+    centers = normalized[rng.choice(n, size=2, replace=False)]
+    assignment = np.zeros(n, dtype=np.int64)
+    for _ in range(iterations):
+        distances = np.stack(
+            [np.sum((normalized - center) ** 2, axis=1) for center in centers]
+        )
+        new_assignment = np.argmin(distances, axis=0)
+        if np.array_equal(new_assignment, assignment):
+            break
+        assignment = new_assignment
+        for k in range(2):
+            members = normalized[assignment == k]
+            if members.shape[0]:
+                centers[k] = members.mean(axis=0)
+    return assignment
+
+
+def _independent_groups(
+    binned: np.ndarray,
+    bin_counts: list[int],
+    columns: list[int],
+    threshold: float,
+) -> list[list[int]]:
+    """Connected components of the pairwise-dependence graph."""
+    k = len(columns)
+    adjacency = [[False] * k for _ in range(k)]
+    for i in range(k):
+        for j in range(i + 1, k):
+            mi = pairwise_mutual_information(
+                binned[:, i], binned[:, j], bin_counts[i], bin_counts[j]
+            )
+            if mi > threshold:
+                adjacency[i][j] = adjacency[j][i] = True
+    seen = [False] * k
+    groups: list[list[int]] = []
+    for start in range(k):
+        if seen[start]:
+            continue
+        component = [start]
+        seen[start] = True
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for other in range(k):
+                if adjacency[node][other] and not seen[other]:
+                    seen[other] = True
+                    component.append(other)
+                    frontier.append(other)
+        groups.append([columns[i] for i in sorted(component)])
+    return groups
+
+
+def learn_spn(
+    data: np.ndarray,
+    discretizers: list[Discretizer],
+    min_instances: int = 256,
+    independence_threshold: float = 0.05,
+    rng: np.random.Generator | None = None,
+    _columns: list[int] | None = None,
+) -> SPNNode:
+    """Learn an SPN over ``data`` (rows x all-columns, raw values).
+
+    ``discretizers`` are fixed per global column index, so recursive calls
+    share bin definitions and evidence vectors stay valid everywhere in the
+    tree.
+    """
+    if rng is None:
+        rng = np.random.default_rng(3)
+    columns = _columns if _columns is not None else list(range(data.shape[1]))
+    rows = data.shape[0]
+    if rows == 0:
+        raise TrainingError("cannot learn an SPN over zero rows")
+
+    def make_leaves(cols: list[int]) -> SPNNode:
+        leaves: list[SPNNode] = []
+        for col in cols:
+            disc = discretizers[col]
+            bins = disc.bin_of(data[:, col])
+            hist = np.bincount(bins, minlength=disc.num_bins).astype(np.float64)
+            hist = (hist + 1e-6) / (hist.sum() + 1e-6 * disc.num_bins)
+            leaves.append(LeafNode(col, hist))
+        if len(leaves) == 1:
+            return leaves[0]
+        return ProductNode(leaves)
+
+    if len(columns) == 1 or rows < min_instances:
+        return make_leaves(columns)
+
+    binned = np.stack(
+        [discretizers[col].bin_of(data[:, col]) for col in columns], axis=1
+    )
+    bin_counts = [discretizers[col].num_bins for col in columns]
+    groups = _independent_groups(binned, bin_counts, columns, independence_threshold)
+    if len(groups) > 1:
+        children = [
+            learn_spn(
+                data,
+                discretizers,
+                min_instances=min_instances,
+                independence_threshold=independence_threshold,
+                rng=rng,
+                _columns=group,
+            )
+            for group in groups
+        ]
+        return ProductNode(children)
+
+    assignment = _two_means(data[:, columns], rng)
+    sizes = np.bincount(assignment, minlength=2)
+    if sizes.min() == 0:
+        return make_leaves(columns)
+    children = []
+    weights = []
+    for cluster in range(2):
+        member_rows = assignment == cluster
+        children.append(
+            learn_spn(
+                data[member_rows],
+                discretizers,
+                min_instances=min_instances,
+                # Relax the independence test slightly as we recurse, the
+                # standard LearnSPN trick to guarantee termination.
+                independence_threshold=independence_threshold * 1.15,
+                rng=rng,
+                _columns=columns,
+            )
+        )
+        weights.append(sizes[cluster] / rows)
+    return SumNode(children, np.asarray(weights))

@@ -1,0 +1,86 @@
+"""Frequency profiles of column samples.
+
+The *frequency profile* of a sample is the vector ``(f_1, f_2, ...)`` where
+``f_j`` counts the distinct values that appear exactly ``j`` times in the
+sample.  It is the sufficient statistic behind both the classical heuristic
+NDV estimators (Chao, GEE) and RBX's learned estimator, whose paper treats
+NDV as "a standard data property" computable from this profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FrequencyProfile:
+    """Frequency profile of one sample drawn from a population.
+
+    Attributes
+    ----------
+    counts:
+        ``counts[j-1]`` is ``f_j`` for ``j = 1 .. len(counts)``; frequencies
+        above ``len(counts)`` are accumulated into :attr:`tail_distinct` /
+        :attr:`tail_rows`.
+    sample_size:
+        Number of sampled rows.
+    population_size:
+        Number of rows in the full column.
+    """
+
+    counts: np.ndarray
+    sample_size: int
+    population_size: int
+    tail_distinct: int
+    tail_rows: int
+
+    @property
+    def sample_distinct(self) -> int:
+        """Distinct values observed in the sample."""
+        return int(self.counts.sum()) + self.tail_distinct
+
+    @property
+    def singletons(self) -> int:
+        """``f_1``: values seen exactly once."""
+        return int(self.counts[0]) if self.counts.size else 0
+
+    @property
+    def sampling_rate(self) -> float:
+        if self.population_size <= 0:
+            return 1.0
+        return self.sample_size / self.population_size
+
+
+def frequency_profile(
+    sample: np.ndarray, population_size: int, max_frequency: int = 100
+) -> FrequencyProfile:
+    """Compute the frequency profile of ``sample``.
+
+    ``max_frequency`` bounds the profile length; heavier hitters are folded
+    into the tail statistics (RBX caps the profile the same way to keep the
+    feature vector fixed-size).
+    """
+    if max_frequency <= 0:
+        raise ValueError(f"max_frequency must be positive, got {max_frequency}")
+    sample = np.asarray(sample)
+    if sample.size == 0:
+        return FrequencyProfile(
+            counts=np.zeros(max_frequency, dtype=np.int64),
+            sample_size=0,
+            population_size=population_size,
+            tail_distinct=0,
+            tail_rows=0,
+        )
+    _values, freqs = np.unique(sample, return_counts=True)
+    head = freqs[freqs <= max_frequency]
+    tail = freqs[freqs > max_frequency]
+    counts = np.bincount(head, minlength=max_frequency + 1)[1:]
+    return FrequencyProfile(
+        counts=counts.astype(np.int64),
+        sample_size=int(sample.size),
+        population_size=int(population_size),
+        tail_distinct=int(tail.size),
+        tail_rows=int(tail.sum()),
+    )

@@ -1,0 +1,51 @@
+"""Join-tree utilities shared by ground truth and join-size estimators.
+
+The workload generators emit acyclic join templates, so every query's join
+graph is a tree.  Rooting that tree at the query's first table gives the
+recursion structure used both by exact weighted counting
+(:mod:`repro.workloads.truth`) and by FactorJoin's factor-graph inference.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError
+from repro.sql.query import CardQuery, JoinCondition
+
+JoinTree = dict[str, list[tuple[str, JoinCondition]]]
+
+
+def build_join_tree(query: CardQuery, root: str | None = None) -> JoinTree:
+    """Children adjacency of the query's join tree rooted at ``root``.
+
+    Raises :class:`ExecutionError` when the join graph is cyclic (more
+    conditions than a spanning tree) or disconnected.
+    """
+    if len(query.joins) != len(query.tables) - 1:
+        raise ExecutionError(
+            f"query joins {len(query.tables)} tables with {len(query.joins)} "
+            "conditions; a tree join graph is required"
+        )
+    if root is None:
+        root = query.tables[0]
+    if root not in query.tables:
+        raise ExecutionError(f"root {root!r} is not one of the query tables")
+    children: JoinTree = {t: [] for t in query.tables}
+    attached = {root}
+    remaining = list(query.joins)
+    while remaining:
+        progressed = False
+        for join in list(remaining):
+            a, b = join.tables()
+            if a in attached and b not in attached:
+                children[a].append((b, join))
+                attached.add(b)
+                remaining.remove(join)
+                progressed = True
+            elif b in attached and a not in attached:
+                children[b].append((a, join))
+                attached.add(a)
+                remaining.remove(join)
+                progressed = True
+        if not progressed:
+            raise ExecutionError("join graph is cyclic or disconnected")
+    return children

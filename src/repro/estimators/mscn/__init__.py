@@ -1,0 +1,14 @@
+"""MSCN: the query-driven baseline (Kipf et al., CIDR 2019).
+
+Multi-Set Convolutional Networks featurize a query as sets of table,
+join, and predicate vectors, pool each set, and regress log-cardinality
+with an MLP.  ByteCard rejects this family for production (Section 3.2.1):
+training needs a large workload of queries *with executed true
+cardinalities*, which is exactly what Table 3's training-time comparison
+shows -- and what this implementation reproduces by generating and
+ground-truthing its own training workload.
+"""
+
+from repro.estimators.mscn.model import MSCNEstimator, train_mscn
+
+__all__ = ["MSCNEstimator", "train_mscn"]

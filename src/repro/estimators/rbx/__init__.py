@@ -1,0 +1,32 @@
+"""RBX: the workload-independent learned NDV estimator.
+
+Following Wu et al. (VLDB 2022, "Learning to be a statistician"), RBX treats
+NDV as a derivable data property: a small neural network (seven weight
+layers here, as in the paper's description of ByteCard's deployment) learns
+the mapping from a sample's *frequency profile* to the population's number
+of distinct values.  Because the features are distribution-level statistics
+rather than workload artifacts, one offline training run on synthetic
+distributions serves every dataset; only anomalous columns (exceptionally
+high NDV) receive calibration fine-tuning with an asymmetric loss that
+penalizes underestimation (paper Section 5.2.2).
+"""
+
+from repro.estimators.rbx.network import MLP, AdamState
+from repro.estimators.rbx.profile import rbx_features, RBX_FEATURE_DIM
+from repro.estimators.rbx.training import (
+    SyntheticColumnSampler,
+    train_rbx,
+    fine_tune_rbx,
+)
+from repro.estimators.rbx.estimator import RBXNdvEstimator
+
+__all__ = [
+    "MLP",
+    "AdamState",
+    "rbx_features",
+    "RBX_FEATURE_DIM",
+    "SyntheticColumnSampler",
+    "train_rbx",
+    "fine_tune_rbx",
+    "RBXNdvEstimator",
+]

@@ -1,0 +1,183 @@
+"""A small fully-connected network in pure NumPy.
+
+The paper's RBX deployment keeps the network tiny (seven layers, a few
+hundred KB of weights) so inference inside the query path is a handful of
+matrix multiplications.  This module implements exactly that: ReLU MLP,
+manual backprop, Adam, and an optional asymmetric (anti-underestimation)
+loss used by the calibration protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError
+
+#: The seven-weight-layer architecture used for RBX (input dim prepended).
+DEFAULT_HIDDEN = (128, 128, 64, 64, 32, 16)
+
+
+@dataclass
+class AdamState:
+    """Adam moment estimates for one parameter list."""
+
+    m: list[np.ndarray] = field(default_factory=list)
+    v: list[np.ndarray] = field(default_factory=list)
+    t: int = 0
+
+    @classmethod
+    def like(cls, params: list[np.ndarray]) -> "AdamState":
+        return cls(
+            m=[np.zeros_like(p) for p in params],
+            v=[np.zeros_like(p) for p in params],
+            t=0,
+        )
+
+
+class MLP:
+    """ReLU multi-layer perceptron with scalar output."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden: tuple[int, ...] = DEFAULT_HIDDEN,
+        seed: int = 0,
+    ):
+        if input_dim <= 0:
+            raise ModelError(f"input_dim must be positive, got {input_dim}")
+        rng = np.random.default_rng(seed)
+        dims = [input_dim, *hidden, 1]
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(dims[:-1], dims[1:]):
+            scale = np.sqrt(2.0 / fan_in)  # He initialization for ReLU
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_layers(self) -> int:
+        return len(self.weights)
+
+    @property
+    def nbytes(self) -> int:
+        return int(
+            sum(w.nbytes for w in self.weights) + sum(b.nbytes for b in self.biases)
+        )
+
+    def parameters(self) -> list[np.ndarray]:
+        return [*self.weights, *self.biases]
+
+    def clone(self) -> "MLP":
+        copy = MLP.__new__(MLP)
+        copy.weights = [w.copy() for w in self.weights]
+        copy.biases = [b.copy() for b in self.biases]
+        return copy
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Predict scalar outputs for a batch ``(n, input_dim)``."""
+        h = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        for layer in range(self.num_layers - 1):
+            h = np.maximum(h @ self.weights[layer] + self.biases[layer], 0.0)
+        out = h @ self.weights[-1] + self.biases[-1]
+        return out[:, 0]
+
+    def _forward_cached(self, x: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        activations = [np.atleast_2d(x)]
+        h = activations[0]
+        for layer in range(self.num_layers - 1):
+            h = np.maximum(h @ self.weights[layer] + self.biases[layer], 0.0)
+            activations.append(h)
+        out = h @ self.weights[-1] + self.biases[-1]
+        return out[:, 0], activations
+
+    def train_step(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        state: AdamState,
+        learning_rate: float = 1e-3,
+        underestimation_penalty: float = 1.0,
+        weight_decay: float = 0.0,
+    ) -> float:
+        """One Adam step on (possibly asymmetric) squared error.
+
+        ``underestimation_penalty`` > 1 weights samples where the prediction
+        falls below the target -- the calibration protocol "imposes more
+        significant penalties for underestimations".
+        Returns the batch's mean weighted squared error.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64)
+        n = x.shape[0]
+        predictions, activations = self._forward_cached(x)
+        residual = predictions - y
+        weights = np.where(residual < 0, underestimation_penalty, 1.0)
+        loss = float(np.mean(weights * residual**2))
+
+        # Backward pass.
+        grad_out = (2.0 * weights * residual / n)[:, np.newaxis]
+        grads_w: list[np.ndarray] = [np.empty(0)] * self.num_layers
+        grads_b: list[np.ndarray] = [np.empty(0)] * self.num_layers
+        grads_w[-1] = activations[-1].T @ grad_out
+        grads_b[-1] = grad_out.sum(axis=0)
+        upstream = grad_out @ self.weights[-1].T
+        for layer in range(self.num_layers - 2, -1, -1):
+            upstream = upstream * (activations[layer + 1] > 0)
+            grads_w[layer] = activations[layer].T @ upstream
+            grads_b[layer] = upstream.sum(axis=0)
+            if layer > 0:
+                upstream = upstream @ self.weights[layer].T
+
+        params = self.parameters()
+        grads = [*grads_w, *grads_b]
+        if weight_decay > 0.0:
+            grads = [g + weight_decay * p for g, p in zip(grads, params)]
+        self._adam_update(params, grads, state, learning_rate)
+        return loss
+
+    @staticmethod
+    def _adam_update(
+        params: list[np.ndarray],
+        grads: list[np.ndarray],
+        state: AdamState,
+        learning_rate: float,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if not state.m:
+            fresh = AdamState.like(params)
+            state.m, state.v = fresh.m, fresh.v
+        state.t += 1
+        for i, (param, grad) in enumerate(zip(params, grads)):
+            state.m[i] = beta1 * state.m[i] + (1 - beta1) * grad
+            state.v[i] = beta2 * state.v[i] + (1 - beta2) * grad**2
+            m_hat = state.m[i] / (1 - beta1**state.t)
+            v_hat = state.v[i] / (1 - beta2**state.t)
+            param -= learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        payload: dict[str, np.ndarray] = {}
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            payload[f"w{i}"] = w
+            payload[f"b{i}"] = b
+        return payload
+
+    @classmethod
+    def from_state_dict(cls, payload: dict[str, np.ndarray]) -> "MLP":
+        model = cls.__new__(cls)
+        model.weights = []
+        model.biases = []
+        i = 0
+        while f"w{i}" in payload:
+            model.weights.append(np.asarray(payload[f"w{i}"], dtype=np.float64))
+            model.biases.append(np.asarray(payload[f"b{i}"], dtype=np.float64))
+            i += 1
+        if not model.weights:
+            raise ModelError("state dict contains no layers")
+        return model

@@ -1,0 +1,63 @@
+"""RBX featurization: frequency profile -> fixed-size feature vector.
+
+The feature vector concatenates the log-damped frequency profile (how many
+values occur once, twice, ... up to :data:`PROFILE_LENGTH` times in the
+sample) with sample-level summary statistics.  Targets are log-NDV, so the
+network's squared error approximates a log-Q-Error objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.estimators.frequency import FrequencyProfile
+
+#: How many exact frequencies the profile keeps (f_1 .. f_100).
+PROFILE_LENGTH = 100
+
+#: Total feature dimension: profile + 6 summary statistics.
+RBX_FEATURE_DIM = PROFILE_LENGTH + 6
+
+
+def rbx_features(profile: FrequencyProfile) -> np.ndarray:
+    """Feature vector of one frequency profile."""
+    counts = np.zeros(PROFILE_LENGTH, dtype=np.float64)
+    take = min(PROFILE_LENGTH, profile.counts.size)
+    counts[:take] = profile.counts[:take]
+    features = np.concatenate(
+        [
+            np.log1p(counts),
+            [
+                np.log1p(profile.sample_size),
+                np.log1p(profile.population_size),
+                np.log1p(profile.sample_distinct),
+                np.log1p(profile.tail_distinct),
+                np.log1p(profile.tail_rows),
+                profile.sampling_rate,
+            ],
+        ]
+    )
+    return features
+
+
+def ndv_to_target(ndv: float) -> float:
+    """Training target for a true NDV."""
+    return float(np.log1p(max(ndv, 0.0)))
+
+
+def target_to_ndv(target: float) -> float:
+    """Inverse of :func:`ndv_to_target`."""
+    return float(np.expm1(target))
+
+
+def clamp_estimate(estimate: float, profile: FrequencyProfile) -> float:
+    """Clamp a raw network output to the feasible NDV range.
+
+    The true NDV is at least the sample's distinct count and at most the
+    population size; clamping enforces these hard bounds exactly as a
+    production integration must (a model is never allowed to output an
+    infeasible hash-table size).
+    """
+    lower = float(max(profile.sample_distinct, 1))
+    upper = float(max(profile.population_size, lower))
+    return float(np.clip(estimate, lower, upper))

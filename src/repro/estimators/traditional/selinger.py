@@ -1,0 +1,92 @@
+"""Selinger-style COUNT estimator (the "sketch-based" baseline).
+
+This is the estimator ByteHouse originally shipped: per-column equi-height
+histograms composed under the two classical assumptions --
+
+* **attribute independence**: conjunctive selectivities multiply;
+* **join uniformity**: an equi-join's selectivity is
+  ``1 / max(V(left key), V(right key))``.
+
+Both assumptions are exactly what the synthetic datasets violate (correlated
+columns, skewed fan-out), producing the orders-of-magnitude P99 Q-Errors of
+the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EstimationError
+from repro.estimators.base import CountEstimator
+from repro.estimators.traditional.histogram import EquiHeightHistogram
+from repro.sql.query import CardQuery
+from repro.storage.catalog import Catalog
+
+
+class SelingerEstimator(CountEstimator):
+    """Histogram + independence + join-uniformity estimator."""
+
+    name = "sketch"
+
+    def __init__(self, catalog: Catalog, num_buckets: int = 64):
+        self.catalog = catalog
+        self.num_buckets = num_buckets
+        self._histograms: dict[tuple[str, str], EquiHeightHistogram] = {}
+        self._table_rows: dict[str, int] = {}
+        for table_name in catalog.table_names():
+            table = catalog.table(table_name)
+            self._table_rows[table_name] = len(table)
+            for column_name in table.column_names():
+                values = table.column(column_name).values
+                if len(values) == 0:
+                    continue
+                self._histograms[(table_name, column_name)] = EquiHeightHistogram(
+                    values, num_buckets=num_buckets
+                )
+
+    # ------------------------------------------------------------------
+    def histogram(self, table: str, column: str) -> EquiHeightHistogram:
+        try:
+            return self._histograms[(table, column)]
+        except KeyError:
+            raise EstimationError(
+                f"no histogram for {table}.{column}; was the column empty?"
+            ) from None
+
+    def table_selectivity(self, query: CardQuery, table: str) -> float:
+        """Independence-composed selectivity of the predicates on ``table``."""
+        selectivity = 1.0
+        for pred in query.predicates_on(table):
+            selectivity *= self.histogram(table, pred.column).selectivity(pred)
+        for group in query.or_groups:
+            members = [p for p in group if p.table == table]
+            if not members:
+                continue
+            # Inclusion-exclusion under independence: 1 - prod(1 - s_i).
+            miss = 1.0
+            for pred in members:
+                miss *= 1.0 - self.histogram(table, pred.column).selectivity(pred)
+            selectivity *= 1.0 - miss
+        return selectivity
+
+    def selectivity(self, query: CardQuery) -> float:
+        if not query.is_single_table():
+            raise EstimationError("selectivity() is defined for single tables")
+        return self.table_selectivity(query, query.tables[0])
+
+    def estimate_count(self, query: CardQuery) -> float:
+        estimate = 1.0
+        for table in query.tables:
+            rows = self._table_rows[table]
+            estimate *= rows * self.table_selectivity(query, table)
+        for join in query.joins:
+            left_ndv = self.histogram(
+                join.left_table, join.left_column
+            ).total_distinct
+            right_ndv = self.histogram(
+                join.right_table, join.right_column
+            ).total_distinct
+            estimate /= max(left_ndv, right_ndv, 1)
+        return max(estimate, 0.0)
+
+    def estimation_overhead(self, query: CardQuery) -> float:
+        # Histogram lookups are a handful of binary searches: near-free.
+        return 0.02 * (len(query.all_predicates()) + len(query.joins) + 1)

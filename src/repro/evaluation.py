@@ -1,0 +1,79 @@
+"""Evaluation harness: estimator accuracy over a workload in one call.
+
+The benchmarks and examples repeatedly need "run estimator X over workload
+W and summarize Q-Errors"; this module is that loop, with ground truth
+cached in the workload where available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.estimators.base import CountEstimator, NdvEstimator
+from repro.metrics import QErrorSummary, qerror_many, summarize_qerrors
+from repro.storage.catalog import Catalog
+from repro.workloads.generator import Workload
+from repro.workloads.truth import true_count, true_ndv
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Accuracy summary of one estimator on one workload."""
+
+    estimator: str
+    workload: str
+    count_summary: QErrorSummary | None
+    ndv_summary: QErrorSummary | None
+
+
+def evaluate_count(
+    catalog: Catalog, workload: Workload, estimator: CountEstimator
+) -> QErrorSummary:
+    """Q-Error summary of COUNT estimates over the workload's queries."""
+    estimates = [estimator.estimate_count(q) for q in workload.queries]
+    truths = [
+        workload.true_counts.get(q.name) or true_count(catalog, q)
+        for q in workload.queries
+    ]
+    return summarize_qerrors(qerror_many(estimates, truths))
+
+
+def evaluate_ndv(
+    catalog: Catalog, workload: Workload, estimator: NdvEstimator
+) -> QErrorSummary:
+    """Q-Error summary of NDV estimates over the workload's NDV queries."""
+    estimates, truths = [], []
+    for query in workload.ndv_queries:
+        truth = true_ndv(catalog, query)
+        if truth == 0:
+            continue
+        estimates.append(estimator.estimate_ndv(query))
+        truths.append(truth)
+    return summarize_qerrors(qerror_many(estimates, truths))
+
+
+def evaluate(
+    catalog: Catalog,
+    workload: Workload,
+    count_estimator: CountEstimator | None = None,
+    ndv_estimator: NdvEstimator | None = None,
+    name: str = "",
+) -> EvaluationResult:
+    """Evaluate whichever estimators are supplied on one workload."""
+    if count_estimator is None and ndv_estimator is None:
+        raise ValueError("supply at least one estimator to evaluate")
+    return EvaluationResult(
+        estimator=name
+        or (count_estimator or ndv_estimator).name,  # type: ignore[union-attr]
+        workload=workload.name,
+        count_summary=(
+            evaluate_count(catalog, workload, count_estimator)
+            if count_estimator is not None
+            else None
+        ),
+        ndv_summary=(
+            evaluate_ndv(catalog, workload, ndv_estimator)
+            if ndv_estimator is not None
+            else None
+        ),
+    )

@@ -1,0 +1,25 @@
+"""Evaluation metrics used throughout the reproduction.
+
+The central metric is the *Q-Error* (Section 1 of the paper), the
+multiplicative estimation error ``max(est/true, true/est)`` whose theoretical
+lower bound is 1.  The package also provides quantile summaries (Tables 1-2),
+violin-plot statistics (Figure 7), and latency/cost records (Figure 5).
+"""
+
+from repro.metrics.qerror import qerror, qerror_many, QErrorSummary, summarize_qerrors
+from repro.metrics.quantiles import quantile, quantiles
+from repro.metrics.violin import ViolinStats, violin_stats
+from repro.metrics.latency import LatencyRecord, LatencyProfile
+
+__all__ = [
+    "qerror",
+    "qerror_many",
+    "QErrorSummary",
+    "summarize_qerrors",
+    "quantile",
+    "quantiles",
+    "ViolinStats",
+    "violin_stats",
+    "LatencyRecord",
+    "LatencyProfile",
+]

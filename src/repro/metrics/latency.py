@@ -1,0 +1,67 @@
+"""Latency records for the end-to-end evaluation (Figure 5).
+
+The engine's cost model produces a deterministic latency in abstract cost
+units per query; :class:`LatencyProfile` aggregates a workload's latencies
+into the normalized quantile bars the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.metrics.quantiles import quantile
+
+
+@dataclass(frozen=True)
+class LatencyRecord:
+    """Latency breakdown of one executed query, in abstract cost units."""
+
+    query_id: str
+    estimation_cost: float
+    io_cost: float
+    cpu_cost: float
+
+    @property
+    def total(self) -> float:
+        return self.estimation_cost + self.io_cost + self.cpu_cost
+
+
+@dataclass
+class LatencyProfile:
+    """Collects per-query latencies and reports the paper's quantile bars."""
+
+    records: list[LatencyRecord] = field(default_factory=list)
+
+    def add(self, record: LatencyRecord) -> None:
+        self.records.append(record)
+
+    def totals(self) -> list[float]:
+        return [r.total for r in self.records]
+
+    def percentile(self, q: float) -> float:
+        """Latency at quantile ``q`` (0-1) across recorded queries."""
+        return quantile(self.totals(), q)
+
+    def bars(self, qs: Sequence[float] = (0.50, 0.75, 0.90, 0.99)) -> dict[float, float]:
+        """The P50/P75/P90/P99 bars shown in Figure 5."""
+        return {q: self.percentile(q) for q in qs}
+
+    @staticmethod
+    def normalize(
+        profiles: dict[str, "LatencyProfile"],
+        qs: Sequence[float] = (0.50, 0.75, 0.90, 0.99),
+    ) -> dict[str, dict[float, float]]:
+        """Normalize several methods' bars against the global maximum.
+
+        Mirrors the paper's presentation: "latency normalized against the
+        highest value in each plot".
+        """
+        raw = {name: profile.bars(qs) for name, profile in profiles.items()}
+        peak = max(v for bars in raw.values() for v in bars.values())
+        if peak <= 0:
+            raise ValueError("cannot normalize all-zero latency profiles")
+        return {
+            name: {q: v / peak for q, v in bars.items()}
+            for name, bars in raw.items()
+        }

@@ -1,0 +1,92 @@
+"""Q-Error: the standard multiplicative cardinality-estimation error.
+
+For a true cardinality ``t`` and an estimate ``e``::
+
+    qerror(e, t) = max(e / t, t / e)        (both clamped to >= 1 row)
+
+The theoretical lower bound is 1 (a perfect estimate).  The paper reports
+Q-Error at the 50th/90th/99th percentiles (Tables 1 and 2) and as violin plots
+(Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.metrics.quantiles import quantile
+
+#: Estimates and truths below this many rows are clamped before dividing, the
+#: usual convention so that empty results do not yield infinite errors.
+_CLAMP_ROWS = 1.0
+
+
+def qerror(estimate: float, truth: float) -> float:
+    """Return the Q-Error of a single estimate.
+
+    Both arguments are clamped to at least one row; the result is always
+    ``>= 1``.
+
+    >>> qerror(10, 100)
+    10.0
+    >>> qerror(100, 10)
+    10.0
+    >>> qerror(0, 0)
+    1.0
+    """
+    est = max(float(estimate), _CLAMP_ROWS)
+    tru = max(float(truth), _CLAMP_ROWS)
+    return max(est / tru, tru / est)
+
+
+def qerror_many(
+    estimates: Iterable[float], truths: Iterable[float]
+) -> np.ndarray:
+    """Vectorized :func:`qerror` over parallel sequences.
+
+    Raises ``ValueError`` when the sequences differ in length.
+    """
+    est = np.maximum(np.asarray(list(estimates), dtype=np.float64), _CLAMP_ROWS)
+    tru = np.maximum(np.asarray(list(truths), dtype=np.float64), _CLAMP_ROWS)
+    if est.shape != tru.shape:
+        raise ValueError(
+            f"estimates and truths differ in length: {est.shape} vs {tru.shape}"
+        )
+    return np.maximum(est / tru, tru / est)
+
+
+@dataclass(frozen=True)
+class QErrorSummary:
+    """Quantile summary of a batch of Q-Errors (one cell group of Table 1/2)."""
+
+    count: int
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+    mean: float
+
+    def as_row(self) -> tuple[float, float, float]:
+        """The (50%, 90%, 99%) triple as printed in the paper's tables."""
+        return (self.p50, self.p90, self.p99)
+
+
+def summarize_qerrors(qerrors: Sequence[float]) -> QErrorSummary:
+    """Summarize Q-Errors into the paper's quantile report.
+
+    Raises ``ValueError`` on an empty input: a summary of nothing is a bug in
+    the caller's workload, not a value.
+    """
+    arr = np.asarray(qerrors, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty Q-Error sample")
+    return QErrorSummary(
+        count=int(arr.size),
+        p50=quantile(arr, 0.50),
+        p90=quantile(arr, 0.90),
+        p99=quantile(arr, 0.99),
+        maximum=float(arr.max()),
+        mean=float(arr.mean()),
+    )

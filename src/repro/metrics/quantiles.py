@@ -1,0 +1,28 @@
+"""Quantile helpers shared by the metric modules.
+
+A thin wrapper over :func:`numpy.quantile` that pins the interpolation method
+so every table in the reproduction uses the same definition of "P99".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def quantile(values: Sequence[float] | np.ndarray, q: float) -> float:
+    """Return the ``q``-quantile (0 <= q <= 1) with linear interpolation."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be within [0, 1], got {q}")
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot take a quantile of an empty sample")
+    return float(np.quantile(arr, q, method="linear"))
+
+
+def quantiles(
+    values: Sequence[float] | np.ndarray, qs: Sequence[float]
+) -> list[float]:
+    """Return several quantiles of the same sample at once."""
+    return [quantile(values, q) for q in qs]

@@ -1,0 +1,54 @@
+"""Violin-plot statistics for Figure 7.
+
+The paper presents Q-Error distributions as violin plots; the quantities a
+reader extracts from such a plot are the median, the interquartile range, the
+whisker extent, and the density mass near 1.  :class:`ViolinStats` captures
+exactly those so the benchmark harness can print a textual violin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.metrics.quantiles import quantile
+
+
+@dataclass(frozen=True)
+class ViolinStats:
+    """Summary of one violin (one method on one workload)."""
+
+    count: int
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    maximum: float
+    #: Fraction of the distribution with Q-Error below 2 (the "width" of the
+    #: violin near the optimum -- most mass concentrated at small values).
+    frac_below_2: float
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range (height of the box inside the violin)."""
+        return self.p75 - self.p25
+
+
+def violin_stats(values: Sequence[float]) -> ViolinStats:
+    """Compute :class:`ViolinStats` for a sample of Q-Errors."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot compute violin statistics of an empty sample")
+    return ViolinStats(
+        count=int(arr.size),
+        minimum=float(arr.min()),
+        p25=quantile(arr, 0.25),
+        median=quantile(arr, 0.50),
+        p75=quantile(arr, 0.75),
+        p95=quantile(arr, 0.95),
+        maximum=float(arr.max()),
+        frac_below_2=float(np.mean(arr < 2.0)),
+    )

@@ -1,0 +1,64 @@
+"""SQL frontend: lexer, parser, AST, binder, and query featurization.
+
+The paper's Inference Engine exposes two featurization entry points --
+``featurizeSQLQuery`` (parse a SQL string) and ``featurizeAST`` (consume the
+analyzer's AST directly).  This package provides both: :func:`parse_sql`
+produces the AST, :class:`Binder` resolves it against a catalog into the
+semantic :class:`CardQuery` used by every estimator and by the engine, and
+:mod:`repro.sql.featurize` turns either form into feature vectors.
+"""
+
+from repro.sql.ast import (
+    SelectStatement,
+    ColumnRef,
+    Literal,
+    Comparison,
+    And,
+    Or,
+    Not,
+    InList,
+    Between,
+    FuncCall,
+    Star,
+    TableRef,
+    JoinClause,
+)
+from repro.sql.lexer import tokenize, Token, TokenType
+from repro.sql.parser import parse_sql
+from repro.sql.query import (
+    CardQuery,
+    TablePredicate,
+    JoinCondition,
+    PredicateOp,
+    AggKind,
+    AggSpec,
+)
+from repro.sql.binder import Binder, bind_sql
+
+__all__ = [
+    "SelectStatement",
+    "ColumnRef",
+    "Literal",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "InList",
+    "Between",
+    "FuncCall",
+    "Star",
+    "TableRef",
+    "JoinClause",
+    "tokenize",
+    "Token",
+    "TokenType",
+    "parse_sql",
+    "CardQuery",
+    "TablePredicate",
+    "JoinCondition",
+    "PredicateOp",
+    "AggKind",
+    "AggSpec",
+    "Binder",
+    "bind_sql",
+]

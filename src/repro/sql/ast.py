@@ -1,0 +1,225 @@
+"""Abstract syntax tree produced by the SQL parser.
+
+These nodes model exactly the query class the paper's workloads use:
+``SELECT`` with ``COUNT(*)`` / ``COUNT(DISTINCT col)`` / plain aggregates,
+inner joins with equality conditions, conjunctive/disjunctive predicate
+trees over single columns, and ``GROUP BY``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ColumnRef:
+    """``[qualifier.]name`` -- qualifier is a table name or alias (or None)."""
+
+    name: str
+    qualifier: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A numeric or string constant."""
+
+    value: Union[int, float, str]
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left <op> right`` with op in =, <>, <, <=, >, >=."""
+
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class And:
+    """Conjunction of two or more expressions."""
+
+    operands: tuple["Expression", ...]
+
+    def __str__(self) -> str:
+        return " AND ".join(f"({operand})" for operand in self.operands)
+
+
+@dataclass(frozen=True)
+class Or:
+    """Disjunction of two or more expressions."""
+
+    operands: tuple["Expression", ...]
+
+    def __str__(self) -> str:
+        return " OR ".join(f"({operand})" for operand in self.operands)
+
+
+@dataclass(frozen=True)
+class Not:
+    """Logical negation."""
+
+    operand: "Expression"
+
+    def __str__(self) -> str:
+        return f"NOT ({self.operand})"
+
+
+@dataclass(frozen=True)
+class InList:
+    """``column IN (v1, v2, ...)``."""
+
+    column: ColumnRef
+    values: tuple[Literal, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(v) for v in self.values)
+        return f"{self.column} IN ({inner})"
+
+
+@dataclass(frozen=True)
+class Between:
+    """``column BETWEEN low AND high`` (inclusive on both ends)."""
+
+    column: ColumnRef
+    low: Literal
+    high: Literal
+
+    def __str__(self) -> str:
+        return f"{self.column} BETWEEN {self.low} AND {self.high}"
+
+
+Expression = Union[ColumnRef, Literal, Comparison, And, Or, Not, InList, Between]
+
+
+# ---------------------------------------------------------------------------
+# Select list
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Star:
+    """``*`` inside an aggregate, e.g. COUNT(*)."""
+
+    def __str__(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """``FUNC([DISTINCT] arg)`` -- COUNT, SUM, AVG, MIN, MAX."""
+
+    func: str
+    arg: Union[ColumnRef, Star]
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        inner = f"DISTINCT {self.arg}" if self.distinct else str(self.arg)
+        return f"{self.func}({inner})"
+
+
+SelectItem = Union[FuncCall, ColumnRef, Star]
+
+
+# ---------------------------------------------------------------------------
+# FROM clause
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TableRef:
+    """``table [AS alias]``."""
+
+    table: str
+    alias: str | None = None
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or self.table
+
+    def __str__(self) -> str:
+        return f"{self.table} AS {self.alias}" if self.alias else self.table
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """``JOIN table [AS alias] ON condition`` (inner joins only)."""
+
+    table: TableRef
+    condition: Expression
+
+    def __str__(self) -> str:
+        return f"JOIN {self.table} ON {self.condition}"
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """The root AST node."""
+
+    select: tuple[SelectItem, ...]
+    from_tables: tuple[TableRef, ...]
+    joins: tuple[JoinClause, ...] = ()
+    where: Expression | None = None
+    group_by: tuple[ColumnRef, ...] = ()
+
+    def __str__(self) -> str:
+        parts = ["SELECT " + ", ".join(str(item) for item in self.select)]
+        parts.append("FROM " + ", ".join(str(t) for t in self.from_tables))
+        parts.extend(str(j) for j in self.joins)
+        if self.where is not None:
+            parts.append(f"WHERE {self.where}")
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(str(c) for c in self.group_by))
+        return " ".join(parts)
+
+
+def walk_expression(expr: Expression):
+    """Depth-first iterator over all nodes of an expression tree."""
+    yield expr
+    if isinstance(expr, (And, Or)):
+        for operand in expr.operands:
+            yield from walk_expression(operand)
+    elif isinstance(expr, Not):
+        yield from walk_expression(expr.operand)
+    elif isinstance(expr, Comparison):
+        yield from walk_expression(expr.left)
+        yield from walk_expression(expr.right)
+    elif isinstance(expr, InList):
+        yield expr.column
+        yield from expr.values
+    elif isinstance(expr, Between):
+        yield expr.column
+        yield expr.low
+        yield expr.high
+
+
+def conjuncts_of(expr: Expression) -> list[Expression]:
+    """Flatten nested ANDs into a list of conjuncts."""
+    if isinstance(expr, And):
+        flattened: list[Expression] = []
+        for operand in expr.operands:
+            flattened.extend(conjuncts_of(operand))
+        return flattened
+    return [expr]
+
+
+def disjuncts_of(expr: Expression) -> list[Expression]:
+    """Flatten nested ORs into a list of disjuncts."""
+    if isinstance(expr, Or):
+        flattened: list[Expression] = []
+        for operand in expr.operands:
+            flattened.extend(disjuncts_of(operand))
+        return flattened
+    return [expr]

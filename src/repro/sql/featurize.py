@@ -1,0 +1,153 @@
+"""Query featurization (the Inference Engine's ``featurize*`` interfaces).
+
+Produces the fixed vocabulary and feature vectors that query-driven models
+(MSCN) consume: a table one-hot, a join-edge one-hot against the catalog's
+collected join schema, and a *set* of per-predicate vectors (column one-hot,
+operator one-hot, min-max-normalized literal), following the MSCN paper's
+featurization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import BindError
+from repro.sql.ast import SelectStatement
+from repro.sql.binder import Binder
+from repro.sql.parser import parse_sql
+from repro.sql.query import CardQuery, PredicateOp, TablePredicate
+from repro.storage.catalog import Catalog
+
+_OP_ORDER = (
+    PredicateOp.EQ,
+    PredicateOp.NE,
+    PredicateOp.LT,
+    PredicateOp.LE,
+    PredicateOp.GT,
+    PredicateOp.GE,
+    PredicateOp.IN,
+    PredicateOp.BETWEEN,
+)
+
+
+@dataclass(frozen=True)
+class FeatureVector:
+    """Featurized query: flat components plus the predicate set.
+
+    ``tables`` and ``joins`` are multi-hot vectors; ``predicates`` is a
+    ``(num_predicates, pred_dim)`` matrix (possibly empty) whose rows are
+    per-predicate feature vectors.
+    """
+
+    tables: np.ndarray
+    joins: np.ndarray
+    predicates: np.ndarray
+
+    def pooled(self) -> np.ndarray:
+        """MSCN-style pooling: mean over the predicate set, concatenated."""
+        if self.predicates.shape[0] == 0:
+            pooled_preds = np.zeros(self.predicates.shape[1], dtype=np.float64)
+        else:
+            pooled_preds = self.predicates.mean(axis=0)
+        return np.concatenate([self.tables, self.joins, pooled_preds])
+
+
+class QueryFeaturizer:
+    """Builds feature vectors for bound queries against one catalog.
+
+    The vocabulary (tables, columns, join edges, value ranges) is frozen at
+    construction, making instances immutable and safe to share across query
+    threads -- the property the paper's ``initContext`` establishes.
+    """
+
+    def __init__(self, catalog: Catalog):
+        self._binder = Binder(catalog)
+        self._tables = tuple(catalog.table_names())
+        self._table_index = {t: i for i, t in enumerate(self._tables)}
+        self._join_edges = tuple(
+            (e.left_table, e.left_column, e.right_table, e.right_column)
+            for e in catalog.join_schema
+        )
+        self._join_index = {edge: i for i, edge in enumerate(self._join_edges)}
+        self._columns: list[tuple[str, str]] = []
+        self._ranges: dict[tuple[str, str], tuple[float, float]] = {}
+        for table_name in self._tables:
+            table = catalog.table(table_name)
+            for column_name in table.column_names():
+                key = (table_name, column_name)
+                self._columns.append(key)
+                values = table.column(column_name).values
+                if len(values):
+                    lo, hi = float(values.min()), float(values.max())
+                else:
+                    lo, hi = 0.0, 0.0
+                self._ranges[key] = (lo, hi if hi > lo else lo + 1.0)
+        self._column_index = {key: i for i, key in enumerate(self._columns)}
+
+    # ------------------------------------------------------------------
+    @property
+    def pred_dim(self) -> int:
+        return len(self._columns) + len(_OP_ORDER) + 1
+
+    @property
+    def pooled_dim(self) -> int:
+        return len(self._tables) + len(self._join_edges) + self.pred_dim
+
+    # ------------------------------------------------------------------
+    def featurize(self, query: CardQuery) -> FeatureVector:
+        """Featurize a bound :class:`CardQuery`."""
+        tables = np.zeros(len(self._tables), dtype=np.float64)
+        for table in query.tables:
+            index = self._table_index.get(table)
+            if index is None:
+                raise BindError(f"query table {table!r} unknown to featurizer")
+            tables[index] = 1.0
+
+        joins = np.zeros(max(1, len(self._join_edges)), dtype=np.float64)
+        for join in query.joins:
+            norm = join.normalized()
+            key = (
+                norm.left_table,
+                norm.left_column,
+                norm.right_table,
+                norm.right_column,
+            )
+            index = self._join_index.get(key)
+            # Joins outside the collected schema are simply not encoded; the
+            # model sees them through the table multi-hot instead.
+            if index is not None:
+                joins[index] = 1.0
+
+        preds = query.all_predicates()
+        matrix = np.zeros((len(preds), self.pred_dim), dtype=np.float64)
+        for row, pred in enumerate(preds):
+            matrix[row] = self._featurize_predicate(pred)
+        return FeatureVector(tables=tables, joins=joins, predicates=matrix)
+
+    def featurize_sql(self, sql: str) -> FeatureVector:
+        """The paper's ``featurizeSQLQuery``: parse, bind, featurize."""
+        return self.featurize(self._binder.bind(parse_sql(sql)))
+
+    def featurize_ast(self, statement: SelectStatement) -> FeatureVector:
+        """The paper's ``featurizeAST``: bind an analyzer AST, featurize."""
+        return self.featurize(self._binder.bind(statement))
+
+    # ------------------------------------------------------------------
+    def _featurize_predicate(self, pred: TablePredicate) -> np.ndarray:
+        vec = np.zeros(self.pred_dim, dtype=np.float64)
+        key = (pred.table, pred.column)
+        col_idx = self._column_index.get(key)
+        if col_idx is None:
+            raise BindError(f"predicate column {key} unknown to featurizer")
+        vec[col_idx] = 1.0
+        op_offset = len(self._columns)
+        vec[op_offset + _OP_ORDER.index(pred.op)] = 1.0
+        lo, hi = self._ranges[key]
+        if isinstance(pred.value, tuple):
+            raw = float(np.mean(pred.value))
+        else:
+            raw = float(pred.value)
+        vec[-1] = float(np.clip((raw - lo) / (hi - lo), 0.0, 1.0))
+        return vec

@@ -1,0 +1,235 @@
+"""Recursive-descent parser for the supported SQL dialect.
+
+Grammar (roughly)::
+
+    select    := SELECT select_list FROM table_ref (',' table_ref)*
+                 join* [WHERE expr] [GROUP BY column (',' column)*]
+    join      := [INNER] JOIN table_ref ON expr
+    expr      := or_expr
+    or_expr   := and_expr (OR and_expr)*
+    and_expr  := not_expr (AND not_expr)*
+    not_expr  := NOT not_expr | primary
+    primary   := '(' expr ')' | column IN '(' literal, ... ')'
+               | column BETWEEN literal AND literal
+               | operand cmp_op operand
+    operand   := column | literal
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.sql.ast import (
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expression,
+    FuncCall,
+    InList,
+    JoinClause,
+    Literal,
+    Not,
+    Or,
+    SelectItem,
+    SelectStatement,
+    Star,
+    TableRef,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing -------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _expect(self, ttype: TokenType, text: str | None = None) -> Token:
+        token = self._peek()
+        if token.type is not ttype or (text is not None and token.text != text):
+            want = text or ttype.value
+            raise ParseError(
+                f"expected {want!r}, found {token.text!r}", position=token.position
+            )
+        return self._advance()
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    # -- grammar --------------------------------------------------------
+    def parse(self) -> SelectStatement:
+        self._expect(TokenType.KEYWORD, "SELECT")
+        select = self._select_list()
+        self._expect(TokenType.KEYWORD, "FROM")
+        from_tables = [self._table_ref()]
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            from_tables.append(self._table_ref())
+        joins = []
+        while self._peek().is_keyword("JOIN") or self._peek().is_keyword("INNER"):
+            self._accept_keyword("INNER")
+            self._expect(TokenType.KEYWORD, "JOIN")
+            table = self._table_ref()
+            self._expect(TokenType.KEYWORD, "ON")
+            condition = self._expression()
+            joins.append(JoinClause(table, condition))
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._expression()
+        group_by: list[ColumnRef] = []
+        if self._accept_keyword("GROUP"):
+            self._expect(TokenType.KEYWORD, "BY")
+            group_by.append(self._column_ref())
+            while self._peek().type is TokenType.COMMA:
+                self._advance()
+                group_by.append(self._column_ref())
+        self._expect(TokenType.EOF)
+        return SelectStatement(
+            select=tuple(select),
+            from_tables=tuple(from_tables),
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+        )
+
+    def _select_list(self) -> list[SelectItem]:
+        items = [self._select_item()]
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            items.append(self._select_item())
+        return items
+
+    _AGG_FUNCS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+    def _select_item(self) -> SelectItem:
+        token = self._peek()
+        if token.type is TokenType.STAR:
+            self._advance()
+            return Star()
+        if token.type is TokenType.KEYWORD and token.text in self._AGG_FUNCS:
+            func = self._advance().text
+            self._expect(TokenType.LPAREN)
+            distinct = self._accept_keyword("DISTINCT")
+            if self._peek().type is TokenType.STAR:
+                self._advance()
+                arg: ColumnRef | Star = Star()
+            else:
+                arg = self._column_ref()
+            self._expect(TokenType.RPAREN)
+            return FuncCall(func, arg, distinct=distinct)
+        return self._column_ref()
+
+    def _table_ref(self) -> TableRef:
+        name = self._expect(TokenType.IDENT).text
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect(TokenType.IDENT).text
+        elif self._peek().type is TokenType.IDENT:
+            alias = self._advance().text
+        return TableRef(name, alias)
+
+    def _column_ref(self) -> ColumnRef:
+        first = self._expect(TokenType.IDENT).text
+        if self._peek().type is TokenType.DOT:
+            self._advance()
+            second = self._expect(TokenType.IDENT).text
+            return ColumnRef(second, qualifier=first)
+        return ColumnRef(first)
+
+    def _literal(self) -> Literal:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            text = token.text
+            value: int | float = float(text) if "." in text else int(text)
+            return Literal(value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.text)
+        raise ParseError(
+            f"expected a literal, found {token.text!r}", position=token.position
+        )
+
+    # -- expressions ----------------------------------------------------
+    def _expression(self) -> Expression:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expression:
+        operands = [self._and_expr()]
+        while self._accept_keyword("OR"):
+            operands.append(self._and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return Or(tuple(operands))
+
+    def _and_expr(self) -> Expression:
+        operands = [self._not_expr()]
+        while self._accept_keyword("AND"):
+            operands.append(self._not_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return And(tuple(operands))
+
+    def _not_expr(self) -> Expression:
+        if self._accept_keyword("NOT"):
+            return Not(self._not_expr())
+        return self._primary()
+
+    def _primary(self) -> Expression:
+        token = self._peek()
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            inner = self._expression()
+            self._expect(TokenType.RPAREN)
+            return inner
+        left = self._operand()
+        nxt = self._peek()
+        if nxt.is_keyword("IN"):
+            if not isinstance(left, ColumnRef):
+                raise ParseError("IN requires a column on the left", nxt.position)
+            self._advance()
+            self._expect(TokenType.LPAREN)
+            values = [self._literal()]
+            while self._peek().type is TokenType.COMMA:
+                self._advance()
+                values.append(self._literal())
+            self._expect(TokenType.RPAREN)
+            return InList(left, tuple(values))
+        if nxt.is_keyword("BETWEEN"):
+            if not isinstance(left, ColumnRef):
+                raise ParseError("BETWEEN requires a column on the left", nxt.position)
+            self._advance()
+            low = self._literal()
+            self._expect(TokenType.KEYWORD, "AND")
+            high = self._literal()
+            return Between(left, low, high)
+        if nxt.type is TokenType.OP:
+            op = self._advance().text
+            right = self._operand()
+            return Comparison(op, left, right)
+        raise ParseError(
+            f"expected a comparison, found {nxt.text!r}", position=nxt.position
+        )
+
+    def _operand(self) -> Expression:
+        token = self._peek()
+        if token.type is TokenType.IDENT:
+            return self._column_ref()
+        return self._literal()
+
+
+def parse_sql(sql: str) -> SelectStatement:
+    """Parse a SQL string into a :class:`SelectStatement` AST."""
+    return _Parser(tokenize(sql)).parse()

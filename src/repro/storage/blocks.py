@@ -1,0 +1,69 @@
+"""Block iteration over columns, with I/O accounting.
+
+The engine never reads a column wholesale: it reads *blocks* (runs of
+``table.block_size`` rows) and charges each block to an :class:`IOCounter`.
+Multi-stage readers exploit this by skipping blocks whose rows were already
+filtered out by earlier, more selective columns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.storage.io_stats import IOCounter
+from repro.storage.table import Table
+
+
+def block_count(num_rows: int, block_size: int) -> int:
+    """Number of blocks needed to store ``num_rows`` rows."""
+    if block_size <= 0:
+        raise ValueError(f"block_size must be positive, got {block_size}")
+    return (num_rows + block_size - 1) // block_size
+
+
+def block_slices(num_rows: int, block_size: int) -> Iterator[slice]:
+    """Yield the row slice of every block, in order."""
+    for start in range(0, num_rows, block_size):
+        yield slice(start, min(start + block_size, num_rows))
+
+
+class BlockReader:
+    """Reads column blocks from one table, charging an :class:`IOCounter`.
+
+    The reader is deliberately stateless between calls so that several query
+    threads can share one instance; only the counter is mutated, matching the
+    paper's "immutable data structures for lock-free inference" discipline.
+    """
+
+    def __init__(self, table: Table, io: IOCounter):
+        self.table = table
+        self.io = io
+
+    def read_column_block(self, column: str, block_index: int) -> np.ndarray:
+        """Read one block of one column, charging exactly one block I/O."""
+        col = self.table.column(column)
+        start = block_index * self.table.block_size
+        if start >= self.table.num_rows or block_index < 0:
+            raise IndexError(
+                f"block {block_index} out of range for table {self.table.name!r}"
+            )
+        stop = min(start + self.table.block_size, self.table.num_rows)
+        values = col.values[start:stop]
+        bytes_per_row = max(1, col.nbytes // max(1, self.table.num_rows))
+        self.io.record_block(
+            self.table.name, column, rows=stop - start, nbytes=len(values) * bytes_per_row
+        )
+        return values
+
+    def read_column_blocks(
+        self, column: str, block_indices: Sequence[int]
+    ) -> dict[int, np.ndarray]:
+        """Read several blocks of one column (e.g. the surviving blocks)."""
+        return {
+            index: self.read_column_block(column, index) for index in block_indices
+        }
+
+    def total_blocks(self) -> int:
+        return block_count(self.table.num_rows, self.table.block_size)

@@ -1,0 +1,119 @@
+"""The catalog: registered tables plus the collected join schema.
+
+ByteHouse customers do not declare PK-FK relationships, so the paper's Model
+Preprocessor *collects* join patterns from the analyzer instead.  The catalog
+stores the result as a :class:`JoinSchema` -- an undirected multigraph of
+joinable column pairs -- which both FactorJoin training and the optimizer's
+join-order enumeration consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import SchemaError
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """One joinable column pair: ``left_table.left_column = right_table.right_column``."""
+
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+
+    def normalized(self) -> "JoinEdge":
+        """Canonical orientation (tables in lexicographic order)."""
+        if (self.left_table, self.left_column) <= (self.right_table, self.right_column):
+            return self
+        return JoinEdge(
+            self.right_table, self.right_column, self.left_table, self.left_column
+        )
+
+    def touches(self, table: str) -> bool:
+        return table in (self.left_table, self.right_table)
+
+    def other(self, table: str) -> tuple[str, str]:
+        """The (table, column) on the opposite side of ``table``."""
+        if table == self.left_table:
+            return (self.right_table, self.right_column)
+        if table == self.right_table:
+            return (self.left_table, self.left_column)
+        raise SchemaError(f"join edge {self} does not touch table {table!r}")
+
+
+class JoinSchema:
+    """The set of join edges known for a database."""
+
+    def __init__(self, edges: Iterable[JoinEdge] = ()):
+        self._edges: set[JoinEdge] = {edge.normalized() for edge in edges}
+
+    def add(self, edge: JoinEdge) -> None:
+        self._edges.add(edge.normalized())
+
+    def __iter__(self) -> Iterator[JoinEdge]:
+        return iter(sorted(self._edges, key=lambda e: (e.left_table, e.left_column,
+                                                       e.right_table, e.right_column)))
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __contains__(self, edge: JoinEdge) -> bool:
+        return edge.normalized() in self._edges
+
+    def edges_for(self, table: str) -> list[JoinEdge]:
+        return [edge for edge in self if edge.touches(table)]
+
+    def join_keys_of(self, table: str) -> list[str]:
+        """Columns of ``table`` that participate in any join edge."""
+        keys: list[str] = []
+        for edge in self:
+            if edge.left_table == table and edge.left_column not in keys:
+                keys.append(edge.left_column)
+            if edge.right_table == table and edge.right_column not in keys:
+                keys.append(edge.right_column)
+        return keys
+
+
+class Catalog:
+    """Registered tables and their join schema."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self.join_schema = JoinSchema()
+
+    def register(self, table: Table) -> None:
+        if table.name in self._tables:
+            raise SchemaError(f"table {table.name!r} is already registered")
+        self._tables[table.name] = table
+
+    def replace(self, table: Table) -> None:
+        """Replace a table's contents (used by scaling experiments)."""
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"unknown table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def add_join_edge(
+        self, left_table: str, left_column: str, right_table: str, right_column: str
+    ) -> None:
+        """Register a joinable column pair, validating both sides exist."""
+        for tbl, col in ((left_table, left_column), (right_table, right_column)):
+            if not self.table(tbl).has_column(col):
+                raise SchemaError(f"table {tbl!r} has no column {col!r}")
+        self.join_schema.add(JoinEdge(left_table, left_column, right_table, right_column))
+
+    def total_rows(self) -> int:
+        return sum(len(tbl) for tbl in self._tables.values())

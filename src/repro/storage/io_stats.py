@@ -1,0 +1,48 @@
+"""Read-I/O accounting.
+
+ByteHouse charges I/O per column block read from the distributed file system.
+:class:`IOCounter` is the in-process equivalent: readers report every block
+they touch, and Figure 6(a)'s "Reading I/Os" is the resulting
+:attr:`blocks_read` total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOCounter:
+    """Mutable tally of read I/O performed by scans."""
+
+    blocks_read: int = 0
+    rows_read: int = 0
+    bytes_read: int = 0
+    #: per-(table, column) block counts, for drill-down in benchmarks
+    per_column: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def record_block(
+        self, table: str, column: str, rows: int, nbytes: int
+    ) -> None:
+        """Record one column block read."""
+        self.blocks_read += 1
+        self.rows_read += rows
+        self.bytes_read += nbytes
+        key = (table, column)
+        self.per_column[key] = self.per_column.get(key, 0) + 1
+
+    def reset(self) -> None:
+        self.blocks_read = 0
+        self.rows_read = 0
+        self.bytes_read = 0
+        self.per_column.clear()
+
+    def snapshot(self) -> "IOCounter":
+        """Immutable-ish copy for before/after comparisons."""
+        copy = IOCounter(
+            blocks_read=self.blocks_read,
+            rows_read=self.rows_read,
+            bytes_read=self.bytes_read,
+        )
+        copy.per_column = dict(self.per_column)
+        return copy

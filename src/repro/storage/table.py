@@ -1,0 +1,170 @@
+"""Tables: ordered collections of equal-length columns plus schema metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.storage.column import Column
+from repro.storage.types import ColumnType
+
+#: Default rows per storage block; ByteHouse-like engines use granules of
+#: this order.  Small enough that multi-stage reading can actually skip
+#: blocks on the synthetic datasets.
+DEFAULT_BLOCK_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Schema entry for one column."""
+
+    name: str
+    ctype: ColumnType
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Immutable table schema: a name and an ordered list of column specs."""
+
+    name: str
+    columns: tuple[ColumnSpec, ...]
+
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(spec.name for spec in self.columns)
+
+    def spec(self, column: str) -> ColumnSpec:
+        for item in self.columns:
+            if item.name == column:
+                return item
+        raise SchemaError(f"table {self.name!r} has no column {column!r}")
+
+    def has_column(self, column: str) -> bool:
+        return any(item.name == column for item in self.columns)
+
+
+class Table:
+    """A named table of columns, all of the same length.
+
+    Rows are conceptually split into blocks of ``block_size`` rows; the block
+    structure is what the readers in :mod:`repro.engine.readers` iterate and
+    what I/O accounting counts.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Iterable[Column],
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ):
+        column_list = list(columns)
+        if not column_list:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        lengths = {len(col) for col in column_list}
+        if len(lengths) != 1:
+            raise SchemaError(
+                f"table {name!r} columns have inconsistent lengths: {sorted(lengths)}"
+            )
+        names = [col.name for col in column_list]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"table {name!r} has duplicate column names")
+        if block_size <= 0:
+            raise SchemaError(f"block_size must be positive, got {block_size}")
+        self.name = name
+        self.block_size = block_size
+        self._columns: dict[str, Column] = {col.name: col for col in column_list}
+        self._order: tuple[str, ...] = tuple(names)
+        self.num_rows = lengths.pop()
+
+    # ------------------------------------------------------------------
+    # Schema / access
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> TableSchema:
+        return TableSchema(
+            self.name,
+            tuple(
+                ColumnSpec(name, self._columns[name].ctype) for name in self._order
+            ),
+        )
+
+    def column_names(self) -> tuple[str, ...]:
+        return self._order
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={self.num_rows}, cols={len(self._order)})"
+
+    @property
+    def nbytes(self) -> int:
+        return sum(col.nbytes for col in self._columns.values())
+
+    # ------------------------------------------------------------------
+    # Construction and sampling
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        name: str,
+        arrays: Mapping[str, np.ndarray],
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> "Table":
+        """Build a table of INT/FLOAT columns straight from numpy arrays."""
+        columns = []
+        for col_name, arr in arrays.items():
+            arr = np.asarray(arr)
+            if np.issubdtype(arr.dtype, np.floating):
+                columns.append(Column(col_name, ColumnType.FLOAT, arr.astype(np.float64)))
+            elif np.issubdtype(arr.dtype, np.integer):
+                columns.append(Column(col_name, ColumnType.INT, arr.astype(np.int64)))
+            else:
+                raise SchemaError(
+                    f"from_arrays only accepts numeric arrays; column "
+                    f"{col_name!r} has dtype {arr.dtype}"
+                )
+        return cls(name, columns, block_size=block_size)
+
+    def sample(self, rows: int, rng: np.random.Generator) -> "Table":
+        """Uniform row sample without replacement (capped at the table size).
+
+        Used by the ModelForge service, the sampling estimator, and RBX's
+        sample-profile featurization.
+        """
+        if rows <= 0:
+            raise ValueError(f"sample size must be positive, got {rows}")
+        take = min(rows, self.num_rows)
+        indices = rng.choice(self.num_rows, size=take, replace=False)
+        indices.sort()
+        return Table(
+            self.name,
+            [self._columns[name].take(indices) for name in self._order],
+            block_size=self.block_size,
+        )
+
+    def select_rows(self, mask: np.ndarray) -> "Table":
+        """Return the sub-table of rows where ``mask`` is true."""
+        if mask.shape != (self.num_rows,):
+            raise ValueError(
+                f"mask shape {mask.shape} does not match table rows {self.num_rows}"
+            )
+        indices = np.flatnonzero(mask)
+        return Table(
+            self.name,
+            [self._columns[name].take(indices) for name in self._order],
+            block_size=self.block_size,
+        )

@@ -1,0 +1,67 @@
+"""Column types and the database-type -> ML-type mapping.
+
+The paper's *Model Preprocessor* performs a "preliminary type-mapping" that
+converts each database column type into a machine-learning-friendly type
+(Binary / Categorical / Continuous) and excludes complex types (Array, Map)
+that the CardEst models cannot handle.  Both halves live here.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Database column types supported by the storage layer."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    DATE = "date"  # stored as days-since-epoch integers
+    BOOL = "bool"
+    ARRAY = "array"  # complex type: excluded from model training
+    MAP = "map"  # complex type: excluded from model training
+
+    @property
+    def is_complex(self) -> bool:
+        """Complex types are beyond current CardEst models (paper Sec. 4.4.1)."""
+        return self in (ColumnType.ARRAY, ColumnType.MAP)
+
+
+class MLType(enum.Enum):
+    """Machine-learning feature types produced by the type mapping."""
+
+    BINARY = "binary"
+    CATEGORICAL = "categorical"
+    CONTINUOUS = "continuous"
+
+
+#: Distinct-value count at or below which an integer column is treated as
+#: categorical rather than continuous during type mapping.
+CATEGORICAL_NDV_THRESHOLD = 1000
+
+
+def ml_type_for(
+    ctype: ColumnType, distinct_count: int | None = None
+) -> MLType:
+    """Map a database type to its ML feature type.
+
+    ``distinct_count`` disambiguates integers: low-cardinality integers are
+    categorical (e.g. status codes), high-cardinality integers continuous
+    (e.g. timestamps).  Complex types raise :class:`SchemaError` because the
+    Model Preprocessor must have excluded them before mapping.
+    """
+    if ctype.is_complex:
+        raise SchemaError(f"complex type {ctype.value} has no ML mapping")
+    if ctype is ColumnType.BOOL:
+        return MLType.BINARY
+    if ctype is ColumnType.STRING:
+        return MLType.CATEGORICAL
+    if ctype is ColumnType.FLOAT:
+        return MLType.CONTINUOUS
+    # INT and DATE depend on cardinality.
+    if distinct_count is not None and distinct_count <= CATEGORICAL_NDV_THRESHOLD:
+        return MLType.CATEGORICAL
+    return MLType.CONTINUOUS

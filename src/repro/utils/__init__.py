@@ -1,0 +1,6 @@
+"""Small shared utilities: deterministic RNG handling and timers."""
+
+from repro.utils.rng import derive_rng, spawn_seed
+from repro.utils.timer import Stopwatch
+
+__all__ = ["derive_rng", "spawn_seed", "Stopwatch"]

@@ -1,0 +1,73 @@
+"""The paper's three evaluation workloads (Table 5).
+
+* **JOB-Hybrid**: 100 queries over IMDB, 2-5 joined tables, 1-2 group-by
+  keys.  Based on JOB-light (no string-pattern predicates) extended with
+  aggregation queries.
+* **STATS-Hybrid**: 200 queries over STATS, 2-8 joined tables, 1-2 group-by
+  keys.  Based on STATS-CEB extended with aggregation queries.
+* **AEOLUS-Online**: 200 queries over the 5-table AEOLUS schema, 2-5 joined
+  tables, 2-4 group-by keys, extracted (here: generated) to reflect the
+  online business workload.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import DatasetBundle
+from repro.workloads.generator import Workload, WorkloadSpec, generate_workload
+
+
+def job_hybrid(
+    bundle: DatasetBundle, num_queries: int = 100, seed: int = 101
+) -> Workload:
+    """JOB-Hybrid over an IMDB bundle."""
+    spec = WorkloadSpec(
+        name="JOB-Hybrid",
+        num_queries=num_queries,
+        min_tables=2,
+        max_tables=5,
+        max_predicates=4,
+        aggregation_fraction=0.35,
+        min_group_keys=1,
+        max_group_keys=2,
+        num_ndv_queries=max(20, num_queries // 2),
+        seed=seed,
+    )
+    return generate_workload(bundle, spec)
+
+
+def stats_hybrid(
+    bundle: DatasetBundle, num_queries: int = 200, seed: int = 102
+) -> Workload:
+    """STATS-Hybrid over a STATS bundle."""
+    spec = WorkloadSpec(
+        name="STATS-Hybrid",
+        num_queries=num_queries,
+        min_tables=2,
+        max_tables=8,
+        max_predicates=4,
+        aggregation_fraction=0.35,
+        min_group_keys=1,
+        max_group_keys=2,
+        num_ndv_queries=max(20, num_queries // 2),
+        seed=seed,
+    )
+    return generate_workload(bundle, spec)
+
+
+def aeolus_online(
+    bundle: DatasetBundle, num_queries: int = 200, seed: int = 103
+) -> Workload:
+    """AEOLUS-Online over an AEOLUS bundle."""
+    spec = WorkloadSpec(
+        name="AEOLUS-Online",
+        num_queries=num_queries,
+        min_tables=2,
+        max_tables=5,
+        max_predicates=3,
+        aggregation_fraction=0.5,
+        min_group_keys=2,
+        max_group_keys=4,
+        num_ndv_queries=max(20, num_queries // 2),
+        seed=seed,
+    )
+    return generate_workload(bundle, spec)

@@ -1,0 +1,324 @@
+"""Random workload generation over a dataset bundle.
+
+Generates the query class of the paper's hybrid workloads:
+
+* **COUNT queries** -- acyclic equi-join templates drawn from the collected
+  join schema with 1-4 single-column predicates (the JOB-light / STATS-CEB
+  style);
+* **aggregation queries** -- the same joins plus GROUP BY keys (the "Hybrid"
+  extension the paper adds for evaluating aggregation processing);
+* **NDV queries** -- single-table ``COUNT(DISTINCT col)`` with predicates,
+  matching how ByteHouse asks ByteCard for hash-table pre-sizing.
+
+Literals are drawn from actual column values so predicates are neither
+always-true nor always-false, and every emitted query is checked against
+ground truth to be non-empty and below a materialization cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.base import DatasetBundle
+from repro.sql.query import (
+    AggKind,
+    AggSpec,
+    CardQuery,
+    JoinCondition,
+    PredicateOp,
+    TablePredicate,
+)
+from repro.storage.catalog import JoinEdge
+from repro.utils.rng import derive_rng
+from repro.workloads.truth import true_count
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one generated workload (mirrors Table 5's rows)."""
+
+    name: str
+    num_queries: int
+    min_tables: int = 2
+    max_tables: int = 5
+    max_predicates: int = 4
+    #: fraction of queries that carry a GROUP BY (the "hybrid" aggregations)
+    aggregation_fraction: float = 0.4
+    #: fraction of queries carrying a disjunctive (OR) predicate group --
+    #: the form ByteCard rewrites via inclusion-exclusion and independence-
+    #: based estimators systematically overestimate on overlapping ranges
+    or_group_fraction: float = 0.3
+    min_group_keys: int = 1
+    max_group_keys: int = 2
+    num_ndv_queries: int = 60
+    #: reject queries whose true cardinality exceeds this (keeps end-to-end
+    #: engine runs tractable); ``None`` disables the cap
+    max_true_cardinality: float | None = 5e7
+    seed: int = 7
+
+
+@dataclass
+class Workload:
+    """A generated workload: COUNT/aggregation queries plus NDV queries."""
+
+    name: str
+    queries: list[CardQuery] = field(default_factory=list)
+    ndv_queries: list[CardQuery] = field(default_factory=list)
+    #: true COUNT per query name, filled during generation
+    true_counts: dict[str, int] = field(default_factory=dict)
+
+    def join_templates(self) -> set[frozenset[JoinCondition]]:
+        """Distinct join structures (Table 5's '# of join templates')."""
+        return {frozenset(q.joins) for q in self.queries if q.joins}
+
+
+class _QueryBuilder:
+    """Stateful random builder bound to one dataset bundle."""
+
+    def __init__(self, bundle: DatasetBundle, spec: WorkloadSpec):
+        self.bundle = bundle
+        self.spec = spec
+        self.rng = derive_rng(spec.seed, "workload", spec.name)
+        self.catalog = bundle.catalog
+        self.edges = list(self.catalog.join_schema)
+
+    # -- join templates ---------------------------------------------------
+    def random_join_template(
+        self, num_tables: int
+    ) -> tuple[tuple[str, ...], tuple[JoinCondition, ...]]:
+        """Random connected acyclic template with ``num_tables`` tables."""
+        if num_tables <= 1:
+            names = self.catalog.table_names()
+            return (names[self.rng.integers(len(names))],), ()
+        start_edge = self.edges[self.rng.integers(len(self.edges))]
+        tables = [start_edge.left_table, start_edge.right_table]
+        joins = [self._to_condition(start_edge)]
+        while len(tables) < num_tables:
+            frontier = [
+                edge
+                for edge in self.edges
+                if (edge.left_table in tables) != (edge.right_table in tables)
+            ]
+            if not frontier:
+                break
+            edge = frontier[self.rng.integers(len(frontier))]
+            new_table = (
+                edge.right_table if edge.left_table in tables else edge.left_table
+            )
+            tables.append(new_table)
+            joins.append(self._to_condition(edge))
+        return tuple(tables), tuple(joins)
+
+    @staticmethod
+    def _to_condition(edge: JoinEdge) -> JoinCondition:
+        return JoinCondition(
+            edge.left_table, edge.left_column, edge.right_table, edge.right_column
+        ).normalized()
+
+    # -- predicates ---------------------------------------------------------
+    def random_predicate(self, table: str) -> TablePredicate | None:
+        columns = self.bundle.filter_columns.get(table, [])
+        if not columns:
+            return None
+        column = columns[self.rng.integers(len(columns))]
+        values = self.catalog.table(table).column(column).values
+        anchor = float(values[self.rng.integers(len(values))])
+        choice = self.rng.random()
+        if choice < 0.35:
+            return TablePredicate(table, column, PredicateOp.EQ, anchor)
+        if choice < 0.55:
+            return TablePredicate(table, column, PredicateOp.LE, anchor)
+        if choice < 0.75:
+            return TablePredicate(table, column, PredicateOp.GE, anchor)
+        if choice < 0.9:
+            other = float(values[self.rng.integers(len(values))])
+            low, high = min(anchor, other), max(anchor, other)
+            return TablePredicate(table, column, PredicateOp.BETWEEN, (low, high))
+        picks = values[self.rng.integers(len(values), size=3)]
+        in_values = tuple(sorted({float(v) for v in picks}))
+        return TablePredicate(table, column, PredicateOp.IN, in_values)
+
+    def random_predicates(self, tables: tuple[str, ...]) -> tuple[TablePredicate, ...]:
+        """Predicates clustered on a focus table.
+
+        Analytical queries tend to stack several (often correlated) filters
+        on one table -- the pattern that makes column ordering and reader
+        selection matter.  A focus table receives most predicates; the rest
+        spread over the remaining tables.
+        """
+        count = int(self.rng.integers(1, self.spec.max_predicates + 1))
+        focus = tables[self.rng.integers(len(tables))]
+        predicates: list[TablePredicate] = []
+        used: set[tuple[str, str]] = set()
+        for _ in range(count * 4):  # retry budget for duplicate columns
+            if len(predicates) >= count:
+                break
+            if self.rng.random() < 0.7:
+                table = focus
+            else:
+                table = tables[self.rng.integers(len(tables))]
+            pred = self.random_predicate(table)
+            if pred is None or (pred.table, pred.column) in used:
+                continue
+            used.add((pred.table, pred.column))
+            predicates.append(pred)
+        return tuple(predicates)
+
+    def random_or_group(
+        self, tables: tuple[str, ...], used: set[tuple[str, str]]
+    ) -> tuple[TablePredicate, ...] | None:
+        """A disjunction of predicates on one column of one table.
+
+        Mixes overlapping ranges (e.g. two date windows sharing days --
+        where independence-composed OR selectivities overestimate) with
+        disjoint equality alternatives (``status = a OR status = b``).
+        """
+        table = tables[self.rng.integers(len(tables))]
+        columns = [
+            c
+            for c in self.bundle.filter_columns.get(table, [])
+            if (table, c) not in used
+        ]
+        if not columns:
+            return None
+        column = columns[self.rng.integers(len(columns))]
+        values = self.catalog.table(table).column(column).values
+        a = float(values[self.rng.integers(len(values))])
+        b = float(values[self.rng.integers(len(values))])
+        if self.rng.random() < 0.6:
+            # Overlapping ranges: [min, mid+span] OR [mid, max'].
+            low, high = min(a, b), max(a, b)
+            mid = (low + high) / 2.0
+            return (
+                TablePredicate(table, column, PredicateOp.BETWEEN, (low, max(mid, low))),
+                TablePredicate(
+                    table, column, PredicateOp.BETWEEN,
+                    (min((low + mid) / 2.0, high), high),
+                ),
+            )
+        if a == b:
+            return (TablePredicate(table, column, PredicateOp.EQ, a),)
+        return (
+            TablePredicate(table, column, PredicateOp.EQ, a),
+            TablePredicate(table, column, PredicateOp.EQ, b),
+        )
+
+    def random_group_by(
+        self, tables: tuple[str, ...]
+    ) -> tuple[tuple[str, str], ...]:
+        count = int(
+            self.rng.integers(self.spec.min_group_keys, self.spec.max_group_keys + 1)
+        )
+        keys: list[tuple[str, str]] = []
+        used: set[tuple[str, str]] = set()
+        for _ in range(count * 4):
+            if len(keys) >= count:
+                break
+            table = tables[self.rng.integers(len(tables))]
+            columns = self.bundle.filter_columns.get(table, [])
+            if not columns:
+                continue
+            column = columns[self.rng.integers(len(columns))]
+            if (table, column) in used:
+                continue
+            used.add((table, column))
+            keys.append((table, column))
+        return tuple(keys)
+
+    # -- NDV queries -----------------------------------------------------
+    def random_ndv_query(self, index: int) -> CardQuery | None:
+        tables = self.catalog.table_names()
+        table = tables[self.rng.integers(len(tables))]
+        columns = self.bundle.filter_columns.get(table, [])
+        # Include high-NDV columns as NDV targets (they are the hard cases).
+        targets = list(columns) + [
+            col for (tbl, col) in self.bundle.high_ndv_columns if tbl == table
+        ]
+        if not targets:
+            return None
+        target = targets[self.rng.integers(len(targets))]
+        # NDV queries carry predicates: the paper's motivating case is that
+        # aggregation targets "often are subject to user-defined predicates,
+        # making the precomputation of NDVs impractical".
+        predicates: list[TablePredicate] = []
+        for _ in range(int(self.rng.integers(1, 4))):
+            pred = self.random_predicate(table)
+            if pred is not None and pred.column != target:
+                predicates.append(pred)
+        if not predicates:
+            return None
+        return CardQuery(
+            tables=(table,),
+            predicates=tuple(predicates),
+            agg=AggSpec(AggKind.COUNT_DISTINCT, table, target),
+            name=f"{self.spec.name}-ndv-{index:03d}",
+        )
+
+
+def generate_workload(bundle: DatasetBundle, spec: WorkloadSpec) -> Workload:
+    """Generate a full workload per ``spec``, validated against ground truth."""
+    builder = _QueryBuilder(bundle, spec)
+    workload = Workload(name=spec.name)
+    rng = builder.rng
+
+    attempts = 0
+    max_attempts = spec.num_queries * 30
+    while len(workload.queries) < spec.num_queries and attempts < max_attempts:
+        attempts += 1
+        num_tables = int(rng.integers(spec.min_tables, spec.max_tables + 1))
+        tables, joins = builder.random_join_template(num_tables)
+        if len(tables) < spec.min_tables:
+            continue
+        predicates = builder.random_predicates(tables)
+        if not predicates:
+            continue
+        or_groups: tuple[tuple[TablePredicate, ...], ...] = ()
+        if rng.random() < spec.or_group_fraction:
+            used = {(p.table, p.column) for p in predicates}
+            group = builder.random_or_group(tables, used)
+            if group is not None:
+                or_groups = (group,)
+        is_agg = rng.random() < spec.aggregation_fraction
+        group_by = builder.random_group_by(tables) if is_agg else ()
+        if is_agg and not group_by:
+            continue
+        index = len(workload.queries)
+        query = CardQuery(
+            tables=tables,
+            joins=joins,
+            predicates=predicates,
+            or_groups=or_groups,
+            group_by=group_by,
+            agg=AggSpec(AggKind.COUNT),
+            name=f"{spec.name}-q{index:03d}",
+        )
+        truth = true_count(bundle.catalog, query)
+        if truth <= 0:
+            continue
+        if (
+            spec.max_true_cardinality is not None
+            and truth > spec.max_true_cardinality
+        ):
+            continue
+        workload.queries.append(query)
+        workload.true_counts[query.name] = truth
+
+    if len(workload.queries) < spec.num_queries:
+        raise RuntimeError(
+            f"workload {spec.name!r}: only generated {len(workload.queries)} of "
+            f"{spec.num_queries} queries within the attempt budget"
+        )
+
+    ndv_attempts = 0
+    while (
+        len(workload.ndv_queries) < spec.num_ndv_queries
+        and ndv_attempts < spec.num_ndv_queries * 20
+    ):
+        ndv_attempts += 1
+        query = builder.random_ndv_query(len(workload.ndv_queries))
+        if query is None:
+            continue
+        workload.ndv_queries.append(query)
+    return workload

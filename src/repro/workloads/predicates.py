@@ -1,0 +1,63 @@
+"""Vectorized predicate evaluation over numpy columns.
+
+Shared by the ground-truth calculator, the execution engine, and the
+sampling estimator, so that "what a predicate selects" has exactly one
+definition in the code base.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.sql.query import CardQuery, PredicateOp, TablePredicate
+from repro.storage.table import Table
+
+
+def predicate_mask(values: np.ndarray, pred: TablePredicate) -> np.ndarray:
+    """Boolean mask of rows in ``values`` satisfying ``pred``."""
+    op = pred.op
+    if op is PredicateOp.EQ:
+        return values == pred.value
+    if op is PredicateOp.NE:
+        return values != pred.value
+    if op is PredicateOp.LT:
+        return values < pred.value
+    if op is PredicateOp.LE:
+        return values <= pred.value
+    if op is PredicateOp.GT:
+        return values > pred.value
+    if op is PredicateOp.GE:
+        return values >= pred.value
+    if op is PredicateOp.IN:
+        return np.isin(values, np.asarray(pred.value))
+    if op is PredicateOp.BETWEEN:
+        low, high = pred.value  # type: ignore[misc]
+        return (values >= low) & (values <= high)
+    raise ExecutionError(f"unsupported predicate operator {op}")
+
+
+def table_mask(table: Table, query: CardQuery) -> np.ndarray:
+    """Mask of ``table`` rows satisfying the query's predicates on it.
+
+    Applies the AND-ed predicates and any OR-groups whose members all
+    reference this table.  OR-groups spanning several tables are not
+    produced by the workload generators and are rejected.
+    """
+    mask = np.ones(len(table), dtype=bool)
+    for pred in query.predicates:
+        if pred.table == table.name:
+            mask &= predicate_mask(table.column(pred.column).values, pred)
+    for group in query.or_groups:
+        group_tables = {p.table for p in group}
+        if table.name not in group_tables:
+            continue
+        if group_tables != {table.name}:
+            raise ExecutionError(
+                "OR-groups spanning multiple tables are not supported"
+            )
+        group_mask = np.zeros(len(table), dtype=bool)
+        for pred in group:
+            group_mask |= predicate_mask(table.column(pred.column).values, pred)
+        mask &= group_mask
+    return mask

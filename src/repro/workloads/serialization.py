@@ -1,0 +1,78 @@
+"""Workload (de)serialization: SQL files with cached ground truth.
+
+Workloads are reproducible artifacts: each query is stored as its SQL text
+plus its true cardinality, one JSON object per line, so a generated
+workload can be shipped, diffed, and re-bound against a regenerated (same
+seed) dataset without recomputing ground truth.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.sql.binder import bind_sql
+from repro.storage.catalog import Catalog
+from repro.workloads.generator import Workload
+
+_FORMAT_VERSION = 1
+
+
+def save_workload(workload: Workload, path: str | Path) -> None:
+    """Write a workload to a JSON-lines file."""
+    path = Path(path)
+    lines = [
+        json.dumps(
+            {
+                "format": _FORMAT_VERSION,
+                "name": workload.name,
+                "num_queries": len(workload.queries),
+                "num_ndv_queries": len(workload.ndv_queries),
+            }
+        )
+    ]
+    for query in workload.queries:
+        lines.append(
+            json.dumps(
+                {
+                    "kind": "count",
+                    "name": query.name,
+                    "sql": query.to_sql(),
+                    "true_count": workload.true_counts.get(query.name),
+                }
+            )
+        )
+    for query in workload.ndv_queries:
+        lines.append(
+            json.dumps({"kind": "ndv", "name": query.name, "sql": query.to_sql()})
+        )
+    path.write_text("\n".join(lines) + "\n")
+
+
+def load_workload(path: str | Path, catalog: Catalog) -> Workload:
+    """Read a workload back, re-binding each SQL string against ``catalog``."""
+    path = Path(path)
+    lines = path.read_text().splitlines()
+    if not lines:
+        raise ReproError(f"workload file {path} is empty")
+    header = json.loads(lines[0])
+    if header.get("format") != _FORMAT_VERSION:
+        raise ReproError(
+            f"workload file {path} has unsupported format {header.get('format')!r}"
+        )
+    workload = Workload(name=header["name"])
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        query = bind_sql(record["sql"], catalog, name=record["name"])
+        if record["kind"] == "count":
+            workload.queries.append(query)
+            if record.get("true_count") is not None:
+                workload.true_counts[query.name] = int(record["true_count"])
+        elif record["kind"] == "ndv":
+            workload.ndv_queries.append(query)
+        else:
+            raise ReproError(f"unknown workload record kind {record['kind']!r}")
+    return workload

@@ -1,0 +1,68 @@
+"""Workload statistics: the rows of the paper's Table 5."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.catalog import Catalog
+from repro.workloads.generator import Workload
+from repro.workloads.truth import true_count
+
+
+@dataclass(frozen=True)
+class WorkloadStatistics:
+    """One column of Table 5."""
+
+    name: str
+    num_queries: int
+    num_join_templates: int
+    min_joined_tables: int
+    max_joined_tables: int
+    min_group_keys: int
+    max_group_keys: int
+    min_true_cardinality: int
+    max_true_cardinality: int
+    queries_at_max_tables: int
+    queries_at_max_group_keys: int
+
+    def as_rows(self) -> list[tuple[str, str]]:
+        """Render as (label, value) pairs matching Table 5's layout."""
+        return [
+            ("# of queries", str(self.num_queries)),
+            ("# of join templates", str(self.num_join_templates)),
+            ("# of joined tables", f"{self.min_joined_tables}-{self.max_joined_tables}"),
+            ("# of group-by keys", f"{self.min_group_keys}-{self.max_group_keys}"),
+            (
+                "range of true cardinality",
+                f"{self.min_true_cardinality:.1e} - {self.max_true_cardinality:.1e}",
+            ),
+            ("# of queries hit the max joined-table", str(self.queries_at_max_tables)),
+            ("# of queries hit the max group-by key", str(self.queries_at_max_group_keys)),
+        ]
+
+
+def compute_statistics(catalog: Catalog, workload: Workload) -> WorkloadStatistics:
+    """Compute Table 5 statistics for a generated workload."""
+    if not workload.queries:
+        raise ValueError(f"workload {workload.name!r} has no queries")
+    joined = [q.num_joined_tables() for q in workload.queries]
+    group_keys = [len(q.group_by) for q in workload.queries if q.group_by]
+    truths = [
+        workload.true_counts.get(q.name) or true_count(catalog, q)
+        for q in workload.queries
+    ]
+    max_tables = max(joined)
+    max_groups = max(group_keys) if group_keys else 0
+    return WorkloadStatistics(
+        name=workload.name,
+        num_queries=len(workload.queries),
+        num_join_templates=len(workload.join_templates()),
+        min_joined_tables=min(joined),
+        max_joined_tables=max_tables,
+        min_group_keys=min(group_keys) if group_keys else 0,
+        max_group_keys=max_groups,
+        min_true_cardinality=min(truths),
+        max_true_cardinality=max(truths),
+        queries_at_max_tables=sum(1 for j in joined if j == max_tables),
+        queries_at_max_group_keys=sum(1 for g in group_keys if g == max_groups),
+    )

@@ -1,0 +1,174 @@
+"""Exact ground truth for COUNT, NDV, and group-by NDV.
+
+``true_count`` counts acyclic join results *without materializing them*,
+using Yannakakis-style weighted message passing over the query's join tree:
+every surviving row starts with weight 1; each child table is aggregated
+into per-join-key weight sums which multiply into its parent's row weights;
+the answer is the root's weight total.  This is exact for the acyclic join
+templates the workload generators emit and runs in near-linear time, which
+is what makes Q-Error evaluation over hundreds of queries feasible.
+
+``true_group_ndv`` counts distinct group-key combinations over a join by
+propagating *deduplicated projections* instead of weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.estimators.jointree import build_join_tree as _join_tree
+from repro.sql.query import AggKind, CardQuery, JoinCondition
+from repro.storage.catalog import Catalog
+from repro.workloads.predicates import table_mask
+
+
+def _subtree_weights(
+    catalog: Catalog,
+    query: CardQuery,
+    children: dict[str, list[tuple[str, JoinCondition]]],
+    table: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Surviving join-key-independent weights of ``table``'s subtree.
+
+    Returns ``(rows_mask_indices_values, weights)`` where the first array is
+    the table's surviving rows' values *per row* (the caller slices the join
+    column), but to stay general we return the surviving row indices and the
+    per-row weights.
+    """
+    tbl = catalog.table(table)
+    mask = table_mask(tbl, query)
+    indices = np.flatnonzero(mask)
+    weights = np.ones(indices.size, dtype=np.float64)
+    for child, join in children[table]:
+        child_indices, child_weights = _subtree_weights(catalog, query, children, child)
+        child_key = catalog.table(child).column(join.side_for(child)).values[child_indices]
+        # Aggregate child weights per join-key value.
+        uniques, inverse = np.unique(child_key, return_inverse=True)
+        if uniques.size == 0:
+            return indices[:0], weights[:0]
+        sums = np.zeros(uniques.size, dtype=np.float64)
+        np.add.at(sums, inverse, child_weights)
+        # Multiply into the parent rows joining those values.
+        parent_key = tbl.column(join.side_for(table)).values[indices]
+        positions = np.clip(np.searchsorted(uniques, parent_key), 0, uniques.size - 1)
+        matched = uniques[positions] == parent_key
+        factor = np.where(matched, sums[positions], 0.0)
+        weights = weights * factor
+        keep = weights > 0
+        indices = indices[keep]
+        weights = weights[keep]
+    return indices, weights
+
+
+def true_count(catalog: Catalog, query: CardQuery) -> int:
+    """Exact COUNT(*) of the query's (acyclic) join with its predicates."""
+    if query.is_single_table():
+        tbl = catalog.table(query.tables[0])
+        return int(table_mask(tbl, query).sum())
+    children = _join_tree(query)
+    _indices, weights = _subtree_weights(catalog, query, children, query.tables[0])
+    return int(round(weights.sum()))
+
+
+def true_ndv(catalog: Catalog, query: CardQuery) -> int:
+    """Exact COUNT(DISTINCT col) for a single-table query with predicates."""
+    if query.agg.kind is not AggKind.COUNT_DISTINCT:
+        raise ExecutionError("true_ndv requires a COUNT DISTINCT aggregate")
+    if not query.is_single_table():
+        raise ExecutionError("true_ndv supports single-table queries only")
+    table = catalog.table(query.tables[0])
+    assert query.agg.column is not None
+    mask = table_mask(table, query)
+    values = table.column(query.agg.column).values[mask]
+    if values.size == 0:
+        return 0
+    return int(np.unique(values).size)
+
+
+def true_group_ndv(catalog: Catalog, query: CardQuery) -> int:
+    """Exact number of distinct group-key combinations in the join result.
+
+    This is the quantity an aggregation operator's hash table must hold --
+    the ground truth for the hash-table pre-sizing experiments (Fig. 6b).
+    Computed by propagating deduplicated projections along the join tree, so
+    intermediate size is bounded by the product of group-key domains rather
+    than the join size.
+    """
+    if not query.group_by:
+        raise ExecutionError("query has no GROUP BY keys")
+    if query.is_single_table():
+        table = catalog.table(query.tables[0])
+        mask = table_mask(table, query)
+        stack = np.stack(
+            [table.column(col).values[mask] for _t, col in query.group_by]
+        )
+        if stack.shape[1] == 0:
+            return 0
+        return int(np.unique(stack, axis=1).shape[1])
+
+    children = _join_tree(query)
+    root = query.tables[0]
+    projection = _subtree_projection(catalog, query, children, root, parent_join=None)
+    if projection.shape[1] == 0:
+        return 0
+    group_cols = [i for i, _ in enumerate(query.group_by)]
+    if not group_cols:
+        return 0
+    return int(np.unique(projection[group_cols, :], axis=1).shape[1])
+
+
+def _subtree_projection(
+    catalog: Catalog,
+    query: CardQuery,
+    children: dict[str, list[tuple[str, JoinCondition]]],
+    table: str,
+    parent_join: JoinCondition | None,
+) -> np.ndarray:
+    """Distinct (group-keys..., parent-join-key?) tuples of a subtree.
+
+    Rows of the returned matrix: first ``len(query.group_by)`` rows are the
+    group-key columns (columns not in this subtree are filled with zero and
+    contribute nothing to distinctness ordering because they are constant),
+    and, when ``parent_join`` is given, one extra row holds the join-key
+    values toward the parent.
+    """
+    tbl = catalog.table(table)
+    mask = table_mask(tbl, query)
+    indices = np.flatnonzero(mask)
+
+    num_groups = len(query.group_by)
+    rows = [np.zeros(indices.size, dtype=np.int64) for _ in range(num_groups)]
+    owned = [i for i, (t, _c) in enumerate(query.group_by) if t == table]
+    for i in owned:
+        _t, col = query.group_by[i]
+        rows[i] = tbl.column(col).values[indices].astype(np.int64)
+
+    matrix = np.stack(rows) if num_groups else np.empty((0, indices.size), dtype=np.int64)
+
+    for child, join in children[table]:
+        child_proj = _subtree_projection(catalog, query, children, child, join)
+        child_key = child_proj[-1, :]
+        parent_key = tbl.column(join.side_for(table)).values[indices]
+        # Join: for each parent tuple, expand with matching distinct child tuples.
+        order = np.argsort(child_key, kind="stable")
+        child_sorted = child_proj[:, order]
+        sorted_keys = child_key[order]
+        left = np.searchsorted(sorted_keys, parent_key, side="left")
+        right = np.searchsorted(sorted_keys, parent_key, side="right")
+        counts = right - left
+        parent_repeat = np.repeat(np.arange(indices.size), counts)
+        child_take = np.concatenate(
+            [np.arange(lo, hi) for lo, hi in zip(left, right)]
+        ) if indices.size else np.empty(0, dtype=np.int64)
+        matrix = matrix[:, parent_repeat] + child_sorted[:-1, child_take]
+        indices = indices[parent_repeat]
+
+    out_rows = [matrix]
+    if parent_join is not None:
+        parent_key = tbl.column(parent_join.side_for(table)).values[indices]
+        out_rows.append(parent_key[np.newaxis, :].astype(np.int64))
+    full = np.concatenate(out_rows, axis=0) if out_rows else matrix
+    if full.shape[1] == 0:
+        return full
+    return np.unique(full, axis=1)

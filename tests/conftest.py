@@ -1,0 +1,58 @@
+"""Shared fixtures.
+
+Expensive artifacts (dataset bundles, trained models) are session-scoped so
+the suite stays fast; they are built at deliberately small scales -- tests
+verify behaviour and invariants, not benchmark-grade accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_aeolus, make_imdb, make_stats
+from repro.estimators.factorjoin import FactorJoinEstimator
+from repro.estimators.rbx import RBXNdvEstimator, train_rbx
+from repro.workloads import job_hybrid
+
+
+@pytest.fixture(scope="session")
+def imdb():
+    return make_imdb(scale=0.15)
+
+
+@pytest.fixture(scope="session")
+def stats():
+    return make_stats(scale=0.15)
+
+
+@pytest.fixture(scope="session")
+def aeolus():
+    return make_aeolus(scale=0.15)
+
+
+@pytest.fixture(scope="session")
+def imdb_workload(imdb):
+    return job_hybrid(imdb, num_queries=25, seed=77)
+
+
+@pytest.fixture(scope="session")
+def imdb_factorjoin(imdb):
+    return FactorJoinEstimator.train(imdb.catalog, imdb.filter_columns)
+
+
+@pytest.fixture(scope="session")
+def rbx_network():
+    # A small but genuinely trained network; accuracy assertions in tests
+    # are calibrated to this budget.
+    return train_rbx(num_examples=800, epochs=15, seed=5)
+
+
+@pytest.fixture(scope="session")
+def imdb_rbx(imdb, rbx_network):
+    return RBXNdvEstimator(imdb.catalog, rbx_network, sample_rows=4000)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,107 @@
+"""Concurrency tests for the serving path.
+
+The paper's central engineering claim for the Inference Engine: after
+``initContext`` freezes the immutable structures, estimation runs lock-free
+across query threads.  These tests hammer the full ByteCard serving path
+(BN + FactorJoin + RBX) from many threads and require bit-identical results
+with zero errors.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import ByteCard, ByteCardConfig
+from repro.workloads import aeolus_online
+
+
+@pytest.fixture(scope="module")
+def serving(aeolus):
+    config = ByteCardConfig(
+        training_sample_rows=4000,
+        rbx_corpus_size=300,
+        rbx_epochs=5,
+        join_bucket_count=40,
+        max_bins=32,
+    )
+    bytecard = ByteCard.build(aeolus, config=config, run_monitor=False)
+    workload = aeolus_online(aeolus, num_queries=12, seed=404)
+    return bytecard, workload
+
+
+class TestConcurrentServing:
+    def test_parallel_count_estimates_are_deterministic(self, serving):
+        bytecard, workload = serving
+        queries = workload.queries
+        expected = [bytecard.estimate_count(q) for q in queries]
+        errors: list[Exception] = []
+        mismatches: list[str] = []
+
+        def worker():
+            try:
+                for _round in range(8):
+                    for query, want in zip(queries, expected):
+                        got = bytecard.estimate_count(query)
+                        if got != want:
+                            mismatches.append(query.name)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert not mismatches
+
+    def test_parallel_ndv_estimates_are_deterministic(self, serving):
+        bytecard, workload = serving
+        queries = workload.ndv_queries[:8]
+        expected = [bytecard.estimate_ndv(q) for q in queries]
+        errors: list[Exception] = []
+        results: list[list[float]] = []
+
+        def worker():
+            try:
+                local = []
+                for _round in range(5):
+                    local = [bytecard.estimate_ndv(q) for q in queries]
+                results.append(local)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for local in results:
+            assert local == expected
+
+    def test_estimates_concurrent_with_monitoring(self, serving):
+        """Serving continues while the monitor re-assesses models (reads
+        only; the loader swap is the only writer and is not exercised)."""
+        bytecard, workload = serving
+        query = workload.queries[0]
+        expected = bytecard.estimate_count(query)
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def serve():
+            try:
+                while not stop.is_set():
+                    assert bytecard.estimate_count(query) == expected
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        try:
+            bytecard.run_monitor(fine_tune=False)
+        finally:
+            stop.set()
+            thread.join()
+        assert not errors

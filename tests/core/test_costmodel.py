@@ -1,0 +1,128 @@
+"""Tests for the learned cost model (the framework-extension path)."""
+
+import numpy as np
+import pytest
+
+from repro.core.costmodel import (
+    COST_FEATURE_DIM,
+    CostModelInferenceEngine,
+    QueryTraceCollector,
+    cost_features,
+    deserialize_cost_model,
+    serialize_cost_model,
+    train_cost_model,
+)
+from repro.core.validator import ModelValidator
+from repro.engine import EngineSession, EstimatorSuite
+from repro.errors import ModelError, TrainingError
+from repro.metrics import qerror
+
+
+@pytest.fixture(scope="module")
+def traced(imdb, imdb_factorjoin, imdb_workload):
+    """A collector filled with real execution traces."""
+    suite = EstimatorSuite("bytecard", imdb_factorjoin, None)
+    session = EngineSession(imdb.catalog, suite)
+    collector = QueryTraceCollector(imdb.catalog, imdb_factorjoin)
+    collector.collect_from_session(session, imdb_workload.queries)
+    return collector
+
+
+@pytest.fixture(scope="module")
+def cost_model(traced):
+    return train_cost_model(traced, epochs=150)
+
+
+class TestFeatures:
+    def test_feature_dim(self, imdb, imdb_factorjoin, imdb_workload):
+        vec = cost_features(
+            imdb.catalog, imdb_workload.queries[0], imdb_factorjoin
+        )
+        assert vec.shape == (COST_FEATURE_DIM,)
+
+    def test_features_are_plan_time_only(self, imdb, imdb_factorjoin, imdb_workload):
+        """Computing features must not execute the query (fast sanity)."""
+        import time
+
+        start = time.perf_counter()
+        for q in imdb_workload.queries[:10]:
+            cost_features(imdb.catalog, q, imdb_factorjoin)
+        assert time.perf_counter() - start < 1.0
+
+
+class TestTraining:
+    def test_needs_enough_traces(self, imdb, imdb_factorjoin):
+        collector = QueryTraceCollector(imdb.catalog, imdb_factorjoin)
+        with pytest.raises(TrainingError):
+            train_cost_model(collector)
+
+    def test_predictions_track_measured_cost(self, traced, cost_model):
+        """In-sample cost predictions land within a small multiplicative
+        factor for most traces."""
+        errors = []
+        for trace in traced.traces:
+            predicted = float(
+                np.expm1(cost_model.forward(trace.features[np.newaxis, :])[0])
+            )
+            errors.append(qerror(max(predicted, 1e-3), max(trace.measured_cost, 1e-3)))
+        assert np.median(errors) < 2.0
+
+    def test_ranks_cheap_vs_expensive(self, traced, cost_model):
+        costs = sorted(traced.traces, key=lambda t: t.measured_cost)
+        cheap, expensive = costs[0], costs[-1]
+        if expensive.measured_cost < 4 * cheap.measured_cost:
+            pytest.skip("workload lacks cost spread")
+        p_cheap = float(cost_model.forward(cheap.features[np.newaxis, :])[0])
+        p_expensive = float(cost_model.forward(expensive.features[np.newaxis, :])[0])
+        assert p_expensive > p_cheap
+
+
+class TestInferenceEngine:
+    def test_lifecycle(self, imdb, imdb_factorjoin, cost_model, imdb_workload):
+        engine = CostModelInferenceEngine(
+            imdb.catalog, ModelValidator(1 << 30), imdb_factorjoin
+        )
+        assert engine.load_model(serialize_cost_model(cost_model))
+        assert engine.validate().ok
+        with pytest.raises(ModelError):
+            engine.estimate(imdb_workload.queries[0])
+        engine.init_context()
+        assert engine.estimate(imdb_workload.queries[0]) > 0.0
+
+    def test_rejects_wrong_blob_kind(self, imdb, imdb_factorjoin):
+        from repro.core.serialization import serialize_rbx
+        from repro.estimators.rbx import MLP
+
+        engine = CostModelInferenceEngine(
+            imdb.catalog, ModelValidator(1 << 30), imdb_factorjoin
+        )
+        assert not engine.load_model(serialize_rbx(MLP(8, hidden=(4,))))
+
+    def test_serialization_roundtrip(self, cost_model):
+        restored = deserialize_cost_model(serialize_cost_model(cost_model))
+        x = np.random.default_rng(0).normal(size=(3, COST_FEATURE_DIM))
+        assert np.allclose(cost_model.forward(x), restored.forward(x))
+
+    def test_registry_and_loader_manage_cost_models(
+        self, imdb, imdb_factorjoin, cost_model
+    ):
+        """Cost models flow through the same registry/loader machinery as
+        CardEst models -- the integration story of Section 7."""
+        from repro.core.loader import ModelLoader
+        from repro.core.registry import ModelRegistry
+
+        registry = ModelRegistry()
+        registry.publish("costmodel", "engine", serialize_cost_model(cost_model))
+        validator = ModelValidator(1 << 30)
+        loader = ModelLoader(
+            registry,
+            validator,
+            engine_factory=lambda kind, name: CostModelInferenceEngine(
+                imdb.catalog, validator, imdb_factorjoin
+            ),
+            max_total_bytes=1 << 30,
+        )
+        report = loader.refresh()
+        assert report.loaded == [("costmodel", "engine")]
+        engine = loader.get("costmodel", "engine")
+        assert engine is not None

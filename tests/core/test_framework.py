@@ -1,0 +1,259 @@
+"""Tests for the preprocessor, ModelForge, monitor, inference engines, and
+the ByteCard facade -- the framework lifecycle end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ByteCard,
+    ByteCardConfig,
+    ModelForgeService,
+    ModelMonitor,
+    ModelPreprocessor,
+    ModelRegistry,
+)
+from repro.core.engine import BNInferenceEngine, RBXInferenceEngine
+from repro.core.modelforge import IngestionSignal
+from repro.core.validator import ModelValidator
+from repro.errors import ModelError, TrainingError
+from repro.sql.query import CardQuery, PredicateOp, TablePredicate
+from repro.storage.types import MLType
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ByteCardConfig(
+        training_sample_rows=5000,
+        rbx_corpus_size=600,
+        rbx_epochs=10,
+        monitor_queries_per_table=8,
+        join_bucket_count=60,
+        max_bins=32,
+    )
+
+
+@pytest.fixture(scope="module")
+def built(aeolus, config):
+    return ByteCard.build(aeolus, config=config)
+
+
+class TestPreprocessor:
+    def test_info_excludes_nothing_for_scalar_schemas(self, imdb):
+        pre = ModelPreprocessor(imdb.catalog, join_bucket_count=30)
+        rows = pre.preprocessor_info(imdb.filter_columns)
+        tables = {row.table for row in rows}
+        assert tables == set(imdb.catalog.table_names())
+
+    def test_join_keys_flagged(self, imdb):
+        pre = ModelPreprocessor(imdb.catalog, join_bucket_count=30)
+        rows = pre.preprocessor_info(imdb.filter_columns)
+        keys = {(r.table, r.column) for r in rows if r.is_join_key}
+        assert ("title", "id") in keys
+        assert ("cast_info", "movie_id") in keys
+
+    def test_ml_types_assigned(self, imdb):
+        pre = ModelPreprocessor(imdb.catalog, join_bucket_count=30)
+        rows = pre.preprocessor_info(imdb.filter_columns)
+        by_col = {(r.table, r.column): r.ml_type for r in rows}
+        assert by_col[("title", "kind_id")] is MLType.CATEGORICAL
+
+    def test_join_patterns_collected(self, stats):
+        pre = ModelPreprocessor(stats.catalog)
+        patterns = pre.collect_join_patterns()
+        assert len(patterns) == len(stats.catalog.join_schema)
+
+    def test_training_columns_include_keys_and_filters(self, imdb):
+        pre = ModelPreprocessor(imdb.catalog, join_bucket_count=30)
+        columns = pre.training_columns(imdb.filter_columns)
+        assert "movie_id" in columns["cast_info"]
+        assert "role_id" in columns["cast_info"]
+
+
+class TestModelForge:
+    def test_training_publishes_models(self, imdb, config):
+        registry = ModelRegistry()
+        forge = ModelForgeService(registry, config)
+        infos = forge.train_count_models(imdb)
+        assert len(infos) == 6
+        for info in infos:
+            assert registry.latest("bn", info.name) is not None
+            assert info.nbytes > 0
+            assert info.seconds >= 0
+
+    def test_ingestion_signals_drive_cycle(self, imdb, config):
+        registry = ModelRegistry()
+        forge = ModelForgeService(registry, config)
+        forge.ingest_signal(IngestionSignal(table="title", source="hive"))
+        assert forge.dirty_tables() == {"title"}
+        infos = forge.run_training_cycle(imdb)
+        assert [i.name for i in infos] == ["title"]
+        assert forge.dirty_tables() == set()
+        assert forge.run_training_cycle(imdb) == []
+
+    def test_shard_training(self, imdb, config):
+        registry = ModelRegistry()
+        forge = ModelForgeService(registry, config)
+        infos = forge.train_sharded(imdb, "cast_info", "movie_id", num_shards=3)
+        assert len(infos) == 3
+        assert all("@shard" in i.name for i in infos)
+
+    def test_shard_training_validations(self, imdb, config):
+        forge = ModelForgeService(ModelRegistry(), config)
+        with pytest.raises(TrainingError):
+            forge.train_sharded(imdb, "cast_info", "movie_id", num_shards=1)
+        with pytest.raises(TrainingError):
+            forge.train_sharded(imdb, "cast_info", "nope", num_shards=2)
+
+    def test_rbx_universal_published(self, config):
+        registry = ModelRegistry()
+        forge = ModelForgeService(registry, config)
+        info = forge.train_rbx_universal()
+        assert registry.latest("rbx", "universal") is not None
+        assert info.nbytes > 100_000  # a few hundred KB of weights
+
+
+class TestInferenceEngineAPI:
+    def test_estimate_requires_context(self, imdb, config):
+        registry = ModelRegistry()
+        forge = ModelForgeService(registry, config)
+        forge.train_count_models(imdb, tables=["title"])
+        record = registry.latest("bn", "title")
+        assert record is not None
+        engine = BNInferenceEngine(imdb.catalog, ModelValidator(1 << 30))
+        assert engine.load_model(record.blob)
+        assert engine.validate().ok
+        query = engine.featurize_sql_query(
+            "SELECT COUNT(*) FROM title WHERE kind_id = 1"
+        )
+        with pytest.raises(ModelError):
+            engine.estimate(query)
+        engine.init_context()
+        assert engine.estimate(query) >= 0.0
+
+    def test_featurize_ast_equivalent(self, imdb, config):
+        registry = ModelRegistry()
+        forge = ModelForgeService(registry, config)
+        forge.train_count_models(imdb, tables=["title"])
+        record = registry.latest("bn", "title")
+        engine = BNInferenceEngine(imdb.catalog, ModelValidator(1 << 30))
+        engine.load_model(record.blob)
+        engine.init_context()
+        from repro.sql import parse_sql
+
+        sql = "SELECT COUNT(*) FROM title WHERE kind_id = 1"
+        via_sql = engine.estimate(engine.featurize_sql_query(sql))
+        via_ast = engine.estimate(engine.featurize_ast(parse_sql(sql)))
+        assert via_sql == via_ast
+
+    def test_load_model_rejects_garbage(self, imdb):
+        engine = BNInferenceEngine(imdb.catalog, ModelValidator(1 << 30))
+        assert not engine.load_model(b"not a model")
+        assert not engine.validate().ok
+
+
+class TestMonitor:
+    def test_count_gate_passes_good_model(self, imdb, config, imdb_factorjoin):
+        monitor = ModelMonitor(imdb, config)
+        report = monitor.assess_count_model("title", imdb_factorjoin)
+        assert report.qerrors
+        assert report.passed
+
+    def test_count_gate_fails_terrible_estimator(self, imdb, config):
+        from repro.estimators.base import CountEstimator
+
+        class Terrible(CountEstimator):
+            name = "terrible"
+
+            def estimate_count(self, query):
+                return 1e12
+
+        monitor = ModelMonitor(imdb, config)
+        report = monitor.assess_count_model("title", Terrible())
+        assert not report.passed
+
+    def test_ndv_assessment(self, imdb, config, imdb_rbx):
+        monitor = ModelMonitor(imdb, config)
+        report = monitor.assess_ndv_column("title", "production_year", imdb_rbx)
+        assert report.qerrors
+
+    def test_collect_column_samples(self, aeolus, config):
+        monitor = ModelMonitor(aeolus, config)
+        samples = monitor.collect_column_samples(
+            "impressions", "session_id", rates=(0.02, 0.05), repeats=2
+        )
+        assert len(samples) == 4
+        truth = samples[0][1]
+        column = aeolus.catalog.table("impressions").column("session_id")
+        assert truth == column.distinct_count()
+
+
+class TestByteCardFacade:
+    def test_build_loads_all_models(self, built, aeolus):
+        keys = built.loader.loaded_keys()
+        assert ("rbx", "universal") in keys
+        bn_names = {name for kind, name in keys if kind == "bn"}
+        assert bn_names == set(aeolus.catalog.table_names())
+
+    def test_estimates_whole_workload(self, built, aeolus):
+        from repro.workloads import aeolus_online, true_count
+        from repro.metrics import qerror
+
+        workload = aeolus_online(aeolus, num_queries=10, seed=55)
+        errors = [
+            qerror(built.estimate_count(q), workload.true_counts[q.name])
+            for q in workload.queries
+        ]
+        assert np.median(errors) < 20.0
+
+    def test_ndv_served(self, built, aeolus):
+        from repro.sql.query import AggKind, AggSpec
+
+        q = CardQuery(
+            tables=("impressions",),
+            predicates=(
+                TablePredicate("impressions", "region", PredicateOp.EQ, 1.0),
+            ),
+            agg=AggSpec(AggKind.COUNT_DISTINCT, "impressions", "user_segment"),
+        )
+        assert built.estimate_ndv(q) >= 1.0
+
+    def test_fallback_on_gated_table(self, built, aeolus):
+        """Force a table onto the fallback list: estimates must equal the
+        traditional estimator's."""
+        built.fallback_tables.add("ads")
+        try:
+            q = CardQuery(
+                tables=("ads",),
+                predicates=(
+                    TablePredicate("ads", "target_platform", PredicateOp.EQ, 1.0),
+                ),
+            )
+            assert built.estimate_count(q) == built._traditional_count.estimate_count(q)
+        finally:
+            built.fallback_tables.discard("ads")
+
+    def test_suite_integrates_with_engine(self, built, aeolus):
+        from repro.engine import EngineSession
+        from repro.workloads import aeolus_online, true_count
+
+        workload = aeolus_online(aeolus, num_queries=5, seed=56)
+        session = EngineSession(aeolus.catalog, built.as_suite())
+        for q in workload.queries:
+            result = session.run(q)
+            assert result.result_rows == true_count(aeolus.catalog, q)
+
+    def test_status_snapshot(self, built):
+        status = built.status()
+        assert status.loaded_models
+        assert isinstance(status.fallback_tables, set)
+
+    def test_refresh_idempotent(self, built, aeolus):
+        q = CardQuery(
+            tables=("ads",),
+            predicates=(
+                TablePredicate("ads", "content_type", PredicateOp.EQ, 2.0),
+            ),
+        )
+        before = built.estimate_count(q)
+        built.refresh()
+        assert built.estimate_count(q) == pytest.approx(before)

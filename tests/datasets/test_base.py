@@ -1,0 +1,118 @@
+"""Tests for the dataset generation primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.base import (
+    correlated_codes,
+    dates_column,
+    foreign_key,
+    high_ndv_column,
+    zipf_codes,
+    zipf_weights,
+)
+
+
+class TestZipf:
+    def test_weights_normalized(self):
+        weights = zipf_weights(100, 1.2)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_weights_monotone(self):
+        weights = zipf_weights(50, 1.0)
+        assert np.all(np.diff(weights) <= 0)
+
+    def test_zero_skew_is_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_invalid_domain(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+    def test_invalid_skew(self):
+        with pytest.raises(ValueError):
+            zipf_weights(10, -1.0)
+
+    def test_codes_in_domain(self, rng):
+        codes = zipf_codes(rng, 5000, domain=37, skew=1.5)
+        assert codes.min() >= 0
+        assert codes.max() < 37
+
+    def test_codes_are_skewed(self, rng):
+        codes = zipf_codes(rng, 20000, domain=100, skew=1.5)
+        counts = np.sort(np.bincount(codes, minlength=100))[::-1]
+        # The hottest value should be far more frequent than the median one.
+        assert counts[0] > 10 * max(1, counts[50])
+
+    def test_determinism(self):
+        a = zipf_codes(np.random.default_rng(7), 100, 10, 1.0)
+        b = zipf_codes(np.random.default_rng(7), 100, 10, 1.0)
+        assert np.array_equal(a, b)
+
+
+class TestCorrelatedCodes:
+    def test_full_strength_is_functional(self, rng):
+        parent = rng.integers(0, 5, 2000)
+        child = correlated_codes(rng, parent, domain=10, strength=1.0)
+        # Functional dependency: one child value per parent value.
+        for value in range(5):
+            assert np.unique(child[parent == value]).size == 1
+
+    def test_zero_strength_is_independent(self, rng):
+        parent = rng.integers(0, 5, 5000)
+        child = correlated_codes(rng, parent, domain=10, strength=0.0)
+        # Child distribution should not collapse per parent value.
+        for value in range(5):
+            assert np.unique(child[parent == value]).size > 3
+
+    def test_strength_bounds(self, rng):
+        with pytest.raises(ValueError):
+            correlated_codes(rng, np.zeros(5, dtype=np.int64), 4, strength=1.5)
+
+    def test_domain_respected(self, rng):
+        parent = rng.integers(0, 9, 1000)
+        child = correlated_codes(rng, parent, domain=6, strength=0.5)
+        assert child.max() < 6
+
+
+class TestForeignKey:
+    def test_references_in_range(self, rng):
+        fk = foreign_key(rng, 1000, parent_count=77)
+        assert fk.min() >= 0
+        assert fk.max() < 77
+
+    def test_fanout_is_skewed(self, rng):
+        fk = foreign_key(rng, 50_000, parent_count=500, skew=1.5)
+        fanout = np.sort(np.bincount(fk, minlength=500))[::-1]
+        assert fanout[0] > 20 * max(1, fanout[250])
+
+
+class TestDatesAndHighNdv:
+    def test_dates_in_span(self, rng):
+        days = dates_column(rng, 1000, start_day=1000, span_days=100)
+        assert days.min() >= 1000
+        assert days.max() < 1100
+
+    def test_dates_denser_recent(self, rng):
+        days = dates_column(rng, 20000, start_day=0, span_days=100, skew=1.0)
+        recent = np.sum(days >= 50)
+        old = np.sum(days < 50)
+        assert recent > old
+
+    def test_high_ndv_fraction(self, rng):
+        column = high_ndv_column(rng, 10_000, ndv_fraction=0.9)
+        ndv = np.unique(column).size
+        assert ndv > 5_000  # close to row count
+
+    def test_high_ndv_bounds(self, rng):
+        with pytest.raises(ValueError):
+            high_ndv_column(rng, 100, ndv_fraction=0.0)
+
+    @given(st.integers(10, 2000))
+    @settings(max_examples=20, deadline=None)
+    def test_high_ndv_never_exceeds_rows(self, n):
+        rng = np.random.default_rng(n)
+        column = high_ndv_column(rng, n)
+        assert np.unique(column).size <= n

@@ -1,0 +1,111 @@
+"""Tests for the IMDB / STATS / AEOLUS dataset bundles."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_aeolus, make_imdb, make_stats
+
+
+class TestSchemas:
+    def test_imdb_has_job_light_tables(self, imdb):
+        assert set(imdb.catalog.table_names()) == {
+            "title",
+            "movie_companies",
+            "cast_info",
+            "movie_info",
+            "movie_info_idx",
+            "movie_keyword",
+        }
+
+    def test_stats_has_eight_tables(self, stats):
+        assert len(stats.catalog.table_names()) == 8
+
+    def test_aeolus_has_five_tables(self, aeolus):
+        assert len(aeolus.catalog.table_names()) == 5
+
+    def test_imdb_star_join_schema(self, imdb):
+        # Every satellite joins title on movie_id.
+        assert len(imdb.catalog.join_schema) == 5
+        for edge in imdb.catalog.join_schema:
+            assert "title" in (edge.left_table, edge.right_table)
+
+    def test_stats_join_schema_size(self, stats):
+        assert len(stats.catalog.join_schema) == 10
+
+
+class TestIntegrity:
+    @pytest.mark.parametrize("maker", [make_imdb, make_stats, make_aeolus])
+    def test_referential_integrity(self, maker):
+        bundle = maker(scale=0.05)
+        bundle.validate_references()  # raises on dangling FKs
+
+    def test_primary_keys_are_dense(self, imdb):
+        # Rows are physically clustered by the ORDER BY key, so ids are not
+        # in positional order -- but the key set must stay dense 0..n-1.
+        ids = imdb.catalog.table("title").column("id").values
+        assert np.array_equal(np.sort(ids), np.arange(len(ids)))
+
+    def test_filter_columns_exist(self, stats):
+        for table, columns in stats.filter_columns.items():
+            tbl = stats.catalog.table(table)
+            for column in columns:
+                assert tbl.has_column(column), f"{table}.{column}"
+
+    def test_high_ndv_columns_are_high(self, aeolus):
+        for table, column in aeolus.high_ndv_columns:
+            col = aeolus.catalog.table(table).column(column)
+            assert col.distinct_count() > 0.3 * len(col)
+
+
+class TestScaleAndDeterminism:
+    def test_scale_changes_row_counts(self):
+        small = make_imdb(scale=0.05)
+        large = make_imdb(scale=0.1)
+        assert large.total_rows() > 1.5 * small.total_rows()
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            make_imdb(scale=0.0)
+
+    def test_same_seed_same_data(self):
+        a = make_aeolus(seed=9, scale=0.05)
+        b = make_aeolus(seed=9, scale=0.05)
+        for name in a.catalog.table_names():
+            ta, tb = a.catalog.table(name), b.catalog.table(name)
+            for column in ta.column_names():
+                assert np.array_equal(ta.column(column).values, tb.column(column).values)
+
+    def test_different_seed_different_data(self):
+        a = make_imdb(seed=1, scale=0.05)
+        b = make_imdb(seed=2, scale=0.05)
+        assert not np.array_equal(
+            a.catalog.table("cast_info").column("movie_id").values,
+            b.catalog.table("cast_info").column("movie_id").values,
+        )
+
+
+class TestCorrelationsExist:
+    def test_ads_platform_content_dependency(self, aeolus):
+        """The paper's Figure 4 tree: content_type depends on target_platform."""
+        ads = aeolus.catalog.table("ads")
+        platform = ads.column("target_platform").values
+        content = ads.column("content_type").values
+        # Conditional entropy of content given platform should be well below
+        # its marginal entropy -- i.e. the dependency is strong.
+        from repro.estimators.bn.chow_liu import pairwise_mutual_information
+
+        mi = pairwise_mutual_information(
+            platform, content, int(platform.max()) + 1, int(content.max()) + 1
+        )
+        assert mi > 0.3
+
+    def test_stats_votes_views_correlate(self, stats):
+        users = stats.catalog.table("users")
+        from repro.estimators.bn.chow_liu import pairwise_mutual_information
+
+        up = users.column("UpVotes").values
+        views = users.column("Views").values
+        mi = pairwise_mutual_information(
+            up, views, int(up.max()) + 1, int(views.max()) + 1
+        )
+        assert mi > 0.2

@@ -1,0 +1,79 @@
+"""Tests for distribution-preserving scaling."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_imdb, scale_bundle
+from repro.workloads import true_count
+from repro.sql.query import CardQuery, JoinCondition, PredicateOp, TablePredicate
+
+
+@pytest.fixture(scope="module")
+def base():
+    return make_imdb(scale=0.1)
+
+
+class TestIntegerScaling:
+    def test_row_counts_double(self, base):
+        scaled = scale_bundle(base, 2.0)
+        for name in base.catalog.table_names():
+            assert len(scaled.catalog.table(name)) == 2 * len(base.catalog.table(name))
+
+    def test_referential_integrity_preserved(self, base):
+        scale_bundle(base, 3.0).validate_references()
+
+    def test_value_distribution_preserved(self, base):
+        scaled = scale_bundle(base, 2.0)
+        original = base.catalog.table("title").column("kind_id").values
+        replica = scaled.catalog.table("title").column("kind_id").values
+        hist_a = np.bincount(original, minlength=7) / original.size
+        hist_b = np.bincount(replica, minlength=7) / replica.size
+        assert np.allclose(hist_a, hist_b)
+
+    def test_true_cardinalities_scale_linearly(self, base):
+        query = CardQuery(
+            tables=("title", "cast_info"),
+            joins=(JoinCondition("title", "id", "cast_info", "movie_id"),),
+            predicates=(
+                TablePredicate("title", "production_year", PredicateOp.GE, 1950.0),
+            ),
+        )
+        truth = true_count(base.catalog, query)
+        scaled = scale_bundle(base, 2.0)
+        assert true_count(scaled.catalog, query) == 2 * truth
+
+    def test_replicas_do_not_cross_join(self, base):
+        # Replica 1's FKs must reference replica 1's PKs only: the join
+        # count of the 2x bundle must be exactly 2x, not 4x.
+        query = CardQuery(
+            tables=("title", "movie_keyword"),
+            joins=(JoinCondition("title", "id", "movie_keyword", "movie_id"),),
+        )
+        truth = true_count(base.catalog, query)
+        scaled = scale_bundle(base, 2.0)
+        assert true_count(scaled.catalog, query) == 2 * truth
+
+
+class TestFractionalScaling:
+    def test_fractional_shrinks(self, base):
+        scaled = scale_bundle(base, 0.5)
+        assert scaled.total_rows() < base.total_rows()
+        scaled.validate_references()
+
+    def test_mixed_factor(self, base):
+        scaled = scale_bundle(base, 1.5)
+        title_rows = len(scaled.catalog.table("title"))
+        expected = int(1.5 * len(base.catalog.table("title")))
+        assert abs(title_rows - expected) <= 1
+        scaled.validate_references()
+
+    def test_invalid_factor(self, base):
+        with pytest.raises(ValueError):
+            scale_bundle(base, 0.0)
+
+    def test_metadata_carried_over(self, base):
+        scaled = scale_bundle(base, 2.0)
+        assert scaled.primary_keys == base.primary_keys
+        assert scaled.foreign_keys == base.foreign_keys
+        assert scaled.scale == pytest.approx(2.0 * base.scale)
+        assert len(scaled.catalog.join_schema) == len(base.catalog.join_schema)

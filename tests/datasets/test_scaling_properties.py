@@ -1,0 +1,56 @@
+"""Property-based tests on dataset scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import make_aeolus, scale_bundle
+from repro.sql.query import CardQuery, JoinCondition
+from repro.workloads import true_count
+
+_BASE = make_aeolus(scale=0.08, seed=5)
+_JOIN = CardQuery(
+    tables=("ads", "impressions"),
+    joins=(JoinCondition("ads", "ad_id", "impressions", "ad_id"),),
+)
+_BASE_JOIN_SIZE = true_count(_BASE.catalog, _JOIN)
+
+
+class TestScalingProperties:
+    @given(factor=st.integers(1, 4))
+    @settings(max_examples=4, deadline=None)
+    def test_integer_factors_scale_joins_exactly(self, factor):
+        scaled = scale_bundle(_BASE, float(factor))
+        assert true_count(scaled.catalog, _JOIN) == factor * _BASE_JOIN_SIZE
+
+    @given(factor=st.floats(0.2, 3.0))
+    @settings(max_examples=12, deadline=None)
+    def test_fractional_factors_keep_integrity(self, factor):
+        scaled = scale_bundle(_BASE, factor)
+        scaled.validate_references()  # no dangling FK anywhere
+        # Pure-parent tables (primary key, no foreign keys of their own)
+        # always retain their full key prefix; tables that are also
+        # children may keep fewer rows (their own FK constraints apply).
+        child_tables = {child for child, _col in _BASE.foreign_keys}
+        for name in _BASE.primary_keys:
+            if name in child_tables:
+                continue
+            expected = int((factor % 1.0) * len(_BASE.catalog.table(name)))
+            assert len(scaled.catalog.table(name)) >= expected
+
+    @given(factor=st.integers(1, 3))
+    @settings(max_examples=3, deadline=None)
+    def test_value_histograms_identical_for_integer_factors(self, factor):
+        scaled = scale_bundle(_BASE, float(factor))
+        base_vals = _BASE.catalog.table("ads").column("target_platform").values
+        scaled_vals = scaled.catalog.table("ads").column("target_platform").values
+        base_hist = np.bincount(base_vals, minlength=6)
+        scaled_hist = np.bincount(scaled_vals, minlength=6)
+        assert np.array_equal(scaled_hist, base_hist * factor)
+
+    def test_composition_of_scales(self):
+        once = scale_bundle(_BASE, 2.0)
+        twice = scale_bundle(once, 2.0)
+        direct = scale_bundle(_BASE, 4.0)
+        assert twice.total_rows() == direct.total_rows()
+        assert true_count(twice.catalog, _JOIN) == true_count(direct.catalog, _JOIN)

@@ -1,0 +1,73 @@
+"""Tests for the DP join-order strategy."""
+
+import pytest
+
+from repro.engine import EngineConfig, Executor
+from repro.engine.optimizer import Optimizer
+
+
+@pytest.fixture(scope="module")
+def optimizers(imdb_factorjoin):
+    greedy = Optimizer(
+        imdb_factorjoin, None, EngineConfig(join_order_strategy="greedy")
+    )
+    dp = Optimizer(imdb_factorjoin, None, EngineConfig(join_order_strategy="dp"))
+    return greedy, dp
+
+
+class TestDPJoinOrder:
+    def test_covers_all_joins(self, optimizers, imdb_workload):
+        _greedy, dp = optimizers
+        for query in imdb_workload.queries[:10]:
+            plan = dp.plan(query)
+            assert len(plan.join_order) == len(query.joins)
+            assert {j.normalized() for j in plan.join_order} == {
+                j.normalized() for j in query.joins
+            }
+
+    def test_order_is_connected(self, optimizers, imdb_workload):
+        _greedy, dp = optimizers
+        for query in imdb_workload.queries[:10]:
+            plan = dp.plan(query)
+            joined: set[str] = set()
+            for index, join in enumerate(plan.join_order):
+                tables = set(join.tables())
+                if index:
+                    assert tables & joined
+                joined |= tables
+
+    def test_dp_estimated_cost_at_most_greedy(self, imdb, optimizers, imdb_workload):
+        """DP's total *estimated* intermediate volume never exceeds
+        greedy's (both measured under the same estimator)."""
+        greedy, dp = optimizers
+        estimator = greedy.count_estimator
+
+        def estimated_volume(query, order):
+            from repro.engine.optimizer import Optimizer as Opt
+
+            total = 0.0
+            joined: set[str] = set()
+            used = []
+            for join in order:
+                joined |= set(join.tables())
+                used.append(join)
+                sub = Opt._connected_subquery(query, joined, used)
+                total += estimator.estimate_count(sub)
+            return total
+
+        for query in imdb_workload.queries[:10]:
+            if len(query.joins) < 2:
+                continue
+            greedy_order = greedy.plan(query).join_order
+            dp_order = dp.plan(query).join_order
+            assert estimated_volume(query, dp_order) <= estimated_volume(
+                query, greedy_order
+            ) * (1 + 1e-9)
+
+    def test_execution_matches_greedy_results(self, imdb, optimizers, imdb_workload):
+        greedy, dp = optimizers
+        executor = Executor(imdb.catalog)
+        for query in imdb_workload.queries[:6]:
+            a = executor.execute(greedy.plan(query))
+            b = executor.execute(dp.plan(query))
+            assert a.result_rows == b.result_rows

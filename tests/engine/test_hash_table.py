@@ -1,0 +1,91 @@
+"""Tests for the hash-table resize simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import SimulatedHashTable
+
+
+class TestBasics:
+    def test_initial_capacity_rounds_to_power_of_two(self):
+        table = SimulatedHashTable(initial_capacity=100)
+        assert table.capacity == 128
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SimulatedHashTable(initial_capacity=0)
+        with pytest.raises(ValueError):
+            SimulatedHashTable(load_factor=0.0)
+        with pytest.raises(ValueError):
+            SimulatedHashTable(initial_capacity=4).insert_distinct_total(-1)
+
+    def test_no_resize_when_presized(self):
+        table = SimulatedHashTable(initial_capacity=4096, load_factor=0.5)
+        table.insert_distinct_total(2000)
+        assert table.resize_count == 0
+        assert table.moved_entries == 0
+
+    def test_resizes_double_capacity(self):
+        table = SimulatedHashTable(initial_capacity=4, load_factor=0.5)
+        table.insert_distinct_total(100)
+        # thresholds crossed: 2, 4, 8, 16, 32, 64 -> capacity 256.
+        assert table.capacity == 256
+        assert table.resize_count == 6
+
+    def test_moved_entries_accumulate(self):
+        table = SimulatedHashTable(initial_capacity=4, load_factor=0.5)
+        table.insert_distinct_total(9)
+        # moves at thresholds 2, 4, 8: 2 + 4 + 8 = 14.
+        assert table.moved_entries == 14
+
+    def test_insert_stream_counts_distinct(self):
+        table = SimulatedHashTable(initial_capacity=256)
+        final = table.insert_stream(np.array([1, 1, 2, 3, 3, 3]))
+        assert final == 3
+        assert table.distinct == 3
+
+    def test_empty_stream(self):
+        table = SimulatedHashTable()
+        assert table.insert_stream(np.array([])) == 0
+
+
+class TestPreSizingEffect:
+    def test_good_estimate_eliminates_resizes(self):
+        """The Figure 6(b) mechanism: an accurate NDV estimate pre-sizes the
+        table and removes every resize a default-sized table would pay."""
+        keys = np.arange(50_000)
+        default = SimulatedHashTable(initial_capacity=256, load_factor=0.5)
+        default.insert_stream(keys)
+        presized = SimulatedHashTable(
+            initial_capacity=int(50_000 / 0.5), load_factor=0.5
+        )
+        presized.insert_stream(keys)
+        assert default.resize_count >= 8
+        assert presized.resize_count == 0
+        assert presized.moved_entries == 0
+
+    def test_underestimate_still_reduces_resizes(self):
+        keys = np.arange(10_000)
+        default = SimulatedHashTable(initial_capacity=256, load_factor=0.5)
+        default.insert_stream(keys)
+        underestimated = SimulatedHashTable(initial_capacity=5_000, load_factor=0.5)
+        underestimated.insert_stream(keys)
+        assert 0 < underestimated.resize_count < default.resize_count
+
+    @given(st.integers(1, 100_000), st.integers(1, 1 << 16))
+    @settings(max_examples=60, deadline=None)
+    def test_final_capacity_accommodates_distinct(self, distinct, initial):
+        table = SimulatedHashTable(initial_capacity=initial, load_factor=0.5)
+        table.insert_distinct_total(distinct)
+        assert table.capacity * table.load_factor >= table.distinct or (
+            table.distinct <= table.capacity * table.load_factor + 1
+        )
+        assert table.distinct == distinct
+
+    @given(st.integers(0, 50_000))
+    @settings(max_examples=40, deadline=None)
+    def test_resize_count_is_logarithmic(self, distinct):
+        table = SimulatedHashTable(initial_capacity=256, load_factor=0.5)
+        table.insert_distinct_total(distinct)
+        assert table.resize_count <= 32

@@ -1,0 +1,107 @@
+"""Tests for mutual information and Chow-Liu structure learning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.estimators.bn.chow_liu import (
+    chow_liu_tree,
+    mutual_information_matrix,
+    pairwise_mutual_information,
+    select_root,
+)
+
+
+class TestMutualInformation:
+    def test_independent_columns_near_zero(self, rng):
+        x = rng.integers(0, 4, 20_000)
+        y = rng.integers(0, 4, 20_000)
+        assert pairwise_mutual_information(x, y, 4, 4) < 0.01
+
+    def test_identical_columns_equal_entropy(self, rng):
+        x = rng.integers(0, 4, 20_000)
+        mi = pairwise_mutual_information(x, x, 4, 4)
+        probs = np.bincount(x, minlength=4) / x.size
+        entropy = -np.sum(probs[probs > 0] * np.log(probs[probs > 0]))
+        assert mi == pytest.approx(entropy, rel=0.01)
+
+    def test_symmetry(self, rng):
+        x = rng.integers(0, 3, 5000)
+        y = (x + rng.integers(0, 2, 5000)) % 3
+        assert pairwise_mutual_information(x, y, 3, 3) == pytest.approx(
+            pairwise_mutual_information(y, x, 3, 3)
+        )
+
+    def test_non_negative(self, rng):
+        x = rng.integers(0, 5, 1000)
+        y = rng.integers(0, 7, 1000)
+        assert pairwise_mutual_information(x, y, 5, 7) >= 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(TrainingError):
+            pairwise_mutual_information(np.array([], dtype=int), np.array([], dtype=int), 2, 2)
+
+    def test_matrix_shape_and_symmetry(self, rng):
+        binned = rng.integers(0, 3, size=(1000, 4))
+        matrix = mutual_information_matrix(binned, [3, 3, 3, 3])
+        assert matrix.shape == (4, 4)
+        assert np.allclose(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0)
+
+    def test_matrix_width_mismatch(self, rng):
+        with pytest.raises(TrainingError):
+            mutual_information_matrix(rng.integers(0, 2, (10, 3)), [2, 2])
+
+
+class TestChowLiuTree:
+    def test_recovers_chain_structure(self, rng):
+        """x0 -> x1 -> x2: the tree must link the adjacent pairs."""
+        n = 30_000
+        x0 = rng.integers(0, 4, n)
+        x1 = (x0 + (rng.random(n) < 0.1)) % 4
+        x2 = (x1 + (rng.random(n) < 0.1)) % 4
+        binned = np.stack([x0, x1, x2], axis=1)
+        mi = mutual_information_matrix(binned, [4, 4, 4])
+        parents = chow_liu_tree(mi, root=0)
+        edges = {frozenset((i, int(p))) for i, p in enumerate(parents) if p >= 0}
+        assert edges == {frozenset((0, 1)), frozenset((1, 2))}
+
+    def test_single_root(self, rng):
+        binned = rng.integers(0, 3, size=(500, 5))
+        mi = mutual_information_matrix(binned, [3] * 5)
+        parents = chow_liu_tree(mi, root=2)
+        assert np.sum(parents < 0) == 1
+        assert parents[2] == -1
+
+    def test_tree_is_acyclic_and_connected(self, rng):
+        binned = rng.integers(0, 4, size=(2000, 6))
+        mi = mutual_information_matrix(binned, [4] * 6)
+        parents = chow_liu_tree(mi)
+        # Each non-root reaches the root by parent pointers.
+        for start in range(6):
+            node, steps = start, 0
+            while parents[node] >= 0:
+                node = int(parents[node])
+                steps += 1
+                assert steps <= 6
+
+    def test_root_out_of_range(self):
+        with pytest.raises(TrainingError):
+            chow_liu_tree(np.zeros((3, 3)), root=5)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(TrainingError):
+            chow_liu_tree(np.zeros((3, 2)))
+
+    def test_select_root_prefers_high_total_mi(self, rng):
+        """The hub column of a star dependency becomes the root -- matching
+        the paper's Figure 4 where Target Platform roots the tree."""
+        n = 20_000
+        hub = rng.integers(0, 4, n)
+        leaves = [
+            (hub + (rng.random(n) < 0.1) * rng.integers(1, 4, n)) % 4
+            for _ in range(3)
+        ]
+        binned = np.stack([leaves[0], hub, leaves[1], leaves[2]], axis=1)
+        mi = mutual_information_matrix(binned, [4] * 4)
+        assert select_root(mi) == 1

@@ -1,0 +1,174 @@
+"""Tests for the immutable inference context and sum-product inference."""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError
+from repro.estimators.bn import BNInferenceContext
+
+
+def _chain_context():
+    """x0 -> x1, both binary, hand-specified CPDs."""
+    prior = np.array([0.6, 0.4])
+    transition = np.array([[0.9, 0.1], [0.2, 0.8]])
+    return BNInferenceContext.from_structure(
+        np.array([-1, 0]), [prior, transition]
+    )
+
+
+def _star_context():
+    """root with two children."""
+    prior = np.array([0.5, 0.5])
+    child = np.array([[0.7, 0.3], [0.4, 0.6]])
+    return BNInferenceContext.from_structure(
+        np.array([-1, 0, 0]), [prior, child, child.copy()]
+    )
+
+
+class TestConstruction:
+    def test_root_identified(self):
+        context = _chain_context()
+        assert context.root == 0
+        assert list(context.order) == [0, 1]
+
+    def test_multiple_roots_rejected(self):
+        with pytest.raises(ModelError):
+            BNInferenceContext.from_structure(
+                np.array([-1, -1]), [np.array([1.0]), np.array([1.0])]
+            )
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ModelError):
+            BNInferenceContext.from_structure(
+                np.array([1, 0]), [np.ones((2, 2)) / 2, np.ones((2, 2)) / 2]
+            )
+
+    def test_cpd_count_mismatch(self):
+        with pytest.raises(ModelError):
+            BNInferenceContext.from_structure(np.array([-1, 0]), [np.array([1.0])])
+
+    def test_root_cpd_must_be_1d(self):
+        with pytest.raises(ModelError):
+            BNInferenceContext.from_structure(
+                np.array([-1]), [np.ones((2, 2)) / 2]
+            )
+
+    def test_arrays_frozen(self):
+        context = _chain_context()
+        with pytest.raises(ValueError):
+            context.cpds[0][0] = 0.5
+
+
+class TestSelectivity:
+    def test_no_evidence_is_one(self):
+        context = _chain_context()
+        evidence = [np.ones(2), np.ones(2)]
+        assert context.selectivity(evidence) == pytest.approx(1.0)
+
+    def test_root_marginal(self):
+        context = _chain_context()
+        evidence = [np.array([1.0, 0.0]), np.ones(2)]
+        assert context.selectivity(evidence) == pytest.approx(0.6)
+
+    def test_child_marginal(self):
+        context = _chain_context()
+        evidence = [np.ones(2), np.array([1.0, 0.0])]
+        # P(x1=0) = 0.6*0.9 + 0.4*0.2 = 0.62
+        assert context.selectivity(evidence) == pytest.approx(0.62)
+
+    def test_joint(self):
+        context = _chain_context()
+        evidence = [np.array([0.0, 1.0]), np.array([1.0, 0.0])]
+        # P(x0=1, x1=0) = 0.4 * 0.2
+        assert context.selectivity(evidence) == pytest.approx(0.08)
+
+    def test_star_joint(self):
+        context = _star_context()
+        evidence = [np.array([1.0, 0.0]), np.array([1.0, 0.0]), np.array([0.0, 1.0])]
+        # P(r=0) * P(c1=0|r=0) * P(c2=1|r=0) = 0.5 * 0.7 * 0.3
+        assert context.selectivity(evidence) == pytest.approx(0.105)
+
+    def test_fractional_evidence(self):
+        context = _chain_context()
+        evidence = [np.array([0.5, 0.5]), np.ones(2)]
+        assert context.selectivity(evidence) == pytest.approx(0.5)
+
+    def test_evidence_shape_checked(self):
+        context = _chain_context()
+        with pytest.raises(ModelError):
+            context.selectivity([np.ones(3), np.ones(2)])
+        with pytest.raises(ModelError):
+            context.selectivity([np.ones(2)])
+
+
+class TestBeliefs:
+    def test_beliefs_sum_to_evidence_probability(self):
+        context = _star_context()
+        evidence = [np.ones(2), np.array([1.0, 0.0]), np.ones(2)]
+        beliefs, probability = context.beliefs(evidence)
+        for belief in beliefs:
+            assert belief.sum() == pytest.approx(probability)
+
+    def test_marginal_with_no_evidence_is_prior(self):
+        context = _chain_context()
+        evidence = [np.ones(2), np.ones(2)]
+        marginal = context.marginal_with_evidence(0, evidence)
+        assert np.allclose(marginal, [0.6, 0.4])
+
+    def test_child_marginal_no_evidence(self):
+        context = _chain_context()
+        evidence = [np.ones(2), np.ones(2)]
+        marginal = context.marginal_with_evidence(1, evidence)
+        assert np.allclose(marginal, [0.62, 0.38])
+
+    def test_conditional_reasoning_through_root(self):
+        """Evidence on one child shifts the other child's marginal."""
+        context = _star_context()
+        free = [np.ones(2), np.ones(2), np.ones(2)]
+        clamped = [np.ones(2), np.array([1.0, 0.0]), np.ones(2)]
+        free_marginal = context.marginal_with_evidence(2, free)
+        cond_marginal = context.marginal_with_evidence(2, clamped)
+        cond_marginal = cond_marginal / cond_marginal.sum()
+        free_marginal = free_marginal / free_marginal.sum()
+        # Seeing c1=0 makes root=0 likelier, which makes c2=0 likelier.
+        assert cond_marginal[0] > free_marginal[0]
+
+    @given(
+        e0=st.floats(0, 1),
+        e1=st.floats(0, 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_selectivity_bounded(self, e0, e1):
+        context = _chain_context()
+        evidence = [np.array([e0, 1 - e0]), np.array([e1, 1 - e1])]
+        assert 0.0 <= context.selectivity(evidence) <= 1.0
+
+
+class TestConcurrency:
+    def test_lock_free_parallel_inference(self):
+        """Many threads calling selectivity concurrently agree with the
+        single-threaded result -- the immutable-context guarantee the
+        paper's initContext establishes."""
+        context = _star_context()
+        evidence = [np.ones(2), np.array([1.0, 0.0]), np.array([0.3, 0.7])]
+        expected = context.selectivity(evidence)
+        results: list[float] = []
+        errors: list[Exception] = []
+
+        def worker():
+            try:
+                for _ in range(200):
+                    results.append(context.selectivity(evidence))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert all(r == pytest.approx(expected) for r in results)

@@ -1,0 +1,79 @@
+"""Tests for CPD parameter learning (MLE and EM)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.estimators.bn.learning import MISSING, learn_parameters
+
+
+def _chain_data(rng, n=5000, noise=0.1):
+    """x0 -> x1 chain with known transition structure."""
+    x0 = rng.integers(0, 3, n)
+    flip = rng.random(n) < noise
+    x1 = np.where(flip, rng.integers(0, 3, n), x0)
+    return np.stack([x0, x1], axis=1)
+
+
+class TestMLE:
+    def test_cpds_are_stochastic(self, rng):
+        binned = _chain_data(rng)
+        parents = np.array([-1, 0])
+        cpds = learn_parameters(binned, parents, [3, 3])
+        assert cpds[0].shape == (3,)
+        assert cpds[0].sum() == pytest.approx(1.0)
+        assert np.allclose(cpds[1].sum(axis=1), 1.0)
+
+    def test_learns_transition_structure(self, rng):
+        binned = _chain_data(rng, noise=0.05)
+        cpds = learn_parameters(binned, np.array([-1, 0]), [3, 3], smoothing=0.01)
+        # Diagonal of P(x1 | x0) should dominate.
+        assert np.all(np.diag(cpds[1]) > 0.8)
+
+    def test_root_prior_matches_marginal(self, rng):
+        binned = _chain_data(rng)
+        cpds = learn_parameters(binned, np.array([-1, 0]), [3, 3], smoothing=0.01)
+        empirical = np.bincount(binned[:, 0], minlength=3) / binned.shape[0]
+        assert np.allclose(cpds[0], empirical, atol=0.01)
+
+    def test_smoothing_avoids_zeros(self, rng):
+        binned = np.zeros((50, 2), dtype=np.int64)  # only bin 0 ever observed
+        cpds = learn_parameters(binned, np.array([-1, 0]), [3, 3], smoothing=0.1)
+        assert np.all(cpds[0] > 0)
+        assert np.all(cpds[1] > 0)
+
+    def test_rejects_empty_data(self):
+        with pytest.raises(TrainingError):
+            learn_parameters(np.empty((0, 2), dtype=np.int64), np.array([-1, 0]), [2, 2])
+
+    def test_rejects_width_mismatch(self, rng):
+        with pytest.raises(TrainingError):
+            learn_parameters(rng.integers(0, 2, (10, 2)), np.array([-1]), [2, 2])
+
+
+class TestEM:
+    def test_em_with_missing_recovers_mle(self, rng):
+        """With 20% of one column missing at random, EM's CPDs should stay
+        close to the fully observed MLE."""
+        binned = _chain_data(rng, n=8000, noise=0.1)
+        reference = learn_parameters(binned, np.array([-1, 0]), [3, 3])
+        corrupted = binned.copy()
+        drop = rng.random(corrupted.shape[0]) < 0.2
+        corrupted[drop, 1] = MISSING
+        learned = learn_parameters(
+            corrupted, np.array([-1, 0]), [3, 3], max_em_iterations=5
+        )
+        assert np.allclose(learned[1], reference[1], atol=0.08)
+
+    def test_em_requires_some_complete_rows(self, rng):
+        binned = np.full((20, 2), MISSING, dtype=np.int64)
+        with pytest.raises(TrainingError):
+            learn_parameters(binned, np.array([-1, 0]), [2, 2])
+
+    def test_em_output_stochastic(self, rng):
+        binned = _chain_data(rng, n=2000)
+        corrupted = binned.copy()
+        corrupted[rng.random(2000) < 0.3, 0] = MISSING
+        cpds = learn_parameters(corrupted, np.array([-1, 0]), [3, 3])
+        assert cpds[0].sum() == pytest.approx(1.0)
+        assert np.allclose(cpds[1].sum(axis=1), 1.0)

@@ -1,0 +1,177 @@
+"""Tests for the TreeBayesNet model and its estimator wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError, TrainingError
+from repro.estimators.bn import BNCountEstimator, fit_tree_bn
+from repro.metrics import qerror
+from repro.sql.query import CardQuery, PredicateOp, TablePredicate
+from repro.storage import Table
+from repro.workloads import true_count
+
+
+@pytest.fixture(scope="module")
+def correlated_table():
+    """A table with a strong functional-ish dependency a -> b."""
+    rng = np.random.default_rng(17)
+    n = 20_000
+    a = rng.integers(0, 8, n)
+    b = (a * 3 + (rng.random(n) < 0.1) * rng.integers(1, 5, n)) % 16
+    c = rng.integers(0, 4, n)  # independent
+    return Table.from_arrays("corr", {"a": a, "b": b, "c": c})
+
+
+class TestFit:
+    def test_fit_produces_context(self, correlated_table):
+        model = fit_tree_bn(correlated_table, ["a", "b", "c"])
+        assert model.context is not None
+        assert model.total_rows == len(correlated_table)
+
+    def test_structure_links_correlated_pair(self, correlated_table):
+        model = fit_tree_bn(correlated_table, ["a", "b", "c"])
+        index = {col: i for i, col in enumerate(model.columns)}
+        a, b = index["a"], index["b"]
+        edges = {
+            frozenset((i, int(p))) for i, p in enumerate(model.parents) if p >= 0
+        }
+        assert frozenset((a, b)) in edges
+
+    def test_rejects_unknown_column(self, correlated_table):
+        with pytest.raises(TrainingError):
+            fit_tree_bn(correlated_table, ["nope"])
+
+    def test_rejects_empty_columns(self, correlated_table):
+        with pytest.raises(TrainingError):
+            fit_tree_bn(correlated_table, [])
+
+    def test_single_column_model(self, correlated_table):
+        model = fit_tree_bn(correlated_table, ["a"])
+        sel = model.selectivity(
+            [TablePredicate("corr", "a", PredicateOp.EQ, 3.0)]
+        )
+        truth = float(np.mean(correlated_table.column("a").values == 3))
+        assert sel == pytest.approx(truth, rel=0.1)
+
+    def test_sampled_training(self, correlated_table, rng):
+        model = fit_tree_bn(
+            correlated_table, ["a", "b"], sample_rows=2000, rng=rng
+        )
+        sel = model.selectivity([TablePredicate("corr", "a", PredicateOp.LE, 3.0)])
+        truth = float(np.mean(correlated_table.column("a").values <= 3))
+        assert sel == pytest.approx(truth, abs=0.05)
+
+    def test_bucket_edges_respected(self, correlated_table):
+        edges = np.array([0.0, 4.0, 8.0])
+        model = fit_tree_bn(
+            correlated_table, ["a", "b"], bucket_edges={"a": edges}
+        )
+        assert model.discretizers["a"].num_bins == 2
+
+    def test_nbytes_positive(self, correlated_table):
+        assert fit_tree_bn(correlated_table, ["a", "b"]).nbytes > 0
+
+
+class TestSelectivity:
+    def test_captures_correlation(self, correlated_table):
+        """The BN must beat the independence assumption on a,b."""
+        model = fit_tree_bn(correlated_table, ["a", "b", "c"])
+        a_val = 2.0
+        b_val = 6.0  # = (2*3) % 16, the dependent value
+        preds = [
+            TablePredicate("corr", "a", PredicateOp.EQ, a_val),
+            TablePredicate("corr", "b", PredicateOp.EQ, b_val),
+        ]
+        values_a = correlated_table.column("a").values
+        values_b = correlated_table.column("b").values
+        truth = float(np.mean((values_a == a_val) & (values_b == b_val)))
+        independence = float(np.mean(values_a == a_val)) * float(
+            np.mean(values_b == b_val)
+        )
+        bn_sel = model.selectivity(preds)
+        assert abs(bn_sel - truth) < abs(independence - truth)
+        assert bn_sel == pytest.approx(truth, rel=0.25)
+
+    def test_no_predicates_is_one(self, correlated_table):
+        model = fit_tree_bn(correlated_table, ["a", "b"])
+        assert model.selectivity([]) == 1.0
+
+    def test_wrong_table_rejected(self, correlated_table):
+        model = fit_tree_bn(correlated_table, ["a"])
+        with pytest.raises(EstimationError):
+            model.selectivity([TablePredicate("other", "a", PredicateOp.EQ, 1.0)])
+
+    def test_unmodeled_column_rejected(self, correlated_table):
+        model = fit_tree_bn(correlated_table, ["a"])
+        with pytest.raises(EstimationError):
+            model.selectivity([TablePredicate("corr", "c", PredicateOp.EQ, 1.0)])
+
+    def test_distribution_sums_to_selectivity(self, correlated_table):
+        model = fit_tree_bn(correlated_table, ["a", "b", "c"])
+        preds = [TablePredicate("corr", "c", PredicateOp.LE, 1.0)]
+        dist = model.distribution("a", preds)
+        assert dist.sum() == pytest.approx(model.selectivity(preds), rel=1e-6)
+
+
+class TestBNCountEstimator:
+    def test_workload_accuracy_beats_independence(self, imdb, imdb_workload):
+        est = BNCountEstimator.train(imdb.catalog, imdb.filter_columns)
+        from repro.estimators.traditional import SelingerEstimator
+
+        sketch = SelingerEstimator(imdb.catalog)
+        bn_errors, sketch_errors = [], []
+        for q in imdb_workload.queries:
+            for table in q.tables:
+                sub = q.single_table_subquery(table)
+                if not sub.predicates:
+                    continue
+                truth = true_count(imdb.catalog, sub)
+                bn_errors.append(qerror(est.estimate_count(sub), truth))
+                sketch_errors.append(qerror(sketch.estimate_count(sub), truth))
+        assert np.median(bn_errors) <= np.median(sketch_errors)
+
+    def test_rejects_join_queries(self, imdb):
+        est = BNCountEstimator.train(imdb.catalog, {"title": ["kind_id"]})
+        from repro.sql.query import JoinCondition
+
+        q = CardQuery(
+            tables=("title", "cast_info"),
+            joins=(JoinCondition("title", "id", "cast_info", "movie_id"),),
+        )
+        with pytest.raises(EstimationError):
+            est.estimate_count(q)
+
+    def test_missing_model_rejected(self, imdb):
+        est = BNCountEstimator.train(imdb.catalog, {"title": ["kind_id"]})
+        with pytest.raises(EstimationError):
+            est.estimate_count(CardQuery(tables=("cast_info",)))
+
+    def test_or_group_inclusion_exclusion(self, correlated_table):
+        catalog_model = fit_tree_bn(correlated_table, ["a", "b", "c"])
+        est = BNCountEstimator({"corr": catalog_model})
+        q = CardQuery(
+            tables=("corr",),
+            or_groups=(
+                (
+                    TablePredicate("corr", "a", PredicateOp.EQ, 1.0),
+                    TablePredicate("corr", "a", PredicateOp.EQ, 2.0),
+                ),
+            ),
+        )
+        values = correlated_table.column("a").values
+        truth = float(np.sum((values == 1) | (values == 2)))
+        assert est.estimate_count(q) == pytest.approx(truth, rel=0.1)
+
+    def test_or_group_never_exceeds_one(self, correlated_table):
+        model = fit_tree_bn(correlated_table, ["a", "b", "c"])
+        est = BNCountEstimator({"corr": model})
+        q = CardQuery(
+            tables=("corr",),
+            or_groups=(
+                tuple(
+                    TablePredicate("corr", "a", PredicateOp.LE, float(v))
+                    for v in (3, 5, 7)
+                ),
+            ),
+        )
+        assert est.selectivity(q) <= 1.0

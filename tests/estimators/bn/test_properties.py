@@ -1,0 +1,97 @@
+"""Property-based tests on the BN estimator's probabilistic invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.estimators.bn import fit_tree_bn
+from repro.sql.query import PredicateOp, TablePredicate
+from repro.storage import Table
+
+_RNG = np.random.default_rng(99)
+_N = 8000
+_A = _RNG.integers(0, 10, _N)
+_B = (_A + _RNG.integers(0, 3, _N)) % 12
+_C = _RNG.integers(0, 500, _N)
+_TABLE = Table.from_arrays("prop", {"a": _A, "b": _B, "c": _C})
+_MODEL = fit_tree_bn(_TABLE, ["a", "b", "c"])
+
+
+def _pred(column, op, value):
+    return TablePredicate("prop", column, op, value)
+
+
+class TestProbabilityAxioms:
+    @given(
+        a_val=st.integers(-2, 12),
+        c_lo=st.integers(0, 500),
+        c_hi=st.integers(0, 500),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_selectivity_in_unit_interval(self, a_val, c_lo, c_hi):
+        lo, hi = min(c_lo, c_hi), max(c_lo, c_hi)
+        preds = [
+            _pred("a", PredicateOp.EQ, float(a_val)),
+            _pred("c", PredicateOp.BETWEEN, (float(lo), float(hi))),
+        ]
+        assert 0.0 <= _MODEL.selectivity(preds) <= 1.0
+
+    @given(
+        a_val=st.integers(0, 9),
+        threshold=st.integers(0, 500),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_adding_a_predicate_never_increases_selectivity(
+        self, a_val, threshold
+    ):
+        base = [_pred("a", PredicateOp.EQ, float(a_val))]
+        extended = base + [_pred("c", PredicateOp.LE, float(threshold))]
+        assert _MODEL.selectivity(extended) <= _MODEL.selectivity(base) + 1e-9
+
+    @given(threshold=st.integers(-1, 501))
+    @settings(max_examples=60, deadline=None)
+    def test_complementary_ranges_sum_to_one(self, threshold):
+        le = _MODEL.selectivity([_pred("c", PredicateOp.LE, float(threshold))])
+        gt = _MODEL.selectivity([_pred("c", PredicateOp.GT, float(threshold))])
+        assert le + gt == pytest.approx(1.0, abs=0.02)
+
+    @given(a_val=st.integers(0, 9))
+    @settings(max_examples=30, deadline=None)
+    def test_eq_partition_sums_to_marginal(self, a_val):
+        """Sum of P(a=v, b=w) over all w equals P(a=v)."""
+        marginal = _MODEL.selectivity([_pred("a", PredicateOp.EQ, float(a_val))])
+        total = sum(
+            _MODEL.selectivity(
+                [
+                    _pred("a", PredicateOp.EQ, float(a_val)),
+                    _pred("b", PredicateOp.EQ, float(w)),
+                ]
+            )
+            for w in range(12)
+        )
+        assert total == pytest.approx(marginal, rel=0.02, abs=1e-4)
+
+    @given(lo=st.integers(0, 500), hi=st.integers(0, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_range_monotone_in_width(self, lo, hi):
+        lo, hi = min(lo, hi), max(lo, hi)
+        narrow = _MODEL.selectivity(
+            [_pred("c", PredicateOp.BETWEEN, (float(lo), float(hi)))]
+        )
+        wide = _MODEL.selectivity(
+            [_pred("c", PredicateOp.BETWEEN, (float(max(0, lo - 20)), float(hi + 20)))]
+        )
+        assert wide >= narrow - 1e-9
+
+
+class TestDistributionInvariants:
+    @given(threshold=st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_distribution_mass_equals_selectivity(self, threshold):
+        preds = [_pred("c", PredicateOp.LE, float(threshold))]
+        for column in ("a", "b"):
+            dist = _MODEL.distribution(column, preds)
+            assert np.all(dist >= -1e-12)
+            assert dist.sum() == pytest.approx(
+                _MODEL.selectivity(preds), rel=1e-6, abs=1e-9
+            )

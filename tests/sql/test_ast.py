@@ -1,0 +1,71 @@
+"""Tests for AST helpers: walking, flattening, stringification."""
+
+from repro.sql import parse_sql
+from repro.sql.ast import (
+    And,
+    ColumnRef,
+    Comparison,
+    Literal,
+    Or,
+    conjuncts_of,
+    disjuncts_of,
+    walk_expression,
+)
+
+
+def _where(sql_condition):
+    return parse_sql(f"SELECT COUNT(*) FROM t WHERE {sql_condition}").where
+
+
+class TestFlattening:
+    def test_conjuncts_flatten_nested(self):
+        expr = _where("a = 1 AND (b = 2 AND c = 3)")
+        assert len(conjuncts_of(expr)) == 3
+
+    def test_conjuncts_of_non_and(self):
+        expr = _where("a = 1")
+        assert conjuncts_of(expr) == [expr]
+
+    def test_disjuncts_flatten_nested(self):
+        expr = _where("a = 1 OR (b = 2 OR c = 3)")
+        assert len(disjuncts_of(expr)) == 3
+
+    def test_disjuncts_of_non_or(self):
+        expr = _where("a = 1")
+        assert disjuncts_of(expr) == [expr]
+
+
+class TestWalk:
+    def test_walk_visits_all_nodes(self):
+        expr = _where("a = 1 AND (b > 2 OR c IN (3, 4))")
+        nodes = list(walk_expression(expr))
+        columns = [n for n in nodes if isinstance(n, ColumnRef)]
+        literals = [n for n in nodes if isinstance(n, Literal)]
+        assert {c.name for c in columns} == {"a", "b", "c"}
+        assert {l.value for l in literals} == {1, 2, 3, 4}
+
+    def test_walk_between(self):
+        expr = _where("a BETWEEN 1 AND 9")
+        nodes = list(walk_expression(expr))
+        assert any(isinstance(n, Literal) and n.value == 9 for n in nodes)
+
+    def test_walk_not(self):
+        expr = _where("NOT a = 1")
+        nodes = list(walk_expression(expr))
+        assert any(isinstance(n, Comparison) for n in nodes)
+
+
+class TestStringification:
+    def test_and_or_parenthesized(self):
+        expr = And((Comparison("=", ColumnRef("a"), Literal(1)),
+                    Or((Comparison("=", ColumnRef("b"), Literal(2)),
+                        Comparison("=", ColumnRef("c"), Literal(3))))))
+        text = str(expr)
+        assert "AND" in text and "OR" in text
+
+    def test_string_literal_escaped(self):
+        assert str(Literal("it's")) == "'it''s'"
+
+    def test_statement_roundtrip_with_strings(self):
+        stmt = parse_sql("SELECT COUNT(*) FROM t WHERE name = 'o''brien'")
+        assert parse_sql(str(stmt)) == stmt

@@ -1,0 +1,98 @@
+"""Tests for query featurization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BindError
+from repro.sql import parse_sql
+from repro.sql.featurize import QueryFeaturizer
+from repro.sql.query import CardQuery, PredicateOp, TablePredicate
+
+
+@pytest.fixture(scope="module")
+def featurizer(request):
+    from repro.datasets import make_imdb
+
+    bundle = make_imdb(scale=0.05)
+    return bundle, QueryFeaturizer(bundle.catalog)
+
+
+class TestVocabulary:
+    def test_pooled_dim_consistent(self, featurizer):
+        bundle, fz = featurizer
+        query = CardQuery(tables=("title",))
+        assert fz.featurize(query).pooled().shape == (fz.pooled_dim,)
+
+    def test_tables_multi_hot(self, featurizer):
+        bundle, fz = featurizer
+        query = CardQuery(tables=("title",))
+        fv = fz.featurize(query)
+        assert fv.tables.sum() == 1.0
+
+    def test_join_encoded(self, featurizer):
+        bundle, fz = featurizer
+        from repro.sql.query import JoinCondition
+
+        query = CardQuery(
+            tables=("title", "cast_info"),
+            joins=(JoinCondition("title", "id", "cast_info", "movie_id"),),
+        )
+        fv = fz.featurize(query)
+        assert fv.joins.sum() == 1.0
+
+    def test_unknown_table_rejected(self, featurizer):
+        bundle, fz = featurizer
+        query = CardQuery(tables=("nope",))
+        with pytest.raises(BindError):
+            fz.featurize(query)
+
+
+class TestPredicates:
+    def test_predicate_rows(self, featurizer):
+        bundle, fz = featurizer
+        query = CardQuery(
+            tables=("title",),
+            predicates=(
+                TablePredicate("title", "kind_id", PredicateOp.EQ, 2.0),
+                TablePredicate("title", "production_year", PredicateOp.GE, 1990.0),
+            ),
+        )
+        fv = fz.featurize(query)
+        assert fv.predicates.shape[0] == 2
+        # each row has exactly one column one-hot and one op one-hot
+        assert np.all(fv.predicates[:, -1] >= 0) and np.all(fv.predicates[:, -1] <= 1)
+
+    def test_no_predicates_pools_to_zero(self, featurizer):
+        bundle, fz = featurizer
+        query = CardQuery(tables=("title",))
+        fv = fz.featurize(query)
+        assert fv.predicates.shape[0] == 0
+        pooled = fv.pooled()
+        assert pooled.shape == (fz.pooled_dim,)
+
+    def test_value_normalized_to_unit_interval(self, featurizer):
+        bundle, fz = featurizer
+        query = CardQuery(
+            tables=("title",),
+            predicates=(
+                TablePredicate("title", "production_year", PredicateOp.LE, 99999.0),
+            ),
+        )
+        fv = fz.featurize(query)
+        assert fv.predicates[0, -1] == 1.0  # clipped
+
+
+class TestEntryPoints:
+    def test_featurize_sql(self, featurizer):
+        bundle, fz = featurizer
+        fv = fz.featurize_sql(
+            "SELECT COUNT(*) FROM title WHERE production_year > 1990"
+        )
+        assert fv.predicates.shape[0] == 1
+
+    def test_featurize_ast_matches_sql(self, featurizer):
+        bundle, fz = featurizer
+        sql = "SELECT COUNT(*) FROM title WHERE kind_id = 2"
+        via_sql = fz.featurize_sql(sql).pooled()
+        via_ast = fz.featurize_ast(parse_sql(sql)).pooled()
+        assert np.allclose(via_sql, via_ast)

@@ -1,0 +1,90 @@
+"""Tests for block iteration and I/O accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage import BlockReader, IOCounter, Table, block_count, block_slices
+
+
+class TestBlockMath:
+    def test_exact_division(self):
+        assert block_count(100, 25) == 4
+
+    def test_remainder_adds_block(self):
+        assert block_count(101, 25) == 5
+
+    def test_zero_rows(self):
+        assert block_count(0, 25) == 0
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            block_count(10, 0)
+
+    @given(st.integers(1, 100_000), st.integers(1, 5000))
+    def test_slices_cover_all_rows(self, rows, block_size):
+        slices = list(block_slices(rows, block_size))
+        assert len(slices) == block_count(rows, block_size)
+        covered = sum(s.stop - s.start for s in slices)
+        assert covered == rows
+        if slices:
+            assert slices[0].start == 0
+            assert slices[-1].stop == rows
+
+
+class TestBlockReader:
+    def _setup(self, rows=100, block_size=32):
+        table = Table.from_arrays("t", {"a": np.arange(rows)}, block_size=block_size)
+        io = IOCounter()
+        return table, io, BlockReader(table, io)
+
+    def test_reads_block_contents(self):
+        _table, _io, reader = self._setup()
+        block = reader.read_column_block("a", 1)
+        assert list(block) == list(range(32, 64))
+
+    def test_last_block_is_short(self):
+        _table, _io, reader = self._setup(rows=100, block_size=32)
+        assert reader.read_column_block("a", 3).shape[0] == 4
+
+    def test_out_of_range_block(self):
+        _table, _io, reader = self._setup()
+        with pytest.raises(IndexError):
+            reader.read_column_block("a", 99)
+        with pytest.raises(IndexError):
+            reader.read_column_block("a", -1)
+
+    def test_io_accounting(self):
+        _table, io, reader = self._setup()
+        reader.read_column_block("a", 0)
+        reader.read_column_block("a", 1)
+        assert io.blocks_read == 2
+        assert io.rows_read == 64
+        assert io.per_column[("t", "a")] == 2
+
+    def test_read_many(self):
+        _table, io, reader = self._setup()
+        blocks = reader.read_column_blocks("a", [0, 2])
+        assert set(blocks) == {0, 2}
+        assert io.blocks_read == 2
+
+    def test_total_blocks(self):
+        _table, _io, reader = self._setup(rows=100, block_size=32)
+        assert reader.total_blocks() == 4
+
+
+class TestIOCounter:
+    def test_reset(self):
+        io = IOCounter()
+        io.record_block("t", "a", rows=10, nbytes=80)
+        io.reset()
+        assert io.blocks_read == 0
+        assert io.per_column == {}
+
+    def test_snapshot_is_independent(self):
+        io = IOCounter()
+        io.record_block("t", "a", rows=10, nbytes=80)
+        snap = io.snapshot()
+        io.record_block("t", "a", rows=10, nbytes=80)
+        assert snap.blocks_read == 1
+        assert io.blocks_read == 2

@@ -1,0 +1,77 @@
+"""Tests for the catalog and join schema."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import Catalog, JoinEdge, Table
+
+
+def _catalog():
+    catalog = Catalog()
+    catalog.register(Table.from_arrays("a", {"id": np.arange(10), "x": np.zeros(10, dtype=np.int64)}))
+    catalog.register(Table.from_arrays("b", {"a_id": np.arange(10), "y": np.zeros(10, dtype=np.int64)}))
+    return catalog
+
+
+class TestCatalog:
+    def test_register_and_lookup(self):
+        catalog = _catalog()
+        assert catalog.table_names() == ["a", "b"]
+        assert len(catalog.table("a")) == 10
+
+    def test_duplicate_registration(self):
+        catalog = _catalog()
+        with pytest.raises(SchemaError):
+            catalog.register(Table.from_arrays("a", {"id": np.arange(3)}))
+
+    def test_unknown_table(self):
+        with pytest.raises(SchemaError):
+            _catalog().table("zzz")
+
+    def test_replace(self):
+        catalog = _catalog()
+        catalog.replace(Table.from_arrays("a", {"id": np.arange(3)}))
+        assert len(catalog.table("a")) == 3
+
+    def test_total_rows(self):
+        assert _catalog().total_rows() == 20
+
+    def test_add_join_edge_validates_columns(self):
+        catalog = _catalog()
+        with pytest.raises(SchemaError):
+            catalog.add_join_edge("a", "nope", "b", "a_id")
+        catalog.add_join_edge("a", "id", "b", "a_id")
+        assert len(catalog.join_schema) == 1
+
+
+class TestJoinSchema:
+    def test_edges_deduplicate_by_orientation(self):
+        catalog = _catalog()
+        catalog.add_join_edge("a", "id", "b", "a_id")
+        catalog.add_join_edge("b", "a_id", "a", "id")  # same edge, flipped
+        assert len(catalog.join_schema) == 1
+
+    def test_edges_for_table(self):
+        catalog = _catalog()
+        catalog.add_join_edge("a", "id", "b", "a_id")
+        assert len(catalog.join_schema.edges_for("a")) == 1
+        assert catalog.join_schema.edges_for("zzz") == []
+
+    def test_join_keys_of(self):
+        catalog = _catalog()
+        catalog.add_join_edge("a", "id", "b", "a_id")
+        assert catalog.join_schema.join_keys_of("a") == ["id"]
+        assert catalog.join_schema.join_keys_of("b") == ["a_id"]
+
+    def test_edge_other_side(self):
+        edge = JoinEdge("a", "id", "b", "a_id")
+        assert edge.other("a") == ("b", "a_id")
+        assert edge.other("b") == ("a", "id")
+        with pytest.raises(SchemaError):
+            edge.other("c")
+
+    def test_contains(self):
+        catalog = _catalog()
+        catalog.add_join_edge("a", "id", "b", "a_id")
+        assert JoinEdge("b", "a_id", "a", "id") in catalog.join_schema

@@ -1,0 +1,83 @@
+"""Tests for Column: typing, dictionary encoding, literal encoding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import Column, ColumnType
+
+
+class TestConstruction:
+    def test_from_ints(self):
+        col = Column.from_ints("a", [1, 2, 3])
+        assert col.ctype is ColumnType.INT
+        assert len(col) == 3
+
+    def test_from_floats(self):
+        col = Column.from_floats("a", [1.5, 2.5])
+        assert col.ctype is ColumnType.FLOAT
+        assert col.values.dtype == np.float64
+
+    def test_string_requires_dictionary(self):
+        with pytest.raises(SchemaError):
+            Column("s", ColumnType.STRING, np.array([0, 1]))
+
+    def test_non_string_rejects_dictionary(self):
+        with pytest.raises(SchemaError):
+            Column("i", ColumnType.INT, np.array([0]), dictionary=["x"])
+
+    def test_payload_must_be_1d(self):
+        with pytest.raises(SchemaError):
+            Column("i", ColumnType.INT, np.zeros((2, 2)))
+
+    def test_code_out_of_dictionary_range(self):
+        with pytest.raises(SchemaError):
+            Column("s", ColumnType.STRING, np.array([5]), dictionary=["a", "b"])
+
+
+class TestDictionaryEncoding:
+    def test_roundtrip_codes(self):
+        col = Column.from_strings("city", ["sh", "bj", "sh", "gz"])
+        assert col.dictionary == ("bj", "gz", "sh")
+        decoded = [col.dictionary[c] for c in col.values]
+        assert decoded == ["sh", "bj", "sh", "gz"]
+
+    def test_distinct_count(self):
+        col = Column.from_strings("city", ["a", "b", "a"])
+        assert col.distinct_count() == 2
+
+    def test_encode_known_literal(self):
+        col = Column.from_strings("city", ["sh", "bj"])
+        assert col.encode_literal("bj") == 0.0
+        assert col.encode_literal("sh") == 1.0
+
+    def test_encode_unknown_literal_misses_equality(self):
+        col = Column.from_strings("city", ["sh", "bj"])
+        encoded = col.encode_literal("gz")
+        assert encoded not in (0.0, 1.0)  # between codes: EQ never matches
+
+    def test_encode_unknown_literal_preserves_order(self):
+        # 'c' sorts between 'b' and 'd', so its encoding must too.
+        col = Column.from_strings("x", ["b", "d"])
+        encoded = col.encode_literal("c")
+        assert col.encode_literal("b") < encoded < col.encode_literal("d")
+
+    def test_encode_rejects_non_string(self):
+        col = Column.from_strings("city", ["sh"])
+        with pytest.raises(SchemaError):
+            col.encode_literal(42)
+
+
+class TestOps:
+    def test_take_preserves_dictionary(self):
+        col = Column.from_strings("c", ["a", "b", "c"])
+        taken = col.take(np.array([2, 0]))
+        assert taken.dictionary == col.dictionary
+        assert list(taken.values) == [2, 0]
+
+    def test_distinct_count_empty(self):
+        col = Column("i", ColumnType.INT, np.array([], dtype=np.int64))
+        assert col.distinct_count() == 0
+
+    def test_nbytes_positive(self):
+        assert Column.from_ints("a", [1, 2]).nbytes > 0

@@ -1,0 +1,48 @@
+"""Tests for the database-type -> ML-type mapping."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import ColumnType, MLType, ml_type_for
+
+
+class TestComplexTypes:
+    def test_array_is_complex(self):
+        assert ColumnType.ARRAY.is_complex
+
+    def test_map_is_complex(self):
+        assert ColumnType.MAP.is_complex
+
+    def test_scalar_types_are_not(self):
+        for ctype in (ColumnType.INT, ColumnType.FLOAT, ColumnType.STRING,
+                      ColumnType.DATE, ColumnType.BOOL):
+            assert not ctype.is_complex
+
+    def test_complex_types_have_no_mapping(self):
+        with pytest.raises(SchemaError):
+            ml_type_for(ColumnType.ARRAY)
+        with pytest.raises(SchemaError):
+            ml_type_for(ColumnType.MAP)
+
+
+class TestMapping:
+    def test_bool_is_binary(self):
+        assert ml_type_for(ColumnType.BOOL) is MLType.BINARY
+
+    def test_string_is_categorical(self):
+        assert ml_type_for(ColumnType.STRING) is MLType.CATEGORICAL
+
+    def test_float_is_continuous(self):
+        assert ml_type_for(ColumnType.FLOAT) is MLType.CONTINUOUS
+
+    def test_low_cardinality_int_is_categorical(self):
+        assert ml_type_for(ColumnType.INT, distinct_count=7) is MLType.CATEGORICAL
+
+    def test_high_cardinality_int_is_continuous(self):
+        assert ml_type_for(ColumnType.INT, distinct_count=100_000) is MLType.CONTINUOUS
+
+    def test_unknown_cardinality_int_defaults_continuous(self):
+        assert ml_type_for(ColumnType.INT) is MLType.CONTINUOUS
+
+    def test_date_follows_cardinality(self):
+        assert ml_type_for(ColumnType.DATE, distinct_count=30) is MLType.CATEGORICAL

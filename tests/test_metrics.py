@@ -1,0 +1,151 @@
+"""Tests for the metrics package (Q-Error, quantiles, violins, latency)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics import (
+    LatencyProfile,
+    LatencyRecord,
+    QErrorSummary,
+    qerror,
+    qerror_many,
+    quantile,
+    quantiles,
+    summarize_qerrors,
+    violin_stats,
+)
+
+
+class TestQError:
+    def test_perfect_estimate_is_one(self):
+        assert qerror(100, 100) == 1.0
+
+    def test_overestimate(self):
+        assert qerror(1000, 10) == 100.0
+
+    def test_underestimate_is_symmetric(self):
+        assert qerror(10, 1000) == qerror(1000, 10)
+
+    def test_zero_truth_clamps(self):
+        assert qerror(5, 0) == 5.0
+
+    def test_zero_both_clamps_to_one(self):
+        assert qerror(0, 0) == 1.0
+
+    def test_fractional_estimates_clamp(self):
+        # 0.3 estimated rows is clamped to 1 row before dividing.
+        assert qerror(0.3, 10) == 10.0
+
+    @given(
+        st.floats(min_value=0, max_value=1e12),
+        st.floats(min_value=0, max_value=1e12),
+    )
+    def test_qerror_at_least_one(self, estimate, truth):
+        assert qerror(estimate, truth) >= 1.0
+
+    @given(st.floats(min_value=1, max_value=1e9))
+    def test_qerror_identity(self, value):
+        assert qerror(value, value) == pytest.approx(1.0)
+
+    def test_vectorized_matches_scalar(self):
+        estimates = [1, 10, 100, 0]
+        truths = [10, 10, 10, 10]
+        expected = [qerror(e, t) for e, t in zip(estimates, truths)]
+        assert np.allclose(qerror_many(estimates, truths), expected)
+
+    def test_vectorized_length_mismatch(self):
+        with pytest.raises(ValueError):
+            qerror_many([1, 2], [1])
+
+
+class TestSummaries:
+    def test_summary_quantiles_ordered(self):
+        values = list(np.linspace(1, 1000, 500))
+        summary = summarize_qerrors(values)
+        assert isinstance(summary, QErrorSummary)
+        assert summary.p50 <= summary.p90 <= summary.p99 <= summary.maximum
+        assert summary.count == 500
+
+    def test_summary_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize_qerrors([])
+
+    def test_as_row(self):
+        summary = summarize_qerrors([1.0, 2.0, 3.0])
+        assert summary.as_row() == (summary.p50, summary.p90, summary.p99)
+
+
+class TestQuantiles:
+    def test_median_of_odd_sample(self):
+        assert quantile([1, 2, 3], 0.5) == 2.0
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+    def test_multiple_quantiles(self):
+        values = list(range(101))
+        p25, p75 = quantiles(values, [0.25, 0.75])
+        assert p25 == 25.0
+        assert p75 == 75.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1))
+    def test_quantile_within_range(self, values):
+        q = quantile(values, 0.9)
+        assert min(values) <= q <= max(values)
+
+
+class TestViolin:
+    def test_stats_ordering(self):
+        values = np.concatenate([np.ones(90), np.full(10, 100.0)])
+        stats = violin_stats(values)
+        assert stats.minimum <= stats.p25 <= stats.median <= stats.p75
+        assert stats.p75 <= stats.p95 <= stats.maximum
+        assert stats.iqr == stats.p75 - stats.p25
+
+    def test_mass_below_two(self):
+        stats = violin_stats([1.0] * 9 + [50.0])
+        assert stats.frac_below_2 == pytest.approx(0.9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            violin_stats([])
+
+
+class TestLatency:
+    def _record(self, qid, est=1.0, io=2.0, cpu=3.0):
+        return LatencyRecord(qid, estimation_cost=est, io_cost=io, cpu_cost=cpu)
+
+    def test_total_is_sum_of_components(self):
+        assert self._record("q").total == 6.0
+
+    def test_profile_percentiles(self):
+        profile = LatencyProfile()
+        for i in range(100):
+            profile.add(self._record(f"q{i}", est=0, io=0, cpu=float(i)))
+        assert profile.percentile(0.5) == pytest.approx(49.5)
+        bars = profile.bars()
+        assert set(bars) == {0.50, 0.75, 0.90, 0.99}
+
+    def test_normalization_peaks_at_one(self):
+        fast, slow = LatencyProfile(), LatencyProfile()
+        for i in range(10):
+            fast.add(self._record(f"f{i}", cpu=float(i)))
+            slow.add(self._record(f"s{i}", cpu=float(10 * i)))
+        norm = LatencyProfile.normalize({"fast": fast, "slow": slow})
+        peak = max(v for bars in norm.values() for v in bars.values())
+        assert peak == pytest.approx(1.0)
+        assert all(
+            norm["fast"][q] <= norm["slow"][q] for q in norm["fast"]
+        )
+
+    def test_normalize_rejects_all_zero(self):
+        profile = LatencyProfile()
+        profile.add(self._record("q", est=0, io=0, cpu=0))
+        with pytest.raises(ValueError):
+            LatencyProfile.normalize({"only": profile})

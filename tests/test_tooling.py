@@ -1,0 +1,107 @@
+"""Tests for the explain, evaluation, and workload-serialization tooling."""
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineSession, EstimatorSuite
+from repro.engine.explain import explain_plan, explain_result
+from repro.errors import ReproError
+from repro.evaluation import evaluate, evaluate_count, evaluate_ndv
+from repro.estimators.traditional import SelingerEstimator, SketchNdvEstimator
+from repro.workloads.serialization import load_workload, save_workload
+
+
+@pytest.fixture(scope="module")
+def session(imdb, imdb_factorjoin, imdb_rbx):
+    return EngineSession(
+        imdb.catalog, EstimatorSuite("bytecard", imdb_factorjoin, imdb_rbx)
+    )
+
+
+class TestExplain:
+    def test_plan_mentions_every_decision(self, session, imdb_workload):
+        grouped = next(q for q in imdb_workload.queries if q.group_by and q.joins)
+        plan = session.optimizer.plan(grouped)
+        text = explain_plan(plan)
+        for table in grouped.tables:
+            assert table in text
+        assert "join 1:" in text
+        assert "aggregate by" in text
+        assert "estimation cost" in text
+
+    def test_result_mentions_costs(self, session, imdb_workload):
+        result = session.run(imdb_workload.queries[0])
+        text = explain_result(result)
+        assert f"rows: {result.result_rows}" in text
+        assert "total=" in text
+        for table in result.query.tables:
+            assert table in text
+
+    def test_result_shows_answer_for_scalar_query(self, session, imdb_workload):
+        flat = next(q for q in imdb_workload.queries if not q.group_by)
+        result = session.run(flat)
+        assert "answer:" in explain_result(result)
+
+
+class TestEvaluationHarness:
+    def test_count_summary(self, imdb, imdb_workload, imdb_factorjoin):
+        summary = evaluate_count(imdb.catalog, imdb_workload, imdb_factorjoin)
+        assert summary.count == len(imdb_workload.queries)
+        assert summary.p50 >= 1.0
+
+    def test_ndv_summary(self, imdb, imdb_workload, imdb_rbx):
+        summary = evaluate_ndv(imdb.catalog, imdb_workload, imdb_rbx)
+        assert summary.count > 0
+
+    def test_combined(self, imdb, imdb_workload):
+        result = evaluate(
+            imdb.catalog,
+            imdb_workload,
+            count_estimator=SelingerEstimator(imdb.catalog),
+            ndv_estimator=SketchNdvEstimator(imdb.catalog),
+            name="sketch",
+        )
+        assert result.estimator == "sketch"
+        assert result.count_summary is not None
+        assert result.ndv_summary is not None
+
+    def test_requires_an_estimator(self, imdb, imdb_workload):
+        with pytest.raises(ValueError):
+            evaluate(imdb.catalog, imdb_workload)
+
+
+class TestWorkloadSerialization:
+    def test_roundtrip(self, imdb, imdb_workload, tmp_path):
+        path = tmp_path / "workload.jsonl"
+        save_workload(imdb_workload, path)
+        loaded = load_workload(path, imdb.catalog)
+        assert loaded.name == imdb_workload.name
+        assert len(loaded.queries) == len(imdb_workload.queries)
+        assert len(loaded.ndv_queries) == len(imdb_workload.ndv_queries)
+        assert loaded.true_counts == imdb_workload.true_counts
+
+    def test_roundtripped_queries_are_equivalent(self, imdb, imdb_workload, tmp_path):
+        path = tmp_path / "workload.jsonl"
+        save_workload(imdb_workload, path)
+        loaded = load_workload(path, imdb.catalog)
+        from repro.workloads import true_count
+
+        for original, restored in zip(
+            imdb_workload.queries[:8], loaded.queries[:8]
+        ):
+            assert set(restored.tables) == set(original.tables)
+            assert true_count(imdb.catalog, restored) == imdb_workload.true_counts[
+                original.name
+            ]
+
+    def test_empty_file_rejected(self, imdb, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ReproError):
+            load_workload(path, imdb.catalog)
+
+    def test_bad_format_rejected(self, imdb, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": 99, "name": "x"}\n')
+        with pytest.raises(ReproError):
+            load_workload(path, imdb.catalog)

@@ -1,0 +1,56 @@
+"""Tests for the shared utilities (deterministic RNG, stopwatch)."""
+
+import numpy as np
+import pytest
+
+from repro.utils import Stopwatch, derive_rng, spawn_seed
+
+
+class TestSpawnSeed:
+    def test_deterministic(self):
+        assert spawn_seed(42, "a", "b") == spawn_seed(42, "a", "b")
+
+    def test_path_sensitivity(self):
+        assert spawn_seed(42, "a", "b") != spawn_seed(42, "a", "c")
+
+    def test_parent_sensitivity(self):
+        assert spawn_seed(1, "x") != spawn_seed(2, "x")
+
+    def test_no_prefix_collisions(self):
+        # ("ab", "c") must differ from ("a", "bc").
+        assert spawn_seed(0, "ab", "c") != spawn_seed(0, "a", "bc")
+
+    def test_numeric_path_elements(self):
+        assert spawn_seed(0, "shard", 1) != spawn_seed(0, "shard", 2)
+
+
+class TestDeriveRng:
+    def test_independent_streams(self):
+        a = derive_rng(7, "x").random(5)
+        b = derive_rng(7, "y").random(5)
+        assert not np.allclose(a, b)
+
+    def test_reproducible_streams(self):
+        assert np.allclose(derive_rng(7, "x").random(5), derive_rng(7, "x").random(5))
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        with Stopwatch() as sw:
+            sum(range(1000))
+        assert sw.elapsed >= 0.0
+
+    def test_exit_without_enter_raises(self):
+        sw = Stopwatch()
+        with pytest.raises(RuntimeError):
+            sw.__exit__(None, None, None)
+
+    def test_reusable(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        first = sw.elapsed
+        with sw:
+            sum(range(100_000))
+        assert sw.elapsed >= 0.0
+        assert sw.elapsed != first or sw.elapsed >= 0.0

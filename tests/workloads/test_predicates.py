@@ -1,0 +1,103 @@
+"""Tests for vectorized predicate evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ExecutionError
+from repro.sql.query import CardQuery, PredicateOp, TablePredicate
+from repro.storage import Table
+from repro.workloads.predicates import predicate_mask, table_mask
+
+VALUES = np.array([1, 2, 3, 4, 5, 5, 7], dtype=np.int64)
+
+
+class TestPredicateMask:
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [
+            (PredicateOp.EQ, 5.0, 2),
+            (PredicateOp.NE, 5.0, 5),
+            (PredicateOp.LT, 3.0, 2),
+            (PredicateOp.LE, 3.0, 3),
+            (PredicateOp.GT, 4.0, 3),
+            (PredicateOp.GE, 4.0, 4),
+        ],
+    )
+    def test_comparison_ops(self, op, value, expected):
+        pred = TablePredicate("t", "c", op, value)
+        assert predicate_mask(VALUES, pred).sum() == expected
+
+    def test_in(self):
+        pred = TablePredicate("t", "c", PredicateOp.IN, (1.0, 7.0))
+        assert predicate_mask(VALUES, pred).sum() == 2
+
+    def test_between_inclusive(self):
+        pred = TablePredicate("t", "c", PredicateOp.BETWEEN, (2.0, 5.0))
+        assert predicate_mask(VALUES, pred).sum() == 5
+
+    @given(st.floats(min_value=-10, max_value=10))
+    def test_lt_le_consistency(self, value):
+        lt = predicate_mask(VALUES, TablePredicate("t", "c", PredicateOp.LT, value))
+        le = predicate_mask(VALUES, TablePredicate("t", "c", PredicateOp.LE, value))
+        assert np.all(le | ~lt)  # LT implies LE
+
+    @given(st.floats(min_value=-10, max_value=10))
+    def test_eq_ne_partition(self, value):
+        eq = predicate_mask(VALUES, TablePredicate("t", "c", PredicateOp.EQ, value))
+        ne = predicate_mask(VALUES, TablePredicate("t", "c", PredicateOp.NE, value))
+        assert np.all(eq ^ ne)
+
+
+class TestTableMask:
+    def _table(self):
+        return Table.from_arrays(
+            "t", {"a": np.arange(10), "b": np.arange(10) % 3}
+        )
+
+    def test_conjunction(self):
+        query = CardQuery(
+            tables=("t",),
+            predicates=(
+                TablePredicate("t", "a", PredicateOp.GE, 5.0),
+                TablePredicate("t", "b", PredicateOp.EQ, 0.0),
+            ),
+        )
+        mask = table_mask(self._table(), query)
+        assert list(np.flatnonzero(mask)) == [6, 9]
+
+    def test_or_group(self):
+        query = CardQuery(
+            tables=("t",),
+            or_groups=(
+                (
+                    TablePredicate("t", "a", PredicateOp.LT, 2.0),
+                    TablePredicate("t", "a", PredicateOp.GT, 8.0),
+                ),
+            ),
+        )
+        mask = table_mask(self._table(), query)
+        assert list(np.flatnonzero(mask)) == [0, 1, 9]
+
+    def test_cross_table_or_group_rejected(self):
+        from repro.sql.query import JoinCondition
+
+        query = CardQuery(
+            tables=("t", "u"),
+            joins=(JoinCondition("t", "a", "u", "x"),),
+            or_groups=(
+                (
+                    TablePredicate("t", "a", PredicateOp.LT, 2.0),
+                    TablePredicate("u", "x", PredicateOp.GT, 8.0),
+                ),
+            ),
+        )
+        with pytest.raises(ExecutionError):
+            table_mask(self._table(), query)
+
+    def test_predicates_on_other_tables_ignored(self):
+        query = CardQuery(
+            tables=("t",),
+            predicates=(TablePredicate("t", "a", PredicateOp.GE, 0.0),),
+        )
+        assert table_mask(self._table(), query).all()
