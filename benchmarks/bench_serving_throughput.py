@@ -1,0 +1,144 @@
+"""Serving-tier throughput: cache + micro-batching vs. raw estimator calls.
+
+A concurrent workload replay (8 client threads, a repeated-query request
+stream, as a warehouse's plan cache misses would produce) is answered by an
+:class:`EstimationService` twice: once with the estimate cache and the
+micro-batcher enabled, once with both disabled (every request an individual
+inference call).  The enabled configuration must sustain at least 2x the
+throughput on this repeated workload -- the serving tier's reason to exist.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from conftest import record_table, render_grid
+
+from repro.core import ByteCard, ByteCardConfig
+from repro.datasets import make_aeolus
+from repro.serving import ServingConfig
+from repro.sql.query import CardQuery, PredicateOp, TablePredicate
+from repro.utils.rng import derive_rng
+
+NUM_CLIENTS = 8
+NUM_DISTINCT = 48
+NUM_REQUESTS = 1600
+
+
+@pytest.fixture(scope="module")
+def serving_setup():
+    bundle = make_aeolus(scale=0.15)
+    config = ByteCardConfig(
+        training_sample_rows=4000,
+        rbx_corpus_size=200,
+        rbx_epochs=4,
+        join_bucket_count=40,
+        max_bins=32,
+    )
+    bytecard = ByteCard.build(bundle, config=config, run_monitor=False)
+    rng = derive_rng(bundle.seed, "bench-serving")
+    tables = sorted(bytecard._factorjoin.models)
+    queries: list[CardQuery] = []
+    for index in range(NUM_DISTINCT):
+        table = tables[int(rng.integers(len(tables)))]
+        columns = bundle.filter_columns[table]
+        column = columns[int(rng.integers(len(columns)))]
+        values = bundle.catalog.table(table).column(column).values
+        anchor = float(values[int(rng.integers(len(values)))])
+        op = (PredicateOp.LE, PredicateOp.GE, PredicateOp.EQ)[
+            int(rng.integers(3))
+        ]
+        queries.append(
+            CardQuery(
+                tables=(table,),
+                predicates=(TablePredicate(table, column, op, anchor),),
+                name=f"serve-{index:03d}",
+            )
+        )
+    # Repeated-query request stream: each distinct query replayed many times
+    # in a shuffled order, as a warehouse's recurring dashboards would.
+    request_ids = rng.integers(0, NUM_DISTINCT, size=NUM_REQUESTS)
+    requests = [queries[i] for i in request_ids]
+    return bytecard, requests
+
+
+def _replay(service, requests: list[CardQuery]) -> float:
+    """Replay the stream from NUM_CLIENTS threads; return seconds taken."""
+    chunk = (len(requests) + NUM_CLIENTS - 1) // NUM_CLIENTS
+    slices = [
+        requests[i * chunk : (i + 1) * chunk] for i in range(NUM_CLIENTS)
+    ]
+    errors: list[Exception] = []
+
+    def client(part: list[CardQuery]) -> None:
+        try:
+            for query in part:
+                service.estimate_count(query)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(s,)) for s in slices]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    assert not errors
+    return elapsed
+
+
+def test_serving_throughput(serving_setup, benchmark):
+    bytecard, requests = serving_setup
+
+    def run() -> dict[str, tuple[float, object]]:
+        outcomes: dict[str, tuple[float, object]] = {}
+        for label, enabled in (("disabled", False), ("enabled", True)):
+            service = bytecard.serve(
+                ServingConfig(
+                    deadline_ms=None,
+                    enable_cache=enabled,
+                    enable_batching=enabled,
+                    num_workers=8,
+                    queue_capacity=256,
+                    batch_wait_ms=0.5,
+                )
+            )
+            try:
+                elapsed = _replay(service, requests)
+                outcomes[label] = (elapsed, service.stats())
+            finally:
+                service.close()
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for label, (elapsed, stats) in outcomes.items():
+        rows.append(
+            [
+                label,
+                f"{len(requests) / elapsed:10.0f}",
+                f"{stats.p50_latency * 1e3:8.3f}",
+                f"{stats.p99_latency * 1e3:8.3f}",
+                f"{stats.cache_hit_rate:6.2%}",
+                f"{stats.mean_batch_occupancy:5.2f}",
+                f"{stats.fallbacks}",
+            ]
+        )
+    table = render_grid(
+        "Serving throughput: cache + micro-batching vs. raw estimator calls",
+        ["config", "req/s", "p50 ms", "p99 ms", "hit rate", "batch occ", "fallbacks"],
+        rows,
+    )
+    record_table("serving_throughput", table)
+
+    baseline = len(requests) / outcomes["disabled"][0]
+    accelerated = len(requests) / outcomes["enabled"][0]
+    # The serving tier's acceptance bar: >= 2x on a repeated workload.
+    assert accelerated >= 2.0 * baseline, (accelerated, baseline)
+    enabled_stats = outcomes["enabled"][1]
+    assert enabled_stats.cache_hits > 0
+    assert enabled_stats.fallbacks == 0

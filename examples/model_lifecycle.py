@@ -57,10 +57,13 @@ def main() -> None:
 
     print("\n== 4. Model Monitor gating ==")
     for report in bytecard.run_monitor(fine_tune=False):
-        print(
-            f"  {report.name:<28} p90 Q-Error={report.p90:8.2f} "
-            f"{'PASS' if report.passed else 'GATED -> traditional fallback'}"
-        )
+        if report.untested:
+            verdict, p90 = "UNTESTED -> traditional fallback", "     n/a"
+        elif report.passed:
+            verdict, p90 = "PASS", f"{report.p90:8.2f}"
+        else:
+            verdict, p90 = "GATED -> traditional fallback", f"{report.p90:8.2f}"
+        print(f"  {report.name:<28} p90 Q-Error={p90} {verdict}")
 
     print("\n== 5. ingestion signal -> retrain -> reload ==")
     before = bytecard.registry.latest("bn", "impressions")

@@ -159,15 +159,19 @@ class ByteCard(CountEstimator, NdvEstimator):
             for table in sorted(self._factorjoin.models):
                 report = self.monitor.assess_count_model(table, self._factorjoin)
                 reports.append(report)
-                if not report.passed:
-                    self.fallback_tables.add(table)
-                else:
+                if report.passed:
                     self.fallback_tables.discard(table)
+                else:
+                    # Failed *or* untested (passed is None): an unassessed
+                    # model must not serve as if it had been vetted.
+                    self.fallback_tables.add(table)
         if self._rbx is not None:
             for table, column in self.bundle.high_ndv_columns:
                 report = self.monitor.assess_ndv_column(table, column, self._rbx)
                 reports.append(report)
-                if not report.passed and fine_tune:
+                # Only a *failed* assessment triggers calibration; an
+                # untested column has nothing to fine-tune against.
+                if report.passed is False and fine_tune:
                     self._calibrate_column(table, column)
         self.monitor_reports = reports
         return reports
@@ -213,14 +217,18 @@ class ByteCard(CountEstimator, NdvEstimator):
         probe = self._rbx.calibrated.get((table, column))
         self._rbx.install_calibrated(table, column, tuned)
         recheck = self.monitor.assess_ndv_column(table, column, self._rbx)
-        if not recheck.passed and recheck.p90 >= self.config.ndv_finetune_trigger:
+        if (
+            recheck.passed is False
+            and recheck.p90 is not None
+            and recheck.p90 >= self.config.ndv_finetune_trigger
+        ):
             # Tuning did not help enough; keep it only if it improved.
             baseline = self.monitor.assess_ndv_column(
                 table,
                 column,
                 _WithoutCalibration(self._rbx, table, column),
             )
-            if baseline.p90 <= recheck.p90:
+            if baseline.p90 is not None and baseline.p90 <= recheck.p90:
                 if probe is None:
                     del self._rbx.calibrated[(table, column)]
                 else:
@@ -241,6 +249,18 @@ class ByteCard(CountEstimator, NdvEstimator):
         if missing:
             return self._traditional_count.estimate_count(query)
         return self._factorjoin.estimate_count(query)
+
+    def estimate_count_batch(
+        self, table: str, queries: list[CardQuery]
+    ) -> list[float]:
+        """Batched single-table COUNT estimates (the micro-batcher's hook)."""
+        if (
+            self._factorjoin is None
+            or table in self.fallback_tables
+            or table not in self._factorjoin.models
+        ):
+            return [self._traditional_count.estimate_count(q) for q in queries]
+        return self._factorjoin.estimate_count_batch(table, queries)
 
     def selectivity(self, query: CardQuery) -> float:
         if (
@@ -272,6 +292,24 @@ class ByteCard(CountEstimator, NdvEstimator):
     def as_suite(self) -> EstimatorSuite:
         """Expose ByteCard as an engine estimator suite."""
         return EstimatorSuite("bytecard", count_estimator=self, ndv_estimator=self)
+
+    def serve(self, config=None):
+        """Wrap this ByteCard in a concurrent :class:`EstimationService`.
+
+        The service keeps the traditional estimators as its deadline/error
+        fallbacks and subscribes to this instance's Model Loader, so a
+        ``refresh()`` that swaps models invalidates the affected cached
+        estimates.  ``config`` is a :class:`repro.serving.ServingConfig`.
+        """
+        from repro.serving import EstimationService
+
+        return EstimationService(
+            estimator=self,
+            fallback_count=self._traditional_count,
+            fallback_ndv=self._traditional_ndv,
+            config=config,
+            loader=self.loader,
+        )
 
     def status(self) -> ByteCardStatus:
         return ByteCardStatus(

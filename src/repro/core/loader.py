@@ -11,11 +11,19 @@ paper:
   refused, keeping the previous version serving;
 * when the cumulative size exceeds the budget, the **least recently used**
   models are evicted.
+
+The loader also maintains a **generation counter**: every refresh pass that
+changes the serving set (loads or evicts at least one model) bumps it and
+notifies registered listeners with the pass's :class:`RefreshReport`.  The
+serving tier's estimate cache keys its entries on these generations, so a
+mid-flight model swap lazily invalidates exactly the affected estimates.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.engine import CardEstInferenceEngine
 from repro.core.registry import ModelRegistry
@@ -28,6 +36,8 @@ class _LoadedModel:
     timestamp: int
     nbytes: int
     last_used: int = 0
+    #: monotonically increasing insertion sequence, the LRU tie-breaker
+    seq: int = 0
 
 
 @dataclass
@@ -38,6 +48,10 @@ class RefreshReport:
     refused: list[tuple[str, str, str]] = field(default_factory=list)
     evicted: list[tuple[str, str]] = field(default_factory=list)
     unchanged: list[tuple[str, str]] = field(default_factory=list)
+
+    def changed_keys(self) -> list[tuple[str, str]]:
+        """Keys whose serving state changed this pass (loaded or evicted)."""
+        return list(dict.fromkeys(self.loaded + self.evicted))
 
 
 class ModelLoader:
@@ -57,49 +71,78 @@ class ModelLoader:
         self.max_total_bytes = max_total_bytes
         self._loaded: dict[tuple[str, str], _LoadedModel] = {}
         self._tick = 0
+        self._seq = 0
+        self._generation = 0
+        self._listeners: list[Callable[[RefreshReport], None]] = []
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Bumped whenever a refresh pass loads or evicts any model."""
+        return self._generation
+
+    def add_refresh_listener(
+        self, listener: Callable[[RefreshReport], None]
+    ) -> None:
+        """Register a callback invoked after every state-changing refresh."""
+        self._listeners.append(listener)
 
     # ------------------------------------------------------------------
     def refresh(self) -> RefreshReport:
         """One loader pass over everything the registry holds."""
         report = RefreshReport()
-        self._tick += 1
-        for key in self.registry.keys():
-            kind, name = key
-            record = self.registry.latest(kind, name)
-            assert record is not None
-            current = self._loaded.get(key)
-            if current is not None and current.timestamp >= record.timestamp:
-                report.unchanged.append(key)
-                continue
-            size_check = self.validator.check_size(record.blob)
-            if not size_check.ok:
-                report.refused.append((kind, name, "; ".join(size_check.problems)))
-                continue
-            engine = self.engine_factory(kind, name)
-            if not engine.load_model(record.blob):
-                report.refused.append((kind, name, "deserialization failed"))
-                continue
-            health = engine.validate()
-            if not health.ok:
-                report.refused.append((kind, name, "; ".join(health.problems)))
-                continue
-            engine.init_context()
-            self._loaded[key] = _LoadedModel(
-                engine=engine,
-                timestamp=record.timestamp,
-                nbytes=record.nbytes,
-                last_used=self._tick,
-            )
-            report.loaded.append(key)
-        self._evict_over_budget(report)
+        with self._lock:
+            for key in self.registry.keys():
+                kind, name = key
+                record = self.registry.latest(kind, name)
+                assert record is not None
+                current = self._loaded.get(key)
+                if current is not None and current.timestamp >= record.timestamp:
+                    report.unchanged.append(key)
+                    continue
+                size_check = self.validator.check_size(record.blob)
+                if not size_check.ok:
+                    report.refused.append((kind, name, "; ".join(size_check.problems)))
+                    continue
+                engine = self.engine_factory(kind, name)
+                if not engine.load_model(record.blob):
+                    report.refused.append((kind, name, "deserialization failed"))
+                    continue
+                health = engine.validate()
+                if not health.ok:
+                    report.refused.append((kind, name, "; ".join(health.problems)))
+                    continue
+                engine.init_context()
+                self._tick += 1
+                self._seq += 1
+                self._loaded[key] = _LoadedModel(
+                    engine=engine,
+                    timestamp=record.timestamp,
+                    nbytes=record.nbytes,
+                    last_used=self._tick,
+                    seq=self._seq,
+                )
+                report.loaded.append(key)
+            self._evict_over_budget(report)
+            if report.loaded or report.evicted:
+                self._generation += 1
+        if report.loaded or report.evicted:
+            for listener in self._listeners:
+                listener(report)
         return report
 
     def _evict_over_budget(self, report: RefreshReport) -> None:
         total = sum(m.nbytes for m in self._loaded.values())
         if total <= self.max_total_bytes:
             return
-        # Least-recently-used first.
-        for key in sorted(self._loaded, key=lambda k: self._loaded[k].last_used):
+        # Least-recently-used first; equal recency is broken deterministically
+        # by insertion order (earliest-loaded evicted first).
+        victims = sorted(
+            self._loaded,
+            key=lambda k: (self._loaded[k].last_used, self._loaded[k].seq),
+        )
+        for key in victims:
             if total <= self.max_total_bytes:
                 break
             total -= self._loaded[key].nbytes
@@ -109,15 +152,23 @@ class ModelLoader:
     # ------------------------------------------------------------------
     def get(self, kind: str, name: str) -> CardEstInferenceEngine | None:
         """Fetch a loaded engine, updating its LRU recency."""
+        with self._lock:
+            entry = self._loaded.get((kind, name))
+            if entry is None:
+                return None
+            self._tick += 1
+            entry.last_used = self._tick
+            return entry.engine
+
+    def peek_last_used(self, kind: str, name: str) -> int | None:
+        """The recency tick of a loaded model, without touching it."""
         entry = self._loaded.get((kind, name))
-        if entry is None:
-            return None
-        self._tick += 1
-        entry.last_used = self._tick
-        return entry.engine
+        return None if entry is None else entry.last_used
 
     def loaded_keys(self) -> list[tuple[str, str]]:
-        return sorted(self._loaded)
+        with self._lock:
+            return sorted(self._loaded)
 
     def total_bytes(self) -> int:
-        return sum(m.nbytes for m in self._loaded.values())
+        with self._lock:
+            return sum(m.nbytes for m in self._loaded.values())

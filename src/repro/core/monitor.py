@@ -41,19 +41,30 @@ from repro.workloads.truth import true_count, true_ndv
 
 @dataclass
 class MonitorReport:
-    """Assessment of one model (a table's BN, or one NDV column)."""
+    """Assessment of one model (a table's BN, or one NDV column).
+
+    ``passed`` is tri-state: ``True``/``False`` for an assessed model, and
+    ``None`` when no test query produced a q-error (e.g. a table with no
+    usable filter columns).  An untested model must not be silently treated
+    as passing -- callers decide explicitly, via :attr:`untested`.
+    """
 
     name: str
     qerrors: list[float] = field(default_factory=list)
-    passed: bool = True
+    passed: bool | None = None
 
     @property
-    def p90(self) -> float:
-        return quantile(self.qerrors, 0.9) if self.qerrors else 1.0
+    def untested(self) -> bool:
+        """True when the monitor could not generate any assessable query."""
+        return not self.qerrors
 
     @property
-    def worst(self) -> float:
-        return max(self.qerrors) if self.qerrors else 1.0
+    def p90(self) -> float | None:
+        return quantile(self.qerrors, 0.9) if self.qerrors else None
+
+    @property
+    def worst(self) -> float | None:
+        return max(self.qerrors) if self.qerrors else None
 
 
 class ModelMonitor:
@@ -142,9 +153,10 @@ class ModelMonitor:
             truth = true_count(self.bundle.catalog, query)
             estimate = estimator.estimate_count(query)
             report.qerrors.append(qerror(estimate, truth))
-        report.passed = bool(
-            report.qerrors and report.p90 <= self.config.qerror_gate
-        ) or not report.qerrors
+        if report.qerrors:
+            report.passed = bool(report.p90 <= self.config.qerror_gate)
+        else:
+            report.passed = None  # untested, not passing
         return report
 
     def assess_ndv_column(
@@ -158,9 +170,10 @@ class ModelMonitor:
                 continue
             estimate = estimator.estimate_ndv(query)
             report.qerrors.append(qerror(estimate, truth))
-        report.passed = bool(
-            not report.qerrors or report.p90 <= self.config.ndv_finetune_trigger
-        )
+        if report.qerrors:
+            report.passed = bool(report.p90 <= self.config.ndv_finetune_trigger)
+        else:
+            report.passed = None  # untested, not passing
         return report
 
     # ------------------------------------------------------------------

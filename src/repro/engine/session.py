@@ -34,11 +34,27 @@ class EngineSession:
     def __init__(
         self,
         catalog: Catalog,
-        suite: EstimatorSuite,
+        suite: EstimatorSuite | None = None,
         config: EngineConfig | None = None,
+        service=None,
     ):
+        """Either pass an estimator ``suite`` or an estimation ``service``.
+
+        With ``service`` (a :class:`repro.serving.EstimationService`), the
+        optimizer consults the serving tier -- estimates come through its
+        cache, batcher, and deadline-fallback pipeline instead of raw
+        estimator calls.
+        """
+        if (suite is None) == (service is None):
+            raise ValueError("provide exactly one of suite= or service=")
+        if suite is None:
+            ndv = service if getattr(service, "estimate_ndv", None) else None
+            suite = EstimatorSuite(
+                service.name, count_estimator=service, ndv_estimator=ndv
+            )
         self.catalog = catalog
         self.suite = suite
+        self.service = service
         self.config = config or EngineConfig()
         self.optimizer = Optimizer(
             suite.count_estimator, suite.ndv_estimator, self.config

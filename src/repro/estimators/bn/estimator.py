@@ -84,6 +84,37 @@ class BNCountEstimator(CountEstimator):
         table = query.tables[0]
         return self.table_selectivity(query, table) * self.model_for(table).total_rows
 
+    def estimate_count_batch(
+        self, table: str, queries: list[CardQuery]
+    ) -> list[float]:
+        """Estimate a batch of single-table COUNT queries on one table.
+
+        All plain conjunctive queries share one batched sum-product pass;
+        queries carrying OR-groups take the scalar inclusion-exclusion path.
+        Results align with the input order.
+        """
+        model = self.model_for(table)
+        results: list[float | None] = [None] * len(queries)
+        plain_indexes: list[int] = []
+        plain_predicates: list[list[TablePredicate]] = []
+        for i, query in enumerate(queries):
+            if not query.is_single_table() or query.tables[0] != table:
+                raise EstimationError(
+                    f"batch for table {table!r} received query on "
+                    f"{query.tables!r}"
+                )
+            if query.or_groups:
+                results[i] = self.estimate_count(query)
+            else:
+                plain_indexes.append(i)
+                plain_predicates.append(list(query.predicates))
+        if plain_indexes:
+            rows = model.estimate_rows_batch(plain_predicates)
+            for i, estimate in zip(plain_indexes, rows):
+                results[i] = float(estimate)
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
     def estimation_overhead(self, query: CardQuery) -> float:
         # One tree message pass: linear in nodes, tiny constants.
         model = self.model_for(query.tables[0])

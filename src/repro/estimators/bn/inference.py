@@ -143,6 +143,45 @@ class BNInferenceContext:
         root_belief = self.cpds[self.root] * messages[self.root]
         return float(np.clip(root_belief.sum(), 0.0, 1.0))
 
+    def selectivity_batch(self, evidence: Sequence[np.ndarray]) -> np.ndarray:
+        """P(evidence) for a whole batch of queries in one upward pass.
+
+        ``evidence[i]`` has shape ``(bins_i, B)``: one evidence column per
+        query in the batch.  The sum-product messages become matrix products
+        (``cpds[node] @ local`` maps ``(bins, B)`` to ``(parent_bins, B)``),
+        so the per-query Python/dispatch overhead of variable elimination is
+        paid once for the batch -- this is what the serving tier's
+        micro-batcher amortizes.  Returns a ``(B,)`` selectivity vector.
+        """
+        if len(evidence) != self.num_nodes:
+            raise ModelError(
+                f"expected {self.num_nodes} evidence matrices, got {len(evidence)}"
+            )
+        batch = evidence[0].shape[1] if evidence else 0
+        for node, mat in enumerate(evidence):
+            if mat.ndim != 2 or mat.shape != (self.bin_count(node), batch):
+                raise ModelError(
+                    f"evidence for node {node} has shape {mat.shape}, "
+                    f"expected ({self.bin_count(node)}, {batch})"
+                )
+        messages: list[np.ndarray | None] = [None] * self.num_nodes
+        for node in self.order[::-1]:
+            node = int(node)
+            local = evidence[node].astype(np.float64, copy=True)
+            for child in self.children[node]:
+                message = messages[child]
+                assert message is not None
+                local *= message
+            parent = int(self.parents[node])
+            if parent >= 0:
+                messages[node] = self.cpds[node] @ local
+            else:
+                messages[node] = local
+        root_local = messages[self.root]
+        assert root_local is not None
+        root_belief = self.cpds[self.root][:, None] * root_local
+        return np.clip(root_belief.sum(axis=0), 0.0, 1.0)
+
     def beliefs(
         self, evidence: Sequence[np.ndarray]
     ) -> tuple[list[np.ndarray], float]:

@@ -114,6 +114,12 @@ class FactorJoinEstimator(CountEstimator):
         total = self._root_estimate(query, tree, root)
         return float(max(total, 0.0))
 
+    def estimate_count_batch(
+        self, table: str, queries: list[CardQuery]
+    ) -> list[float]:
+        """Batched single-table COUNT estimation against one table's BN."""
+        return self._bn.estimate_count_batch(table, queries)
+
     def estimation_overhead(self, query: CardQuery) -> float:
         # One BN message pass per table plus per-join bucket-vector algebra.
         return 0.05 * len(query.tables) + 0.02 * len(query.joins)

@@ -1,0 +1,134 @@
+"""The estimate cache: LRU over canonical fingerprints, generation-checked.
+
+Entries are keyed by the canonical query fingerprint (see
+:mod:`repro.serving.fingerprint`) and stamped with the **table generations**
+that were current when the estimate was computed.  The Model Loader bumps a
+table's generation whenever a refresh pass loads or evicts a model serving
+that table; lookups lazily drop entries whose stamp no longer matches, so a
+mid-flight model swap can never serve a stale-generation hit -- even for an
+estimate that was still being computed when the swap happened (its stamp was
+taken *before* inference started).
+
+A global generation covers models that affect every table (e.g. the
+universal RBX NDV network).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+_MISS = object()
+
+
+@dataclass
+class _Entry:
+    value: float
+    #: (global_generation, ((table, generation), ...)) at compute time
+    stamp: tuple[int, tuple[tuple[str, int], ...]]
+
+
+class EstimateCache:
+    """Bounded LRU cache with generation-based lazy invalidation."""
+
+    def __init__(self, max_entries: int = 4096):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, _Entry] = OrderedDict()
+        self._table_generation: dict[str, int] = {}
+        self._global_generation = 0
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Generations
+    # ------------------------------------------------------------------
+    def bump_tables(self, tables: Iterable[str]) -> None:
+        """Invalidate (lazily) every entry touching any of ``tables``."""
+        with self._lock:
+            for table in tables:
+                self._table_generation[table] = (
+                    self._table_generation.get(table, 0) + 1
+                )
+
+    def bump_all(self) -> None:
+        """Invalidate (lazily) every entry in the cache."""
+        with self._lock:
+            self._global_generation += 1
+
+    def stamp(self, tables: Iterable[str]) -> tuple[int, tuple[tuple[str, int], ...]]:
+        """Current generations for ``tables`` -- take this *before* computing
+        the estimate, and hand it to :meth:`put` afterwards."""
+        with self._lock:
+            return (
+                self._global_generation,
+                tuple(
+                    (table, self._table_generation.get(table, 0))
+                    for table in sorted(set(tables))
+                ),
+            )
+
+    def _is_current(self, stamp: tuple[int, tuple[tuple[str, int], ...]]) -> bool:
+        global_gen, table_gens = stamp
+        if global_gen != self._global_generation:
+            return False
+        return all(
+            self._table_generation.get(table, 0) == gen
+            for table, gen in table_gens
+        )
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable) -> float | None:
+        """The cached estimate, or ``None`` on miss / stale generation."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            if not self._is_current(entry.stamp):
+                del self._entries[key]
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry.value
+
+    def put(
+        self,
+        key: Hashable,
+        value: float,
+        stamp: tuple[int, tuple[tuple[str, int], ...]],
+    ) -> bool:
+        """Insert an estimate computed under ``stamp``.
+
+        Returns ``False`` (and stores nothing) when the stamp is already
+        stale -- the models changed while the estimate was in flight.
+        """
+        with self._lock:
+            if not self._is_current(stamp):
+                self.invalidations += 1
+                return False
+            self._entries[key] = _Entry(value=value, stamp=stamp)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return True
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,295 @@
+"""The estimation service: ByteCard behind a concurrent serving tier.
+
+:class:`EstimationService` is the reproduction of the paper's query-path
+contract: the optimizer asks for an estimate and is **always** answered
+within its budget -- by the learned model when it is fast and healthy, and
+by the traditional (Selinger/sketch) estimator when the model misses its
+deadline, errors out, or the service is saturated.  Every degradation is
+recorded, mirroring how the production Inference Engine "falls back to
+traditional estimators" rather than stalling the planner.
+
+Request path::
+
+    request -> fingerprint -> cache? -> admission -> [micro-batch] -> model
+                   |            hit ^        | full          | deadline/error
+                   |                |        v               v
+                   +----------------+---- traditional fallback (recorded)
+
+The cache stamp is taken *before* inference starts, so an estimate computed
+against a model generation that got swapped mid-flight is never inserted as
+current (see :mod:`repro.serving.cache`).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.core.loader import ModelLoader, RefreshReport
+from repro.errors import EstimationError
+from repro.estimators.base import CountEstimator, NdvEstimator
+from repro.serving.batching import MicroBatcher
+from repro.serving.cache import EstimateCache
+from repro.serving.config import ServingConfig
+from repro.serving.fingerprint import query_fingerprint
+from repro.serving.stats import ServiceStats, StatsCollector
+from repro.serving.workers import WorkerPool
+from repro.sql.query import AggKind, CardQuery
+
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class ServedEstimate:
+    """One answered request: the value plus how it was produced."""
+
+    value: float
+    #: "cache" | "model" | "fallback-timeout" | "fallback-error" |
+    #: "fallback-rejected"
+    source: str
+    latency_s: float
+
+    @property
+    def degraded(self) -> bool:
+        return self.source.startswith("fallback")
+
+
+class EstimationService(CountEstimator, NdvEstimator):
+    """Concurrent, deadline-aware serving facade over a learned estimator."""
+
+    name = "serving"
+
+    def __init__(
+        self,
+        estimator: CountEstimator,
+        fallback_count: CountEstimator,
+        fallback_ndv: NdvEstimator | None = None,
+        config: ServingConfig | None = None,
+        loader: ModelLoader | None = None,
+    ):
+        self.estimator = estimator
+        self.fallback_count = fallback_count
+        self.fallback_ndv = fallback_ndv
+        self.config = config or ServingConfig()
+        self.stats_collector = StatsCollector(self.config.latency_window)
+        self.cache = (
+            EstimateCache(self.config.cache_entries)
+            if self.config.enable_cache
+            else None
+        )
+        self.pool = WorkerPool(
+            num_workers=self.config.num_workers,
+            queue_capacity=self.config.queue_capacity,
+        )
+        batch_hook = getattr(estimator, "estimate_count_batch", None)
+        self.batcher: MicroBatcher | None = None
+        if self.config.enable_batching and callable(batch_hook):
+            self.batcher = MicroBatcher(
+                batch_fn=batch_hook,
+                max_batch_size=self.config.max_batch_size,
+                max_wait_ms=self.config.batch_wait_ms,
+                on_batch=self.stats_collector.record_batch,
+            )
+        if loader is not None:
+            loader.add_refresh_listener(self._on_loader_refresh)
+
+    # ------------------------------------------------------------------
+    # Model lifecycle integration
+    # ------------------------------------------------------------------
+    def _on_loader_refresh(self, report: RefreshReport) -> None:
+        """Invalidate cached estimates for tables whose models changed."""
+        if self.cache is None:
+            return
+        tables: set[str] = set()
+        bump_everything = False
+        for kind, name in report.changed_keys():
+            if kind == "bn":
+                # Shard models ("table@shardN") serve their base table.
+                tables.add(name.split("@", 1)[0])
+            else:
+                # RBX (universal or per-column) influences NDV answers for
+                # any table; the coarse global bump keeps correctness.
+                bump_everything = True
+        if bump_everything:
+            self.cache.bump_all()
+        elif tables:
+            self.cache.bump_tables(tables)
+
+    # ------------------------------------------------------------------
+    # Serving pipeline
+    # ------------------------------------------------------------------
+    def _deadline_s(self, deadline_ms) -> float | None:
+        if deadline_ms is _UNSET:
+            deadline_ms = self.config.deadline_ms
+        return None if deadline_ms is None else deadline_ms / 1000.0
+
+    def _serve(
+        self,
+        query: CardQuery,
+        task: str,
+        compute: Callable[[], float],
+        fallback: Callable[[CardQuery], float],
+        deadline_ms=_UNSET,
+    ) -> ServedEstimate:
+        start = time.perf_counter()
+        self.stats_collector.increment("requests")
+        key = (task, query_fingerprint(query))
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return self._finish(cached, "cache", start)
+        stamp = self.cache.stamp(query.tables) if self.cache is not None else None
+        future = self.pool.try_submit(compute)
+        if future is None:
+            self.stats_collector.record_fallback("rejected")
+            return self._finish(fallback(query), "fallback-rejected", start)
+        deadline = self._deadline_s(deadline_ms)
+        remaining = None
+        if deadline is not None:
+            remaining = max(0.0, deadline - (time.perf_counter() - start))
+        try:
+            value = float(future.result(timeout=remaining))
+        except FutureTimeoutError:
+            self.stats_collector.record_fallback("timeouts")
+            self._cache_late_result(key, stamp, future)
+            return self._finish(fallback(query), "fallback-timeout", start)
+        except Exception:
+            self.stats_collector.record_fallback("errors")
+            return self._finish(fallback(query), "fallback-error", start)
+        if self.cache is not None and stamp is not None:
+            self.cache.put(key, value, stamp)
+        return self._finish(value, "model", start)
+
+    def _cache_late_result(self, key, stamp, future: Future) -> None:
+        """A timed-out estimate still warms the cache once it completes --
+        unless a loader refresh made its stamp stale in the meantime."""
+        if self.cache is None or stamp is None:
+            return
+        cache = self.cache
+
+        def on_done(completed: Future) -> None:
+            if completed.exception() is None:
+                cache.put(key, float(completed.result()), stamp)
+
+        future.add_done_callback(on_done)
+
+    def _finish(self, value: float, source: str, start: float) -> ServedEstimate:
+        latency = time.perf_counter() - start
+        self.stats_collector.record_latency(latency)
+        return ServedEstimate(value=float(value), source=source, latency_s=latency)
+
+    def _batchable(self, query: CardQuery) -> bool:
+        return (
+            self.batcher is not None
+            and query.is_single_table()
+            and query.agg.kind is AggKind.COUNT
+            and not query.group_by
+        )
+
+    # ------------------------------------------------------------------
+    # COUNT serving
+    # ------------------------------------------------------------------
+    def estimate_count_detail(
+        self, query: CardQuery, deadline_ms=_UNSET
+    ) -> ServedEstimate:
+        if self._batchable(query):
+            batcher = self.batcher
+            assert batcher is not None
+            compute: Callable[[], float] = lambda: batcher.estimate(query)
+        else:
+            compute = lambda: self.estimator.estimate_count(query)
+        return self._serve(
+            query,
+            "count",
+            compute,
+            self.fallback_count.estimate_count,
+            deadline_ms,
+        )
+
+    def estimate_count(self, query: CardQuery) -> float:
+        return self.estimate_count_detail(query).value
+
+    # ------------------------------------------------------------------
+    # NDV serving
+    # ------------------------------------------------------------------
+    def estimate_ndv_detail(
+        self, query: CardQuery, deadline_ms=_UNSET
+    ) -> ServedEstimate:
+        primary = self.estimator
+        if not isinstance(primary, NdvEstimator):
+            if self.fallback_ndv is None:
+                raise EstimationError("service has no NDV estimator")
+            primary = self.fallback_ndv
+        fallback = (
+            self.fallback_ndv.estimate_ndv
+            if self.fallback_ndv is not None
+            else primary.estimate_ndv
+        )
+        return self._serve(
+            query, "ndv", lambda: primary.estimate_ndv(query), fallback, deadline_ms
+        )
+
+    def estimate_ndv(self, query: CardQuery) -> float:
+        return self.estimate_ndv_detail(query).value
+
+    def group_ndv(self, query: CardQuery) -> float:
+        group_ndv = getattr(self.estimator, "group_ndv", None)
+        if group_ndv is None:
+            raise EstimationError("estimator does not support group NDV")
+        return float(group_ndv(query))
+
+    # ------------------------------------------------------------------
+    # Planner-facing fast path
+    # ------------------------------------------------------------------
+    def selectivity(self, query: CardQuery) -> float:
+        """Cached selectivity for the optimizer's planning loops.
+
+        Served in the calling thread (no pool round-trip: the optimizer
+        issues dozens of these per plan and the futures overhead would
+        dominate); errors degrade to the traditional estimator.
+        """
+        self.stats_collector.increment("requests")
+        key = ("selectivity", query_fingerprint(query))
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+            stamp = self.cache.stamp(query.tables)
+        try:
+            value = float(self.estimator.selectivity(query))
+        except Exception:
+            self.stats_collector.record_fallback("errors")
+            return float(self.fallback_count.selectivity(query))
+        if self.cache is not None:
+            self.cache.put(key, value, stamp)
+        return value
+
+    def estimation_overhead(self, query: CardQuery) -> float:
+        return self.estimator.estimation_overhead(query)
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """Counter snapshot, with cache counters folded in."""
+        snapshot = self.stats_collector.snapshot()
+        if self.cache is None:
+            return snapshot
+        return replace(
+            snapshot,
+            cache_hits=self.cache.hits,
+            cache_misses=self.cache.misses,
+            cache_invalidations=self.cache.invalidations,
+        )
+
+    def close(self) -> None:
+        self.pool.shutdown()
+
+    def __enter__(self) -> "EstimationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

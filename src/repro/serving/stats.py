@@ -1,0 +1,111 @@
+"""Service counters and the :class:`ServiceStats` snapshot.
+
+Every counter is maintained under one lock by :class:`StatsCollector`;
+:meth:`StatsCollector.snapshot` produces an immutable :class:`ServiceStats`
+that benchmarks and the Model Monitor can introspect without racing the
+serving threads.  Latency quantiles come from the same
+:mod:`repro.metrics.quantiles` helper every other metric in the
+reproduction uses, over a bounded ring of recent request latencies.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro.metrics.quantiles import quantile
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Immutable snapshot of the service's counters."""
+
+    #: total requests answered (every path: cache, model, fallback)
+    requests: int = 0
+    #: answered straight from the estimate cache
+    cache_hits: int = 0
+    #: looked up but absent (or stale) in the cache
+    cache_misses: int = 0
+    #: cache entries dropped lazily due to a generation bump
+    cache_invalidations: int = 0
+    #: micro-batches executed
+    batches: int = 0
+    #: requests answered through a micro-batch
+    batched_requests: int = 0
+    #: deadline-exceeded requests (answered by the fallback estimator)
+    timeouts: int = 0
+    #: learned-path errors (answered by the fallback estimator)
+    errors: int = 0
+    #: admission-control rejections (answered by the fallback estimator)
+    rejected: int = 0
+    #: total fallback answers (timeouts + errors + rejections)
+    fallbacks: int = 0
+    #: request latencies (seconds) -- p50/p90/p99 over the recent window
+    p50_latency: float = 0.0
+    p90_latency: float = 0.0
+    p99_latency: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        looked_up = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked_up if looked_up else 0.0
+
+    @property
+    def mean_batch_occupancy(self) -> float:
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+
+class StatsCollector:
+    """Thread-safe counter accumulation for one service."""
+
+    def __init__(self, latency_window: int = 4096):
+        self._lock = threading.Lock()
+        self._counts = {
+            "requests": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "cache_invalidations": 0,
+            "batches": 0,
+            "batched_requests": 0,
+            "timeouts": 0,
+            "errors": 0,
+            "rejected": 0,
+            "fallbacks": 0,
+        }
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+
+    def increment(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counts[counter] += amount
+
+    def record_fallback(self, reason: str) -> None:
+        """Count one degraded answer: ``reason`` is timeouts/errors/rejected."""
+        with self._lock:
+            self._counts[reason] += 1
+            self._counts["fallbacks"] += 1
+
+    def record_batch(self, occupancy: int) -> None:
+        with self._lock:
+            self._counts["batches"] += 1
+            self._counts["batched_requests"] += occupancy
+
+    def record_latency(self, seconds: float) -> None:
+        with self._lock:
+            self._latencies.append(seconds)
+
+    def snapshot(self) -> ServiceStats:
+        with self._lock:
+            latencies = list(self._latencies)
+            counts = dict(self._counts)
+        if latencies:
+            p50, p90, p99 = (
+                quantile(latencies, 0.50),
+                quantile(latencies, 0.90),
+                quantile(latencies, 0.99),
+            )
+        else:
+            p50 = p90 = p99 = 0.0
+        return ServiceStats(
+            **counts, p50_latency=p50, p90_latency=p90, p99_latency=p99
+        )

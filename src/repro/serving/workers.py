@@ -1,0 +1,64 @@
+"""The worker pool: bounded concurrency with admission control.
+
+A thin wrapper over :class:`concurrent.futures.ThreadPoolExecutor` that
+caps the number of *admitted* requests (running + queued).  When the bound
+is reached, :meth:`WorkerPool.try_submit` returns ``None`` instead of
+queueing -- the service answers such requests with the traditional
+estimator immediately, which is the paper's degradation contract: under a
+traffic spike the optimizer must keep planning (with coarser estimates)
+rather than stall behind an unbounded inference queue.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+class WorkerPool:
+    """ThreadPoolExecutor with a hard admission bound."""
+
+    def __init__(self, num_workers: int = 4, queue_capacity: int = 64):
+        self.num_workers = num_workers
+        self.queue_capacity = queue_capacity
+        self._executor = ThreadPoolExecutor(
+            max_workers=num_workers, thread_name_prefix="repro-serving"
+        )
+        # One slot per worker plus the queue bound; acquired at admission,
+        # released when the task finishes (success or failure).
+        self._slots = threading.Semaphore(num_workers + queue_capacity)
+        self._shutdown = False
+
+    def try_submit(
+        self, fn: Callable[..., T], *args, **kwargs
+    ) -> Future | None:
+        """Submit ``fn`` if a slot is free; ``None`` means *rejected*."""
+        if self._shutdown:
+            return None
+        if not self._slots.acquire(blocking=False):
+            return None
+
+        def run() -> T:
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                self._slots.release()
+
+        try:
+            return self._executor.submit(run)
+        except RuntimeError:  # executor shut down concurrently
+            self._slots.release()
+            return None
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._shutdown = True
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

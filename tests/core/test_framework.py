@@ -186,6 +186,27 @@ class TestMonitor:
         column = aeolus.catalog.table("impressions").column("session_id")
         assert truth == column.distinct_count()
 
+    def test_empty_report_is_untested_not_passing(self):
+        """A model the monitor could not exercise must not read as healthy.
+
+        ``p90``/``worst`` used to return 1.0 for an empty q-error list,
+        which silently graded an untested model as perfect."""
+        from repro.core.monitor import MonitorReport
+
+        report = MonitorReport(name="bn:ghost")
+        assert report.untested
+        assert report.passed is None
+        assert report.p90 is None
+        assert report.worst is None
+
+    def test_assessed_report_is_not_untested(self):
+        from repro.core.monitor import MonitorReport
+
+        report = MonitorReport(name="bn:t", qerrors=[1.0, 2.0], passed=True)
+        assert not report.untested
+        assert report.p90 is not None
+        assert report.worst == 2.0
+
 
 class TestByteCardFacade:
     def test_build_loads_all_models(self, built, aeolus):

@@ -211,3 +211,82 @@ class TestLoader:
         report = loader.refresh()
         assert ("bn", "b") in report.evicted
         assert loader.get("bn", "a") is not None
+
+
+class TestLoaderBookkeeping:
+    """Regression tests for LRU recency accounting and refresh signalling."""
+
+    def _loader(self, catalog, registry, max_total=1 << 30):
+        validator = ModelValidator(1 << 30)
+        return ModelLoader(
+            registry,
+            validator,
+            engine_factory=lambda kind, name: BNInferenceEngine(catalog, validator),
+            max_total_bytes=max_total,
+        )
+
+    def test_refresh_assigns_distinct_recency_per_model(self, small_catalog, bn_blob):
+        """Models loaded in one refresh pass must not share a recency tick --
+        a shared tick made later eviction order depend on dict iteration."""
+        blob, _model = bn_blob
+        registry = ModelRegistry()
+        for name in ("a", "b", "c"):
+            registry.publish("bn", name, blob)
+        loader = self._loader(small_catalog, registry)
+        loader.refresh()
+        ticks = [loader.peek_last_used("bn", n) for n in ("a", "b", "c")]
+        assert len(set(ticks)) == 3
+
+    def test_get_strictly_increases_recency(self, small_catalog, bn_blob):
+        blob, _model = bn_blob
+        registry = ModelRegistry()
+        registry.publish("bn", "t", blob)
+        loader = self._loader(small_catalog, registry)
+        loader.refresh()
+        first = loader.peek_last_used("bn", "t")
+        loader.get("bn", "t")
+        second = loader.peek_last_used("bn", "t")
+        loader.get("bn", "t")
+        third = loader.peek_last_used("bn", "t")
+        assert first < second < third
+
+    def test_eviction_tie_break_is_insertion_order(self, small_catalog, bn_blob):
+        """With recency forced equal, the earliest-inserted model goes first."""
+        blob, _model = bn_blob
+        registry = ModelRegistry()
+        registry.publish("bn", "a", blob)
+        registry.publish("bn", "b", blob)
+        loader = self._loader(small_catalog, registry)
+        loader.refresh()
+        for entry in loader._loaded.values():  # white-box: force a tie
+            entry.last_used = 0
+        loader.max_total_bytes = len(blob)
+        report = loader.refresh()
+        assert report.evicted == [("bn", "a")]
+        assert loader.get("bn", "b") is not None
+
+    def test_generation_bumps_only_on_change(self, small_catalog, bn_blob):
+        blob, _model = bn_blob
+        registry = ModelRegistry()
+        registry.publish("bn", "t", blob)
+        loader = self._loader(small_catalog, registry)
+        assert loader.generation == 0
+        loader.refresh()
+        assert loader.generation == 1
+        loader.refresh()  # nothing new published
+        assert loader.generation == 1
+        registry.publish("bn", "t", blob)
+        loader.refresh()
+        assert loader.generation == 2
+
+    def test_refresh_listener_receives_changed_keys(self, small_catalog, bn_blob):
+        blob, _model = bn_blob
+        registry = ModelRegistry()
+        registry.publish("bn", "t", blob)
+        loader = self._loader(small_catalog, registry)
+        events = []
+        loader.add_refresh_listener(lambda report: events.append(report.changed_keys()))
+        loader.refresh()
+        assert events == [[("bn", "t")]]
+        loader.refresh()  # no change: listener must stay quiet
+        assert len(events) == 1

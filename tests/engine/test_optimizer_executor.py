@@ -173,3 +173,43 @@ class TestExecutor:
         )
         sketch_resizes = sum(sketch_session.run(q).resize_count for q in grouped)
         assert bytecard_resizes <= sketch_resizes
+
+
+class TestServiceBackedSession:
+    """EngineSession wired to the serving tier instead of a raw suite."""
+
+    def test_requires_exactly_one_of_suite_or_service(self, imdb, bytecard_suite):
+        with pytest.raises(ValueError):
+            EngineSession(imdb.catalog)
+        from repro.serving import EstimationService, ServingConfig
+
+        service = EstimationService(
+            bytecard_suite.count_estimator,
+            SelingerEstimator(imdb.catalog),
+            SketchNdvEstimator(imdb.catalog),
+            ServingConfig(deadline_ms=None),
+        )
+        with pytest.raises(ValueError):
+            EngineSession(imdb.catalog, suite=bytecard_suite, service=service)
+        service.close()
+
+    def test_service_session_matches_suite_session(
+        self, imdb, bytecard_suite, imdb_workload
+    ):
+        from repro.serving import EstimationService, ServingConfig
+
+        suite_session = EngineSession(imdb.catalog, bytecard_suite)
+        with EstimationService(
+            bytecard_suite.count_estimator,
+            SelingerEstimator(imdb.catalog),
+            bytecard_suite.ndv_estimator,
+            ServingConfig(deadline_ms=None, enable_batching=False),
+        ) as service:
+            served_session = EngineSession(imdb.catalog, service=service)
+            assert served_session.service is service
+            for query in imdb_workload.queries[:6]:
+                a = suite_session.run(query)
+                b = served_session.run(query)
+                assert a.result_rows == b.result_rows
+                assert a.groups == b.groups
+        assert service.stats().requests > 0

@@ -1,0 +1,133 @@
+"""Micro-batcher semantics: grouping, correctness, and error delivery."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serving.batching import MicroBatcher
+from repro.sql.query import CardQuery, PredicateOp, TablePredicate
+
+
+def make_query(table: str, value: float) -> CardQuery:
+    return CardQuery(
+        tables=(table,),
+        predicates=(TablePredicate(table, "c", PredicateOp.EQ, value),),
+    )
+
+
+def batch_double(table: str, queries: list[CardQuery]) -> list[float]:
+    return [2.0 * float(q.predicates[0].value) for q in queries]
+
+
+class TestBatching:
+    def test_single_request_is_answered(self):
+        batcher = MicroBatcher(batch_double, max_batch_size=8, max_wait_ms=1.0)
+        assert batcher.estimate(make_query("t", 21.0)) == 42.0
+
+    def test_concurrent_requests_share_batches(self):
+        occupancies: list[int] = []
+        calls: list[int] = []
+
+        def counting_batch(table, queries):
+            calls.append(len(queries))
+            time.sleep(0.002)  # widen the window so followers pile up
+            return batch_double(table, queries)
+
+        batcher = MicroBatcher(
+            counting_batch,
+            max_batch_size=16,
+            max_wait_ms=20.0,
+            on_batch=occupancies.append,
+        )
+        results: dict[int, float] = {}
+
+        def client(i: int) -> None:
+            results[i] = batcher.estimate(make_query("t", float(i)))
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == {i: 2.0 * i for i in range(12)}
+        # Far fewer inference passes than requests, none lost or duplicated.
+        assert sum(calls) == 12
+        assert len(calls) < 12
+        assert sum(occupancies) == 12
+        assert max(occupancies) > 1
+
+    def test_batch_fills_trigger_early_flush(self):
+        batcher = MicroBatcher(batch_double, max_batch_size=4, max_wait_ms=10_000.0)
+        results: dict[int, float] = {}
+
+        def client(i: int) -> None:
+            results[i] = batcher.estimate(make_query("t", float(i)))
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(4)]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # A full batch must not wait out the (absurd) 10s window.
+        assert time.perf_counter() - start < 5.0
+        assert results == {i: 2.0 * i for i in range(4)}
+
+    def test_tables_do_not_mix(self):
+        seen: list[tuple[str, int]] = []
+
+        def recording_batch(table, queries):
+            seen.append((table, len(queries)))
+            assert all(q.tables[0] == table for q in queries)
+            return batch_double(table, queries)
+
+        batcher = MicroBatcher(recording_batch, max_batch_size=8, max_wait_ms=5.0)
+        results: dict[str, float] = {}
+
+        def client(table: str, value: float) -> None:
+            results[table] = batcher.estimate(make_query(table, value))
+
+        threads = [
+            threading.Thread(target=client, args=(t, v))
+            for t, v in (("a", 1.0), ("b", 2.0), ("a", 1.0), ("b", 2.0))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == {"a": 2.0, "b": 4.0}
+        assert {table for table, _ in seen} == {"a", "b"}
+
+    def test_batch_error_reaches_every_member(self):
+        def failing_batch(table, queries):
+            raise RuntimeError("model exploded")
+
+        batcher = MicroBatcher(failing_batch, max_batch_size=4, max_wait_ms=1.0)
+        errors: list[Exception] = []
+
+        def client() -> None:
+            try:
+                batcher.estimate(make_query("t", 1.0))
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(errors) == 3
+
+    def test_miscounting_batch_fn_is_an_error(self):
+        batcher = MicroBatcher(
+            lambda table, queries: [], max_batch_size=4, max_wait_ms=1.0
+        )
+        with pytest.raises(RuntimeError, match="returned 0 values"):
+            batcher.estimate(make_query("t", 1.0))
+
+    def test_no_pending_leftovers(self):
+        batcher = MicroBatcher(batch_double, max_batch_size=4, max_wait_ms=1.0)
+        for i in range(5):
+            batcher.estimate(make_query("t", float(i)))
+        assert batcher.pending_count() == 0

@@ -1,0 +1,237 @@
+"""Canonicalization properties of the query fingerprint.
+
+The estimate cache is only sound if semantically identical requests share a
+key and semantically different ones never collide.  These tests check both
+directions: hand-written equivalences (order, duplication, range
+spellings) and property-style sweeps over generated ``CardQuery`` objects.
+"""
+
+import random
+
+import pytest
+
+from repro.serving.fingerprint import query_fingerprint
+from repro.sql.query import (
+    AggKind,
+    AggSpec,
+    CardQuery,
+    JoinCondition,
+    PredicateOp,
+    TablePredicate,
+)
+
+T = "t"
+
+
+def pred(column: str, op: PredicateOp, value) -> TablePredicate:
+    return TablePredicate(T, column, op, value)
+
+
+def query(*predicates: TablePredicate, **kwargs) -> CardQuery:
+    return CardQuery(tables=(T,), predicates=tuple(predicates), **kwargs)
+
+
+class TestEquivalences:
+    def test_predicate_order_is_irrelevant(self):
+        a = query(pred("a", PredicateOp.EQ, 1.0), pred("b", PredicateOp.LE, 5.0))
+        b = query(pred("b", PredicateOp.LE, 5.0), pred("a", PredicateOp.EQ, 1.0))
+        assert query_fingerprint(a) == query_fingerprint(b)
+
+    def test_duplicate_predicates_collapse(self):
+        once = query(pred("a", PredicateOp.EQ, 1.0))
+        twice = query(pred("a", PredicateOp.EQ, 1.0), pred("a", PredicateOp.EQ, 1.0))
+        assert query_fingerprint(once) == query_fingerprint(twice)
+
+    def test_between_equals_bound_pair(self):
+        between = query(pred("a", PredicateOp.BETWEEN, (2.0, 5.0)))
+        bounds = query(
+            pred("a", PredicateOp.GE, 2.0), pred("a", PredicateOp.LE, 5.0)
+        )
+        reversed_bounds = query(
+            pred("a", PredicateOp.LE, 5.0), pred("a", PredicateOp.GE, 2.0)
+        )
+        assert query_fingerprint(between) == query_fingerprint(bounds)
+        assert query_fingerprint(between) == query_fingerprint(reversed_bounds)
+
+    def test_redundant_looser_bounds_collapse(self):
+        tight = query(pred("a", PredicateOp.GE, 3.0), pred("a", PredicateOp.LE, 4.0))
+        redundant = query(
+            pred("a", PredicateOp.GE, 3.0),
+            pred("a", PredicateOp.GE, 1.0),  # looser, absorbed
+            pred("a", PredicateOp.LE, 4.0),
+            pred("a", PredicateOp.LE, 9.0),  # looser, absorbed
+        )
+        assert query_fingerprint(tight) == query_fingerprint(redundant)
+
+    def test_strict_bound_wins_at_equal_value(self):
+        strict = query(pred("a", PredicateOp.GT, 3.0))
+        both = query(pred("a", PredicateOp.GT, 3.0), pred("a", PredicateOp.GE, 3.0))
+        assert query_fingerprint(strict) == query_fingerprint(both)
+
+    def test_in_value_order_and_duplicates(self):
+        a = query(pred("a", PredicateOp.IN, (3.0, 1.0, 2.0)))
+        b = query(pred("a", PredicateOp.IN, (1.0, 2.0, 3.0, 2.0)))
+        assert query_fingerprint(a) == query_fingerprint(b)
+
+    def test_in_conjunction_intersects(self):
+        pairwise = query(
+            pred("a", PredicateOp.IN, (1.0, 2.0, 3.0)),
+            pred("a", PredicateOp.IN, (2.0, 3.0, 4.0)),
+        )
+        direct = query(pred("a", PredicateOp.IN, (2.0, 3.0)))
+        assert query_fingerprint(pairwise) == query_fingerprint(direct)
+
+    def test_int_float_spellings_agree(self):
+        a = query(pred("a", PredicateOp.EQ, 1))
+        b = query(pred("a", PredicateOp.EQ, 1.0))
+        assert query_fingerprint(a) == query_fingerprint(b)
+
+    def test_or_group_member_order_is_irrelevant(self):
+        g1 = (pred("a", PredicateOp.EQ, 1.0), pred("b", PredicateOp.EQ, 2.0))
+        g2 = (pred("b", PredicateOp.EQ, 2.0), pred("a", PredicateOp.EQ, 1.0))
+        assert query_fingerprint(query(or_groups=(g1,))) == query_fingerprint(
+            query(or_groups=(g2,))
+        )
+
+    def test_join_orientation_and_order(self):
+        j1 = JoinCondition("t", "k", "u", "k")
+        j2 = JoinCondition("u", "k", "t", "k")
+        a = CardQuery(tables=("t", "u"), joins=(j1,))
+        b = CardQuery(tables=("u", "t"), joins=(j2,))
+        assert query_fingerprint(a) == query_fingerprint(b)
+
+
+class TestDistinctions:
+    def test_different_values_differ(self):
+        assert query_fingerprint(query(pred("a", PredicateOp.EQ, 1.0))) != (
+            query_fingerprint(query(pred("a", PredicateOp.EQ, 2.0)))
+        )
+
+    def test_different_ops_differ(self):
+        assert query_fingerprint(query(pred("a", PredicateOp.LE, 1.0))) != (
+            query_fingerprint(query(pred("a", PredicateOp.LT, 1.0)))
+        )
+
+    def test_conjunct_vs_or_group_differ(self):
+        conjunct = query(
+            pred("a", PredicateOp.EQ, 1.0), pred("b", PredicateOp.EQ, 2.0)
+        )
+        disjunct = query(
+            or_groups=(
+                (pred("a", PredicateOp.EQ, 1.0), pred("b", PredicateOp.EQ, 2.0)),
+            )
+        )
+        assert query_fingerprint(conjunct) != query_fingerprint(disjunct)
+
+    def test_agg_kind_differs(self):
+        count = query(pred("a", PredicateOp.EQ, 1.0))
+        ndv = query(
+            pred("a", PredicateOp.EQ, 1.0),
+            agg=AggSpec(AggKind.COUNT_DISTINCT, T, "b"),
+        )
+        assert query_fingerprint(count) != query_fingerprint(ndv)
+
+    def test_group_by_differs(self):
+        plain = query(pred("a", PredicateOp.EQ, 1.0))
+        grouped = query(pred("a", PredicateOp.EQ, 1.0), group_by=((T, "b"),))
+        assert query_fingerprint(plain) != query_fingerprint(grouped)
+
+    def test_missing_predicate_differs(self):
+        assert query_fingerprint(query(pred("a", PredicateOp.EQ, 1.0))) != (
+            query_fingerprint(query())
+        )
+
+
+def _random_predicates(rng: random.Random, columns: list[str]) -> list[TablePredicate]:
+    predicates = []
+    for _ in range(rng.randint(1, 5)):
+        column = rng.choice(columns)
+        roll = rng.random()
+        value = float(rng.randint(0, 20))
+        if roll < 0.25:
+            predicates.append(pred(column, PredicateOp.EQ, value))
+        elif roll < 0.45:
+            predicates.append(pred(column, PredicateOp.LE, value))
+        elif roll < 0.65:
+            predicates.append(pred(column, PredicateOp.GE, value))
+        elif roll < 0.8:
+            predicates.append(
+                pred(column, PredicateOp.BETWEEN, (value, value + rng.randint(0, 9)))
+            )
+        else:
+            members = tuple(
+                float(v) for v in rng.sample(range(30), rng.randint(1, 4))
+            )
+            predicates.append(pred(column, PredicateOp.IN, members))
+    return predicates
+
+
+class TestGeneratedProperties:
+    """Property-style sweeps over randomly generated queries."""
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_shuffle_and_duplicate_invariance(self, seed):
+        rng = random.Random(seed)
+        predicates = _random_predicates(rng, ["a", "b", "c"])
+        base = query(*predicates)
+        shuffled = list(predicates)
+        rng.shuffle(shuffled)
+        # Duplicate a random subset on top of the shuffle.
+        duplicated = shuffled + rng.sample(
+            shuffled, rng.randint(0, len(shuffled))
+        )
+        assert query_fingerprint(base) == query_fingerprint(query(*duplicated))
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_between_rewrite_invariance(self, seed):
+        """Rewriting every BETWEEN as GE+LE leaves the fingerprint alone."""
+        rng = random.Random(1000 + seed)
+        predicates = _random_predicates(rng, ["a", "b", "c"])
+        rewritten: list[TablePredicate] = []
+        for p in predicates:
+            if p.op is PredicateOp.BETWEEN:
+                low, high = p.value
+                rewritten.append(pred(p.column, PredicateOp.GE, low))
+                rewritten.append(pred(p.column, PredicateOp.LE, high))
+            else:
+                rewritten.append(p)
+        assert query_fingerprint(query(*predicates)) == query_fingerprint(
+            query(*rewritten)
+        )
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_value_perturbation_changes_fingerprint(self, seed):
+        """Moving a lone predicate's value must move the fingerprint.
+
+        (Single-predicate queries only: inside a conjunction a *redundant*
+        bound may be absorbed by a tighter one, so perturbing it is
+        legitimately fingerprint-neutral.)
+        """
+        rng = random.Random(2000 + seed)
+        victim = _random_predicates(rng, ["a", "b", "c"])[0]
+        base_fp = query_fingerprint(query(victim))
+        if victim.op is PredicateOp.BETWEEN:
+            low, high = victim.value
+            moved = TablePredicate(
+                T, victim.column, victim.op, (low - 100.0, high + 100.0)
+            )
+        elif victim.op is PredicateOp.IN:
+            moved = TablePredicate(
+                T, victim.column, victim.op, tuple(v + 100.0 for v in victim.value)
+            )
+        else:
+            moved = TablePredicate(
+                T, victim.column, victim.op, float(victim.value) + 100.0
+            )
+        assert query_fingerprint(query(moved)) != base_fp
+
+    def test_fingerprints_are_hashable_and_stable(self):
+        rng = random.Random(3)
+        seen = set()
+        for _ in range(50):
+            q = query(*_random_predicates(rng, ["a", "b"]))
+            fp = query_fingerprint(q)
+            assert query_fingerprint(q) == fp  # deterministic
+            assert hash(fp) == hash(fp)
+            seen.add(fp)
+        assert len(seen) > 1

@@ -1,0 +1,233 @@
+"""EstimationService request-path semantics with controllable estimators."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimators.base import CountEstimator, NdvEstimator
+from repro.serving import EstimationService, ServingConfig
+from repro.sql.query import (
+    AggKind,
+    AggSpec,
+    CardQuery,
+    PredicateOp,
+    TablePredicate,
+)
+
+
+def make_query(value: float, table: str = "t") -> CardQuery:
+    return CardQuery(
+        tables=(table,),
+        predicates=(TablePredicate(table, "c", PredicateOp.EQ, value),),
+    )
+
+
+class Doubler(CountEstimator):
+    """Deterministic model: 2x the predicate value; counts its calls."""
+
+    name = "doubler"
+
+    def __init__(self, delay_s: float = 0.0):
+        self.delay_s = delay_s
+        self.calls = 0
+
+    def estimate_count(self, query: CardQuery) -> float:
+        self.calls += 1
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        value = query.predicates[0].value
+        if isinstance(value, tuple):
+            value = value[0]
+        return 2.0 * float(value)
+
+    def selectivity(self, query: CardQuery) -> float:
+        return 0.5
+
+
+class Constant(CountEstimator, NdvEstimator):
+    name = "constant"
+
+    def __init__(self, value: float):
+        self.value = value
+
+    def estimate_count(self, query: CardQuery) -> float:
+        return self.value
+
+    def selectivity(self, query: CardQuery) -> float:
+        return 0.25
+
+    def estimate_ndv(self, query: CardQuery) -> float:
+        return self.value
+
+
+class Broken(CountEstimator):
+    name = "broken"
+
+    def estimate_count(self, query: CardQuery) -> float:
+        raise EstimationError("no model")
+
+
+FALLBACK = 99.0
+
+
+def make_service(estimator, **overrides) -> EstimationService:
+    defaults = dict(deadline_ms=None, enable_batching=False, num_workers=2)
+    defaults.update(overrides)
+    return EstimationService(
+        estimator, Constant(FALLBACK), Constant(FALLBACK), ServingConfig(**defaults)
+    )
+
+
+class TestRequestPath:
+    def test_model_path_and_cache_path(self):
+        model = Doubler()
+        with make_service(model) as service:
+            first = service.estimate_count_detail(make_query(5.0))
+            second = service.estimate_count_detail(make_query(5.0))
+        assert first.source == "model" and first.value == 10.0
+        assert second.source == "cache" and second.value == 10.0
+        assert model.calls == 1
+        stats = service.stats()
+        assert stats.requests == 2
+        assert stats.cache_hits == 1 and stats.cache_misses == 1
+
+    def test_equivalent_spellings_share_cache_entry(self):
+        model = Doubler()
+        table = "t"
+        between = CardQuery(
+            tables=(table,),
+            predicates=(TablePredicate(table, "c", PredicateOp.BETWEEN, (1.0, 4.0)),),
+        )
+        bounds = CardQuery(
+            tables=(table,),
+            predicates=(
+                TablePredicate(table, "c", PredicateOp.LE, 4.0),
+                TablePredicate(table, "c", PredicateOp.GE, 1.0),
+            ),
+        )
+        with make_service(model) as service:
+            service.estimate_count(between)
+            detail = service.estimate_count_detail(bounds)
+        assert detail.source == "cache"
+        assert model.calls == 1
+
+    def test_cache_disabled(self):
+        model = Doubler()
+        with make_service(model, enable_cache=False) as service:
+            service.estimate_count(make_query(5.0))
+            detail = service.estimate_count_detail(make_query(5.0))
+        assert detail.source == "model"
+        assert model.calls == 2
+
+    def test_deadline_falls_back_and_counts(self):
+        with make_service(Doubler(delay_s=0.25), deadline_ms=20.0) as service:
+            detail = service.estimate_count_detail(make_query(5.0))
+            assert detail.source == "fallback-timeout"
+            assert detail.value == FALLBACK
+            assert detail.degraded
+            stats = service.stats()
+            assert stats.timeouts == 1 and stats.fallbacks == 1
+            # The late model answer still warms the cache.
+            time.sleep(0.4)
+            warmed = service.estimate_count_detail(make_query(5.0))
+            assert warmed.source == "cache" and warmed.value == 10.0
+
+    def test_per_request_deadline_override(self):
+        with make_service(Doubler(delay_s=0.05), deadline_ms=1.0) as service:
+            patient = service.estimate_count_detail(
+                make_query(5.0), deadline_ms=None
+            )
+        assert patient.source == "model" and patient.value == 10.0
+
+    def test_error_falls_back_and_counts(self):
+        with make_service(Broken()) as service:
+            detail = service.estimate_count_detail(make_query(5.0))
+        assert detail.source == "fallback-error"
+        assert detail.value == FALLBACK
+        stats = service.stats()
+        assert stats.errors == 1 and stats.fallbacks == 1
+        # A failed estimate must not poison the cache.
+        assert stats.cache_hits == 0
+
+    def test_admission_control_rejects_to_fallback(self):
+        release = threading.Event()
+
+        class Gated(CountEstimator):
+            name = "gated"
+
+            def estimate_count(self, query: CardQuery) -> float:
+                release.wait(5.0)
+                return 1.0
+
+        with make_service(
+            Gated(), num_workers=1, queue_capacity=0
+        ) as service:
+            blocker = threading.Thread(
+                target=service.estimate_count, args=(make_query(1.0),)
+            )
+            blocker.start()
+            time.sleep(0.05)  # let the blocker occupy the only slot
+            detail = service.estimate_count_detail(make_query(2.0))
+            release.set()
+            blocker.join()
+        assert detail.source == "fallback-rejected"
+        assert detail.value == FALLBACK
+        assert service.stats().rejected == 1
+
+    def test_ndv_path_and_fallback(self):
+        ndv_query = CardQuery(
+            tables=("t",), agg=AggSpec(AggKind.COUNT_DISTINCT, "t", "c")
+        )
+        with make_service(Constant(7.0)) as service:
+            detail = service.estimate_ndv_detail(ndv_query)
+            assert detail.value == 7.0 and detail.source == "model"
+        # A COUNT-only estimator serves NDV through the fallback estimator.
+        with make_service(Doubler()) as service:
+            assert service.estimate_ndv(ndv_query) == FALLBACK
+
+    def test_selectivity_is_cached(self):
+        model = Doubler()
+        with make_service(model) as service:
+            assert service.selectivity(make_query(5.0)) == 0.5
+            assert service.selectivity(make_query(5.0)) == 0.5
+        stats = service.stats()
+        assert stats.cache_hits == 1
+
+    def test_count_and_ndv_fingerprints_do_not_collide(self):
+        """COUNT and NDV answers for a look-alike query stay separate."""
+        with make_service(Constant(7.0)) as service:
+            count = service.estimate_count(CardQuery(tables=("t",)))
+            ndv = service.estimate_ndv(
+                CardQuery(tables=("t",), agg=AggSpec(AggKind.COUNT_DISTINCT, "t", "c"))
+            )
+        assert count == 7.0 and ndv == 7.0
+        assert service.stats().cache_hits == 0
+
+    def test_latency_quantiles_populate(self):
+        with make_service(Doubler()) as service:
+            for i in range(20):
+                service.estimate_count(make_query(float(i)))
+        stats = service.stats()
+        assert 0.0 < stats.p50_latency <= stats.p90_latency <= stats.p99_latency
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline_ms": 0.0},
+            {"cache_entries": 0},
+            {"max_batch_size": 0},
+            {"batch_wait_ms": -1.0},
+            {"num_workers": 0},
+            {"queue_capacity": -1},
+            {"latency_window": 0},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            ServingConfig(**kwargs)
