@@ -31,6 +31,7 @@ from repro.estimators.factorjoin.estimator import FactorJoinEstimator
 from repro.estimators.rbx.estimator import RBXNdvEstimator
 from repro.estimators.traditional.hyperloglog import SketchNdvEstimator
 from repro.estimators.traditional.selinger import SelingerEstimator
+from repro.obs.metrics import MetricsRegistry
 from repro.sql.query import AggKind, CardQuery
 
 
@@ -59,9 +60,10 @@ class ByteCard(CountEstimator, NdvEstimator):
         self.catalog = bundle.catalog
         self.config = config or ByteCardConfig()
         self.registry = registry or ModelRegistry()
+        self.obs = MetricsRegistry(enabled=self.config.enable_observability)
         self.validator = ModelValidator(self.config.max_model_bytes)
         self.forge = ModelForgeService(self.registry, self.config)
-        self.monitor = ModelMonitor(bundle, self.config)
+        self.monitor = ModelMonitor(bundle, self.config, metrics=self.obs)
         self.preprocessor = ModelPreprocessor(
             self.catalog, self.config.join_bucket_count
         )
@@ -85,6 +87,7 @@ class ByteCard(CountEstimator, NdvEstimator):
             self.validator,
             engine_factory=self._make_engine,
             max_total_bytes=self.config.max_total_bytes,
+            metrics=self.obs,
         )
 
     # ------------------------------------------------------------------
@@ -309,7 +312,34 @@ class ByteCard(CountEstimator, NdvEstimator):
             fallback_ndv=self._traditional_ndv,
             config=config,
             loader=self.loader,
+            registry=self.obs,
         )
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def metrics(self) -> MetricsRegistry:
+        """The framework-wide observability registry.
+
+        Every component wired through this ByteCard (Model Loader, Model
+        Monitor, any service from :meth:`serve`, any
+        :class:`~repro.engine.session.EngineSession` built on it) records
+        here; export with :func:`repro.obs.export_text` /
+        :func:`repro.obs.export_json`.
+        """
+        return self.obs
+
+    def metrics_text(self) -> str:
+        """Prometheus-style text export of :meth:`metrics`."""
+        from repro.obs import export_text
+
+        return export_text(self.obs)
+
+    def metrics_json(self) -> dict:
+        """Structured JSON export of :meth:`metrics`."""
+        from repro.obs import export_json
+
+        return export_json(self.obs)
 
     def status(self) -> ByteCardStatus:
         return ByteCardStatus(

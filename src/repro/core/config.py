@@ -41,3 +41,9 @@ class ByteCardConfig:
 
     # -- RBX serving ----------------------------------------------------
     rbx_sample_rows: int = 20_000
+
+    # -- observability (repro.obs) --------------------------------------
+    #: record loader/monitor/serving/engine metrics into the framework's
+    #: :class:`repro.obs.MetricsRegistry`; disabling hands out no-op
+    #: metrics everywhere (near-zero overhead)
+    enable_observability: bool = True

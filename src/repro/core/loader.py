@@ -28,6 +28,7 @@ from typing import Callable
 from repro.core.engine import CardEstInferenceEngine
 from repro.core.registry import ModelRegistry
 from repro.core.validator import ModelValidator
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -63,12 +64,14 @@ class ModelLoader:
         validator: ModelValidator,
         engine_factory,
         max_total_bytes: int,
+        metrics: MetricsRegistry | None = None,
     ):
         """``engine_factory(kind, name)`` builds an empty engine per model."""
         self.registry = registry
         self.validator = validator
         self.engine_factory = engine_factory
         self.max_total_bytes = max_total_bytes
+        self.metrics = metrics if metrics is not None else MetricsRegistry(enabled=False)
         self._loaded: dict[tuple[str, str], _LoadedModel] = {}
         self._tick = 0
         self._seq = 0
@@ -127,10 +130,29 @@ class ModelLoader:
             self._evict_over_budget(report)
             if report.loaded or report.evicted:
                 self._generation += 1
+            self._record_metrics(report)
         if report.loaded or report.evicted:
             for listener in self._listeners:
                 listener(report)
         return report
+
+    def _record_metrics(self, report: RefreshReport) -> None:
+        """Loader lifecycle events -> the observability registry."""
+        metrics = self.metrics
+        if not metrics.enabled:
+            return
+        metrics.counter("loader_refresh_total").inc()
+        if report.loaded:
+            metrics.counter("loader_models_loaded_total").inc(len(report.loaded))
+        if report.refused:
+            metrics.counter("loader_models_refused_total").inc(len(report.refused))
+        if report.evicted:
+            metrics.counter("loader_models_evicted_total").inc(len(report.evicted))
+        metrics.gauge("loader_generation").set(self._generation)
+        metrics.gauge("loader_loaded_models").set(len(self._loaded))
+        metrics.gauge("loader_loaded_bytes").set(
+            sum(m.nbytes for m in self._loaded.values())
+        )
 
     def _evict_over_budget(self, report: RefreshReport) -> None:
         total = sum(m.nbytes for m in self._loaded.values())

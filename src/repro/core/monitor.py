@@ -28,6 +28,7 @@ from repro.estimators.base import CountEstimator, NdvEstimator
 from repro.estimators.frequency import FrequencyProfile, frequency_profile
 from repro.metrics.qerror import qerror
 from repro.metrics.quantiles import quantile
+from repro.obs.metrics import MetricsRegistry
 from repro.sql.query import (
     AggKind,
     AggSpec,
@@ -70,9 +71,18 @@ class MonitorReport:
 class ModelMonitor:
     """Generates test queries and gates model quality."""
 
-    def __init__(self, bundle: DatasetBundle, config: ByteCardConfig | None = None):
+    def __init__(
+        self,
+        bundle: DatasetBundle,
+        config: ByteCardConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.bundle = bundle
         self.config = config or ByteCardConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry(enabled=False)
+        #: per-model p90 Q-Error across assessments, oldest first -- the
+        #: drift record behind fallback-list churn
+        self.drift: dict[str, list[float]] = {}
         self._rng = derive_rng(bundle.seed, "monitor")
 
     # ------------------------------------------------------------------
@@ -157,6 +167,7 @@ class ModelMonitor:
             report.passed = bool(report.p90 <= self.config.qerror_gate)
         else:
             report.passed = None  # untested, not passing
+        self._record_assessment(report, kind="count")
         return report
 
     def assess_ndv_column(
@@ -174,7 +185,25 @@ class ModelMonitor:
             report.passed = bool(report.p90 <= self.config.ndv_finetune_trigger)
         else:
             report.passed = None  # untested, not passing
+        self._record_assessment(report, kind="ndv")
         return report
+
+    def _record_assessment(self, report: MonitorReport, kind: str) -> None:
+        """One drift point per assessment: the model's p90 Q-Error."""
+        p90 = report.p90
+        if p90 is not None:
+            self.drift.setdefault(report.name, []).append(p90)
+        if not self.metrics.enabled:
+            return
+        self.metrics.counter(
+            "monitor_assessments_total", kind=kind
+        ).inc()
+        if report.passed is False:
+            self.metrics.counter("monitor_failures_total", kind=kind).inc()
+        if p90 is not None:
+            self.metrics.series(
+                "monitor_qerror_p90", model=report.name, kind=kind
+            ).append(p90)
 
     # ------------------------------------------------------------------
     # Fine-tune corpus collection

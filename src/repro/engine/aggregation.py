@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.engine.hash_table import SimulatedHashTable
+from repro.engine.hash_table import SimulatedHashTable, _next_power_of_two
 from repro.errors import ExecutionError
 from repro.sql.query import CardQuery
 from repro.storage.catalog import Catalog
@@ -29,11 +29,22 @@ class AggregationResult:
     moved_entries: int
     initial_capacity: int
     final_capacity: int
+    #: slots allocated beyond the minimum capacity that would have held the
+    #: actual groups resize-free -- the over-allocation cost of a too-high
+    #: NDV estimate (the flip side of Figure 6(b)'s resize savings)
+    presize_waste: int = 0
+    #: the NDV-driven pre-size hit ``max_presize_capacity`` and was clamped
+    presize_clamped: bool = False
     #: per-group aggregate values (parallel to ``group_keys``), when the
     #: query's aggregate targets a column; COUNT(*) yields group sizes
     values: np.ndarray | None = None
     #: distinct key combinations, one column per group-by key
     group_keys: np.ndarray | None = None
+
+
+def _required_capacity(groups: int, load_factor: float) -> int:
+    """Smallest power-of-two capacity holding ``groups`` resize-free."""
+    return _next_power_of_two(max(1, int(np.ceil(groups / load_factor))))
 
 
 def hash_aggregate(
@@ -43,12 +54,16 @@ def hash_aggregate(
     estimated_ndv: float | None,
     default_capacity: int = 256,
     load_factor: float = 0.5,
+    max_presize_capacity: int | None = None,
 ) -> AggregationResult:
     """Aggregate the join result by the query's group keys.
 
     ``estimated_ndv`` sizes the hash table up front (with the usual
     head-room of ``1 / load_factor``); ``None`` falls back to the engine's
-    default capacity, reproducing the no-ByteCard configuration.
+    default capacity, reproducing the no-ByteCard configuration.  The
+    pre-size is clamped to ``max_presize_capacity`` so an overestimated NDV
+    cannot allocate an unbounded table; the over-allocation actually paid
+    is reported as :attr:`AggregationResult.presize_waste`.
     """
     if not query.group_by:
         raise ExecutionError("hash_aggregate requires GROUP BY keys")
@@ -56,10 +71,14 @@ def hash_aggregate(
         raise ExecutionError("no join tuples supplied to aggregation")
     result_rows = int(next(iter(tuples.values())).size)
 
+    presize_clamped = False
     if estimated_ndv is None:
         initial = default_capacity
     else:
         initial = max(1, int(np.ceil(estimated_ndv / load_factor)))
+        if max_presize_capacity is not None and initial > max_presize_capacity:
+            initial = max_presize_capacity
+            presize_clamped = True
     table = SimulatedHashTable(initial_capacity=initial, load_factor=load_factor)
 
     if result_rows == 0:
@@ -70,6 +89,10 @@ def hash_aggregate(
             moved_entries=0,
             initial_capacity=table.capacity,
             final_capacity=table.capacity,
+            presize_waste=max(
+                0, table.capacity - _required_capacity(0, load_factor)
+            ),
+            presize_clamped=presize_clamped,
         )
 
     key_rows = []
@@ -93,6 +116,10 @@ def hash_aggregate(
         moved_entries=table.moved_entries,
         initial_capacity=initial if estimated_ndv is not None else default_capacity,
         final_capacity=table.capacity,
+        presize_waste=max(
+            0, table.capacity - _required_capacity(table.distinct, load_factor)
+        ),
+        presize_clamped=presize_clamped,
         values=values,
         group_keys=uniques,
     )

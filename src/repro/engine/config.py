@@ -24,6 +24,10 @@ class EngineConfig:
     #: hash tables start at this capacity when no estimate is available
     default_hash_capacity: int = 256
     hash_load_factor: float = 0.5
+    #: ceiling on NDV-driven pre-sizing: a wildly overestimated group NDV
+    #: must not allocate an arbitrarily large table up front (the waste is
+    #: recorded in ``AggregationResult.presize_waste``)
+    max_presize_capacity: int = 1 << 21
     #: safety cap on materialized intermediate join tuples
     max_intermediate_rows: int = 30_000_000
     #: join-order enumeration: "greedy" (smallest-next, linear) or "dp"

@@ -10,9 +10,11 @@ cost units (Figure 5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 from repro.engine.aggregation import AggregationResult, hash_aggregate
+from repro.obs.metrics import MetricsRegistry
 from repro.engine.config import EngineConfig
 from repro.engine.join import JoinExecution, hash_join_tree
 from repro.engine.optimizer import PhysicalPlan
@@ -47,6 +49,8 @@ class QueryResult:
     cpu_cost: float
     scans: dict[str, ScanResult]
     aggregation: AggregationResult | None
+    #: wall-clock seconds per execution stage (scan / join / aggregate)
+    stage_timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def total_cost(self) -> float:
@@ -64,15 +68,23 @@ class QueryResult:
 class Executor:
     """Executes physical plans against a catalog."""
 
-    def __init__(self, catalog: Catalog, config: EngineConfig | None = None):
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: EngineConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
         self.catalog = catalog
         self.config = config or EngineConfig()
+        self.registry = registry if registry is not None else MetricsRegistry(enabled=False)
 
     # ------------------------------------------------------------------
     def execute(self, plan: PhysicalPlan) -> QueryResult:
         query = plan.query
         io = IOCounter()
+        stage_timings: dict[str, float] = {}
         scans: dict[str, ScanResult] = {}
+        stage_start = time.perf_counter()
         for table_name in query.tables:
             table = self.catalog.table(table_name)
             payload = self._payload_columns(query, table_name)
@@ -87,8 +99,10 @@ class Executor:
                 )
             else:
                 scans[table_name] = single_stage_scan(table, query, payload, io)
+        stage_timings["scan"] = time.perf_counter() - stage_start
 
         scanned_rows = {name: scan.row_indices for name, scan in scans.items()}
+        stage_start = time.perf_counter()
         join_exec = hash_join_tree(
             self.catalog,
             query,
@@ -96,9 +110,11 @@ class Executor:
             plan.join_order,
             max_intermediate_rows=self.config.max_intermediate_rows,
         )
+        stage_timings["join"] = time.perf_counter() - stage_start
 
         aggregation: AggregationResult | None = None
         if query.group_by:
+            stage_start = time.perf_counter()
             aggregation = hash_aggregate(
                 self.catalog,
                 query,
@@ -106,7 +122,9 @@ class Executor:
                 estimated_ndv=plan.estimated_group_ndv,
                 default_capacity=self.config.default_hash_capacity,
                 load_factor=self.config.hash_load_factor,
+                max_presize_capacity=self.config.max_presize_capacity,
             )
+            stage_timings["aggregate"] = time.perf_counter() - stage_start
 
         random_blocks = sum(s.random_blocks for s in scans.values())
         sequential_blocks = io.blocks_read - random_blocks
@@ -120,6 +138,7 @@ class Executor:
         aggregate_value = (
             self._scalar_aggregate(query, join_exec) if not query.group_by else None
         )
+        self._record_metrics(io, scans, stage_timings, aggregation)
         return QueryResult(
             query=query,
             result_rows=join_exec.result_rows,
@@ -134,7 +153,41 @@ class Executor:
             cpu_cost=cpu_cost,
             scans=scans,
             aggregation=aggregation,
+            stage_timings=stage_timings,
         )
+
+    # ------------------------------------------------------------------
+    def _record_metrics(
+        self,
+        io: IOCounter,
+        scans: dict[str, ScanResult],
+        stage_timings: dict[str, float],
+        aggregation: AggregationResult | None,
+    ) -> None:
+        registry = self.registry
+        if not registry.enabled:
+            return
+        registry.counter("engine_queries_total").inc()
+        registry.counter("engine_blocks_read_total").inc(io.blocks_read)
+        registry.counter("engine_rows_scanned_total").inc(
+            sum(s.rows_scanned for s in scans.values())
+        )
+        for stage, seconds in stage_timings.items():
+            registry.histogram("engine_stage_seconds", stage=stage).observe(
+                seconds
+            )
+        if aggregation is not None:
+            registry.counter("engine_hash_resizes_total").inc(
+                aggregation.resize_count
+            )
+            registry.counter("engine_hash_moved_entries_total").inc(
+                aggregation.moved_entries
+            )
+            registry.counter("engine_presize_waste_slots_total").inc(
+                aggregation.presize_waste
+            )
+            if aggregation.presize_clamped:
+                registry.counter("engine_presize_clamped_total").inc()
 
     # ------------------------------------------------------------------
     def _payload_columns(self, query: CardQuery, table: str) -> list[str]:

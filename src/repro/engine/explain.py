@@ -40,6 +40,18 @@ def explain_plan(plan: PhysicalPlan) -> str:
         )
         lines.append(f"  aggregate by ({keys}): {sizing}")
     lines.append(f"  estimation cost: {plan.estimation_cost:.2f}")
+    if plan.decision_timings:
+        lines.append("  decisions:")
+        for name, seconds in plan.decision_timings.items():
+            parts = [f"    {name}: {seconds * 1e3:.3f}ms"]
+            provenance = plan.decision_provenance.get(name)
+            if provenance:
+                rendered = ", ".join(
+                    f"{source} x{count}"
+                    for source, count in sorted(provenance.items())
+                )
+                parts.append(f"[{rendered}]")
+            lines.append("  ".join(parts))
     return "\n".join(lines)
 
 
@@ -64,6 +76,22 @@ def explain_result(result: QueryResult) -> str:
             f"  hash resizes: {result.resize_count} "
             f"({result.moved_entries} entries rehashed)"
         )
+    aggregation = result.aggregation
+    if aggregation is not None and (
+        aggregation.presize_waste or aggregation.presize_clamped
+    ):
+        clamp = " (clamped)" if aggregation.presize_clamped else ""
+        lines.append(
+            f"  pre-sizing{clamp}: initial={aggregation.initial_capacity} "
+            f"final={aggregation.final_capacity} "
+            f"waste={aggregation.presize_waste} slots"
+        )
+    if result.stage_timings:
+        rendered = " ".join(
+            f"{stage}={seconds * 1e3:.3f}ms"
+            for stage, seconds in result.stage_timings.items()
+        )
+        lines.append(f"  stage timings: {rendered}")
     lines.append(
         "  cost: "
         f"estimation={result.estimation_cost:.2f} "

@@ -37,6 +37,9 @@ class SimulatedHashTable:
         self.distinct = 0
         self.resize_count = 0
         self.moved_entries = 0
+        #: keys already resident from previous ``insert_stream`` calls --
+        #: a re-inserted key must not count as a new distinct entry
+        self._resident: set = set()
 
     # ------------------------------------------------------------------
     def _grow_to(self, target_distinct: int) -> None:
@@ -62,17 +65,31 @@ class SimulatedHashTable:
         """Insert a stream of keys; returns the final distinct count.
 
         Resize behaviour depends only on how many *new* keys arrive, so the
-        growth curve is folded into threshold crossings directly.
+        growth curve is folded into threshold crossings directly.  Keys are
+        tracked across calls: a key already resident from an earlier block
+        does not count again, so streaming overlapping blocks matches one
+        concatenated insert (the Figure 6(b) accounting).
         """
         keys = np.asarray(keys)
         if keys.size == 0:
             return self.distinct
-        new_distinct = int(np.unique(keys).size)
-        self._grow_to(self.distinct + new_distinct)
+        batch = np.unique(keys)
+        if self._resident:
+            fresh = [k for k in batch.tolist() if k not in self._resident]
+        else:
+            fresh = batch.tolist()
+        if not fresh:
+            return self.distinct
+        self._resident.update(fresh)
+        self._grow_to(self.distinct + len(fresh))
         return self.distinct
 
     def insert_distinct_total(self, total_distinct: int) -> None:
-        """Insert ``total_distinct`` brand-new keys."""
+        """Insert ``total_distinct`` brand-new (anonymous) keys.
+
+        The keys are assumed disjoint from everything inserted so far; use
+        :meth:`insert_stream` when re-inserted keys must be deduplicated.
+        """
         if total_distinct < 0:
             raise ValueError("distinct count cannot be negative")
         self._grow_to(self.distinct + total_distinct)

@@ -20,12 +20,15 @@ sample-based method end-to-end.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.engine.config import EngineConfig
 from repro.engine.readers import ReaderKind
 from repro.errors import EstimationError
 from repro.estimators.base import CountEstimator, NdvEstimator
+from repro.obs.metrics import MetricsRegistry
 from repro.sql.query import CardQuery, JoinCondition
 
 
@@ -41,6 +44,13 @@ class PhysicalPlan:
     estimation_cost: float = 0.0
     #: per-table estimated selectivities (for introspection/tests)
     table_selectivities: dict[str, float] = field(default_factory=dict)
+    #: wall-clock seconds spent per plan decision (``selectivity:t``,
+    #: ``column_order:t``, ``join_order``, ``group_ndv``)
+    decision_timings: dict[str, float] = field(default_factory=dict)
+    #: per-decision estimate provenance counts: how each consulted estimate
+    #: was produced (cache / model / fallback-* when planning through the
+    #: serving tier, ``direct`` for bare estimators)
+    decision_provenance: dict[str, dict[str, int]] = field(default_factory=dict)
 
 
 class Optimizer:
@@ -51,29 +61,80 @@ class Optimizer:
         count_estimator: CountEstimator,
         ndv_estimator: NdvEstimator | None,
         config: EngineConfig | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         self.count_estimator = count_estimator
         self.ndv_estimator = ndv_estimator
         self.config = config or EngineConfig()
+        self.registry = registry if registry is not None else MetricsRegistry(enabled=False)
 
     # ------------------------------------------------------------------
     def plan(self, query: CardQuery) -> PhysicalPlan:
         plan = PhysicalPlan(query=query)
         for table in query.tables:
-            selectivity = self._table_selectivity(query, table, plan)
+            with self._decision(plan, f"selectivity:{table}", "selectivity"):
+                selectivity = self._table_selectivity(query, table, plan)
             plan.table_selectivities[table] = selectivity
             plan.readers[table] = self._choose_reader(selectivity)
             if plan.readers[table] is ReaderKind.MULTI_STAGE:
-                plan.column_orders[table] = self._choose_column_order(
-                    query, table, plan
-                )
+                with self._decision(plan, f"column_order:{table}", "column_order"):
+                    plan.column_orders[table] = self._choose_column_order(
+                        query, table, plan
+                    )
         if query.joins:
-            plan.join_order = self._choose_join_order(query, plan)
+            with self._decision(plan, "join_order", "join_order"):
+                plan.join_order = self._choose_join_order(query, plan)
         if query.group_by and self.ndv_estimator is not None:
-            plan.estimated_group_ndv = self._estimate_group_ndv(query, plan)
+            with self._decision(plan, "group_ndv", "group_ndv"):
+                plan.estimated_group_ndv = self._estimate_group_ndv(query, plan)
         return plan
 
     # ------------------------------------------------------------------
+    @contextmanager
+    def _decision(self, plan: PhysicalPlan, name: str, kind: str):
+        """Time one plan decision into the plan and the registry."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            plan.decision_timings[name] = (
+                plan.decision_timings.get(name, 0.0) + elapsed
+            )
+            self.registry.histogram(
+                "optimizer_decision_seconds", decision=kind
+            ).observe(elapsed)
+
+    def _note_provenance(
+        self, plan: PhysicalPlan, decision: str, source: str
+    ) -> None:
+        bucket = plan.decision_provenance.setdefault(decision, {})
+        bucket[source] = bucket.get(source, 0) + 1
+
+    def _selectivity_with_provenance(
+        self, plan: PhysicalPlan, decision: str, subquery: CardQuery
+    ) -> float:
+        detail_fn = getattr(self.count_estimator, "selectivity_detail", None)
+        if detail_fn is not None:
+            value, source = detail_fn(subquery)
+            self._note_provenance(plan, decision, source)
+            return float(value)
+        value = float(self.count_estimator.selectivity(subquery))
+        self._note_provenance(plan, decision, "direct")
+        return value
+
+    def _estimate_count_with_provenance(
+        self, plan: PhysicalPlan, decision: str, subquery: CardQuery
+    ) -> float:
+        detail_fn = getattr(self.count_estimator, "estimate_count_detail", None)
+        if detail_fn is not None:
+            detail = detail_fn(subquery)
+            self._note_provenance(plan, decision, detail.source)
+            return float(detail.value)
+        value = float(self.count_estimator.estimate_count(subquery))
+        self._note_provenance(plan, decision, "direct")
+        return value
+
     def _charge(self, plan: PhysicalPlan, subquery: CardQuery) -> None:
         plan.estimation_cost += self.count_estimator.estimation_overhead(subquery)
 
@@ -82,13 +143,16 @@ class Optimizer:
     ) -> float:
         subquery = query.single_table_subquery(table)
         self._charge(plan, subquery)
+        decision = f"selectivity:{table}"
         try:
-            return float(self.count_estimator.selectivity(subquery))
+            return self._selectivity_with_provenance(plan, decision, subquery)
         except (EstimationError, NotImplementedError):
             # Estimators without a selectivity interface (e.g. MSCN) fall
             # back to count / table-size when possible, else neutral.
             try:
-                estimate = self.count_estimator.estimate_count(subquery)
+                estimate = self._estimate_count_with_provenance(
+                    plan, decision, subquery
+                )
             except EstimationError:
                 return 1.0
             rows = self._table_rows(table)
@@ -143,7 +207,9 @@ class Optimizer:
                 subquery = query.single_table_subquery(table).with_predicates(chosen)
                 self._charge(plan, subquery)
                 try:
-                    selectivity = float(self.count_estimator.selectivity(subquery))
+                    selectivity = self._selectivity_with_provenance(
+                        plan, f"column_order:{table}", subquery
+                    )
                 except (EstimationError, NotImplementedError):
                     selectivity = 1.0
                 if selectivity < best_selectivity:
@@ -193,7 +259,9 @@ class Optimizer:
                 subquery = self._connected_subquery(query, new_tables, used_joins + [join])
                 self._charge(plan, subquery)
                 try:
-                    size = self.count_estimator.estimate_count(subquery)
+                    size = self._estimate_count_with_provenance(
+                        plan, "join_order", subquery
+                    )
                 except EstimationError:
                     size = float("inf")
                 if size < best_size:
@@ -240,7 +308,9 @@ class Optimizer:
             subquery = self._connected_subquery(query, subset, joins)
             self._charge(plan, subquery)
             try:
-                size = float(self.count_estimator.estimate_count(subquery))
+                size = self._estimate_count_with_provenance(
+                    plan, "join_order", subquery
+                )
             except EstimationError:
                 size = float("inf")
             size_cache[mask] = size

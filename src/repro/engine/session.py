@@ -37,6 +37,7 @@ class EngineSession:
         suite: EstimatorSuite | None = None,
         config: EngineConfig | None = None,
         service=None,
+        registry=None,
     ):
         """Either pass an estimator ``suite`` or an estimation ``service``.
 
@@ -44,6 +45,11 @@ class EngineSession:
         optimizer consults the serving tier -- estimates come through its
         cache, batcher, and deadline-fallback pipeline instead of raw
         estimator calls.
+
+        ``registry`` (a :class:`repro.obs.MetricsRegistry`) collects the
+        optimizer's decision spans and the executor's scan/join/resize
+        counters; when omitted, the session inherits the service's registry
+        or the estimator's own (``ByteCard.metrics()``), if either exists.
         """
         if (suite is None) == (service is None):
             raise ValueError("provide exactly one of suite= or service=")
@@ -52,14 +58,19 @@ class EngineSession:
             suite = EstimatorSuite(
                 service.name, count_estimator=service, ndv_estimator=ndv
             )
+        if registry is None:
+            registry = getattr(service, "registry", None)
+        if registry is None:
+            registry = getattr(suite.count_estimator, "obs", None)
         self.catalog = catalog
         self.suite = suite
         self.service = service
+        self.registry = registry
         self.config = config or EngineConfig()
         self.optimizer = Optimizer(
-            suite.count_estimator, suite.ndv_estimator, self.config
+            suite.count_estimator, suite.ndv_estimator, self.config, registry
         )
-        self.executor = Executor(catalog, self.config)
+        self.executor = Executor(catalog, self.config, registry)
 
     def run(self, query: CardQuery) -> QueryResult:
         """Plan and execute one query."""

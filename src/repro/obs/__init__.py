@@ -1,0 +1,45 @@
+"""repro.obs -- end-to-end observability for the reproduction.
+
+A lightweight metrics registry (counters, gauges, bounded histograms,
+drift series) plus request-scoped tracing spans, threaded through the
+serving tier, the optimizer/executor, the Model Loader, and the Model
+Monitor.  One registry per deployment; Prometheus-style text and JSON
+exports; near-zero overhead when disabled.
+"""
+
+from repro.obs.export import (
+    export_json,
+    export_json_text,
+    export_text,
+    missing_series,
+)
+from repro.obs.metrics import (
+    NULL_METRIC,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    NullMetric,
+    Series,
+    render_series_name,
+)
+from repro.obs.spans import SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "NullMetric",
+    "NULL_METRIC",
+    "Series",
+    "SpanRecord",
+    "Tracer",
+    "export_json",
+    "export_json_text",
+    "export_text",
+    "missing_series",
+    "render_series_name",
+]

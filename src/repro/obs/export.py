@@ -1,0 +1,106 @@
+"""Prometheus-style text and JSON export of a metrics registry.
+
+``export_text`` renders the exposition-format view a scrape endpoint would
+serve; ``export_json`` returns a structured document (histograms with full
+snapshots, series with their drift points) for programmatic checks -- the
+CI smoke job asserts required series against it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+    render_series_name,
+)
+
+
+def export_text(registry: MetricsRegistry) -> str:
+    """Render every registered metric in Prometheus exposition style."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for metric in registry.metrics():
+        if metric.name not in seen_types:
+            seen_types.add(metric.name)
+            kind = "gauge" if isinstance(metric, (Series, Gauge)) else metric.kind
+            lines.append(f"# TYPE {metric.name} {kind}")
+        ident = render_series_name(metric.name, metric.labels)
+        if isinstance(metric, Counter) or isinstance(metric, Gauge):
+            lines.append(f"{ident} {_num(metric.value)}")
+        elif isinstance(metric, Histogram):
+            snap = metric.snapshot()
+            base, labels = metric.name, metric.labels
+            lines.append(
+                f"{render_series_name(base + '_count', labels)} {snap.count}"
+            )
+            lines.append(
+                f"{render_series_name(base + '_sum', labels)} {_num(snap.total)}"
+            )
+            for q, value in (("0.5", snap.p50), ("0.9", snap.p90), ("0.99", snap.p99)):
+                q_labels = labels + (("quantile", q),)
+                lines.append(
+                    f"{render_series_name(base, q_labels)} {_num(value)}"
+                )
+        elif isinstance(metric, Series):
+            last = metric.last
+            lines.append(f"{ident} {_num(last if last is not None else 0.0)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def export_json(registry: MetricsRegistry) -> dict:
+    """Structured export: one entry per series, grouped by metric kind."""
+    doc: dict[str, dict[str, object]] = {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+        "series": {},
+    }
+    for metric in registry.metrics():
+        ident = render_series_name(metric.name, metric.labels)
+        if isinstance(metric, Counter):
+            doc["counters"][ident] = metric.value
+        elif isinstance(metric, Gauge):
+            doc["gauges"][ident] = metric.value
+        elif isinstance(metric, Histogram):
+            snap = metric.snapshot()
+            doc["histograms"][ident] = {
+                "count": snap.count,
+                "sum": snap.total,
+                "min": snap.min if snap.count else 0.0,
+                "max": snap.max if snap.count else 0.0,
+                "mean": snap.mean,
+                "p50": snap.p50,
+                "p90": snap.p90,
+                "p99": snap.p99,
+            }
+        elif isinstance(metric, Series):
+            doc["series"][ident] = metric.values()
+    return doc
+
+
+def export_json_text(registry: MetricsRegistry, indent: int = 2) -> str:
+    """The JSON export serialized to text (for files / artifacts)."""
+    return json.dumps(export_json(registry), indent=indent, sort_keys=True)
+
+
+def missing_series(
+    registry: MetricsRegistry, required: Iterable[str]
+) -> list[str]:
+    """Names (bare, label-free) from ``required`` absent in the registry.
+
+    Matches on the metric *name*, ignoring labels, so a requirement like
+    ``serving_request_seconds`` is satisfied by any labeled instance of it.
+    """
+    present = {metric.name for metric in registry.metrics()}
+    return sorted(set(required) - present)
+
+
+def _num(value: float) -> str:
+    as_int = int(value)
+    return str(as_int) if value == as_int else repr(float(value))

@@ -31,6 +31,8 @@ from typing import Callable
 from repro.core.loader import ModelLoader, RefreshReport
 from repro.errors import EstimationError
 from repro.estimators.base import CountEstimator, NdvEstimator
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecord, Tracer
 from repro.serving.batching import MicroBatcher
 from repro.serving.cache import EstimateCache
 from repro.serving.config import ServingConfig
@@ -51,10 +53,23 @@ class ServedEstimate:
     #: "fallback-rejected"
     source: str
     latency_s: float
+    #: the answer came through the same-table micro-batcher
+    batched: bool = False
+    #: per-stage timings of this request (request-scoped trace)
+    stages: tuple[SpanRecord, ...] = ()
 
     @property
     def degraded(self) -> bool:
         return self.source.startswith("fallback")
+
+    @property
+    def path(self) -> str:
+        """The latency-accounting path: cache | batch | model | fallback."""
+        if self.source == "cache":
+            return "cache"
+        if self.degraded:
+            return "fallback"
+        return "batch" if self.batched else "model"
 
 
 class EstimationService(CountEstimator, NdvEstimator):
@@ -69,12 +84,18 @@ class EstimationService(CountEstimator, NdvEstimator):
         fallback_ndv: NdvEstimator | None = None,
         config: ServingConfig | None = None,
         loader: ModelLoader | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         self.estimator = estimator
         self.fallback_count = fallback_count
         self.fallback_ndv = fallback_ndv
         self.config = config or ServingConfig()
+        self.registry = registry if registry is not None else MetricsRegistry(enabled=False)
+        self.tracer = Tracer(self.registry)
         self.stats_collector = StatsCollector(self.config.latency_window)
+        # Surface the always-on per-path latency rings through the export.
+        for hist in self.stats_collector.path_histograms.values():
+            self.registry.adopt(hist)
         self.cache = (
             EstimateCache(self.config.cache_entries)
             if self.config.enable_cache
@@ -133,35 +154,58 @@ class EstimationService(CountEstimator, NdvEstimator):
         compute: Callable[[], float],
         fallback: Callable[[CardQuery], float],
         deadline_ms=_UNSET,
+        batched: bool = False,
     ) -> ServedEstimate:
         start = time.perf_counter()
         self.stats_collector.increment("requests")
+        self.registry.counter("serving_requests_total", task=task).inc()
+        stages: list[SpanRecord] = []
         key = (task, query_fingerprint(query))
         if self.cache is not None:
-            cached = self.cache.get(key)
+            with self.tracer.span("serve.cache_lookup", sink=stages):
+                cached = self.cache.get(key)
             if cached is not None:
-                return self._finish(cached, "cache", start)
+                return self._finish(cached, "cache", start, stages=stages)
         stamp = self.cache.stamp(query.tables) if self.cache is not None else None
         future = self.pool.try_submit(compute)
         if future is None:
             self.stats_collector.record_fallback("rejected")
-            return self._finish(fallback(query), "fallback-rejected", start)
+            self.registry.counter(
+                "serving_fallbacks_total", reason="rejected"
+            ).inc()
+            with self.tracer.span("serve.fallback", sink=stages):
+                value = fallback(query)
+            return self._finish(value, "fallback-rejected", start, stages=stages)
         deadline = self._deadline_s(deadline_ms)
         remaining = None
         if deadline is not None:
             remaining = max(0.0, deadline - (time.perf_counter() - start))
+        compute_span = "serve.batch" if batched else "serve.model"
         try:
-            value = float(future.result(timeout=remaining))
+            with self.tracer.span(compute_span, sink=stages):
+                value = float(future.result(timeout=remaining))
         except FutureTimeoutError:
             self.stats_collector.record_fallback("timeouts")
+            self.registry.counter(
+                "serving_fallbacks_total", reason="timeout"
+            ).inc()
             self._cache_late_result(key, stamp, future)
-            return self._finish(fallback(query), "fallback-timeout", start)
+            with self.tracer.span("serve.fallback", sink=stages):
+                fell_back = fallback(query)
+            return self._finish(
+                fell_back, "fallback-timeout", start, stages=stages
+            )
         except Exception:
             self.stats_collector.record_fallback("errors")
-            return self._finish(fallback(query), "fallback-error", start)
+            self.registry.counter(
+                "serving_fallbacks_total", reason="error"
+            ).inc()
+            with self.tracer.span("serve.fallback", sink=stages):
+                fell_back = fallback(query)
+            return self._finish(fell_back, "fallback-error", start, stages=stages)
         if self.cache is not None and stamp is not None:
             self.cache.put(key, value, stamp)
-        return self._finish(value, "model", start)
+        return self._finish(value, "model", start, batched=batched, stages=stages)
 
     def _cache_late_result(self, key, stamp, future: Future) -> None:
         """A timed-out estimate still warms the cache once it completes --
@@ -176,10 +220,24 @@ class EstimationService(CountEstimator, NdvEstimator):
 
         future.add_done_callback(on_done)
 
-    def _finish(self, value: float, source: str, start: float) -> ServedEstimate:
+    def _finish(
+        self,
+        value: float,
+        source: str,
+        start: float,
+        batched: bool = False,
+        stages: list[SpanRecord] | None = None,
+    ) -> ServedEstimate:
         latency = time.perf_counter() - start
-        self.stats_collector.record_latency(latency)
-        return ServedEstimate(value=float(value), source=source, latency_s=latency)
+        estimate = ServedEstimate(
+            value=float(value),
+            source=source,
+            latency_s=latency,
+            batched=batched,
+            stages=tuple(stages) if stages else (),
+        )
+        self.stats_collector.record_latency(latency, path=estimate.path)
+        return estimate
 
     def _batchable(self, query: CardQuery) -> bool:
         return (
@@ -195,7 +253,8 @@ class EstimationService(CountEstimator, NdvEstimator):
     def estimate_count_detail(
         self, query: CardQuery, deadline_ms=_UNSET
     ) -> ServedEstimate:
-        if self._batchable(query):
+        batched = self._batchable(query)
+        if batched:
             batcher = self.batcher
             assert batcher is not None
             compute: Callable[[], float] = lambda: batcher.estimate(query)
@@ -207,6 +266,7 @@ class EstimationService(CountEstimator, NdvEstimator):
             compute,
             self.fallback_count.estimate_count,
             deadline_ms,
+            batched=batched,
         )
 
     def estimate_count(self, query: CardQuery) -> float:
@@ -245,27 +305,35 @@ class EstimationService(CountEstimator, NdvEstimator):
     # Planner-facing fast path
     # ------------------------------------------------------------------
     def selectivity(self, query: CardQuery) -> float:
-        """Cached selectivity for the optimizer's planning loops.
+        """Cached selectivity for the optimizer's planning loops."""
+        return self.selectivity_detail(query)[0]
+
+    def selectivity_detail(self, query: CardQuery) -> tuple[float, str]:
+        """Selectivity plus its provenance: cache | model | fallback-error.
 
         Served in the calling thread (no pool round-trip: the optimizer
         issues dozens of these per plan and the futures overhead would
         dominate); errors degrade to the traditional estimator.
         """
         self.stats_collector.increment("requests")
+        self.registry.counter("serving_requests_total", task="selectivity").inc()
         key = ("selectivity", query_fingerprint(query))
         if self.cache is not None:
             cached = self.cache.get(key)
             if cached is not None:
-                return cached
+                return cached, "cache"
             stamp = self.cache.stamp(query.tables)
         try:
             value = float(self.estimator.selectivity(query))
         except Exception:
             self.stats_collector.record_fallback("errors")
-            return float(self.fallback_count.selectivity(query))
+            self.registry.counter(
+                "serving_fallbacks_total", reason="error"
+            ).inc()
+            return float(self.fallback_count.selectivity(query)), "fallback-error"
         if self.cache is not None:
             self.cache.put(key, value, stamp)
-        return value
+        return value, "model"
 
     def estimation_overhead(self, query: CardQuery) -> float:
         return self.estimator.estimation_overhead(query)

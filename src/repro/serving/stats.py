@@ -3,18 +3,28 @@
 Every counter is maintained under one lock by :class:`StatsCollector`;
 :meth:`StatsCollector.snapshot` produces an immutable :class:`ServiceStats`
 that benchmarks and the Model Monitor can introspect without racing the
-serving threads.  Latency quantiles come from the same
-:mod:`repro.metrics.quantiles` helper every other metric in the
-reproduction uses, over a bounded ring of recent request latencies.
+serving threads.
+
+Latency is recorded **per serving path** (cache / batch / model /
+fallback) in bounded :class:`repro.obs.Histogram` rings: a single shared
+ring would let sub-microsecond cache hits dominate p99 and hide the model
+path's tail, which is the quantity FactorJoin-style deployments actually
+watch.  The aggregate p50/p90/p99 fields are kept for compatibility and
+still cover every request.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Mapping
 
 from repro.metrics.quantiles import quantile
+from repro.obs.metrics import Histogram, HistogramSnapshot
+
+#: the serving paths that get their own latency histogram
+LATENCY_PATHS = ("cache", "batch", "model", "fallback")
 
 
 @dataclass(frozen=True)
@@ -41,10 +51,13 @@ class ServiceStats:
     rejected: int = 0
     #: total fallback answers (timeouts + errors + rejections)
     fallbacks: int = 0
-    #: request latencies (seconds) -- p50/p90/p99 over the recent window
+    #: request latencies (seconds) -- p50/p90/p99 over the recent window,
+    #: all paths conflated (kept for compatibility; prefer ``path_latencies``)
     p50_latency: float = 0.0
     p90_latency: float = 0.0
     p99_latency: float = 0.0
+    #: per-path latency snapshots: cache / batch / model / fallback
+    path_latencies: Mapping[str, HistogramSnapshot] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -74,6 +87,16 @@ class StatsCollector:
             "fallbacks": 0,
         }
         self._latencies: deque[float] = deque(maxlen=latency_window)
+        # Always-on per-path rings (they ARE the bugfix); an observability
+        # registry may additionally adopt them for export.
+        self.path_histograms: dict[str, Histogram] = {
+            path: Histogram(
+                "serving_request_seconds",
+                (("path", path),),
+                window=latency_window,
+            )
+            for path in LATENCY_PATHS
+        }
 
     def increment(self, counter: str, amount: int = 1) -> None:
         with self._lock:
@@ -90,9 +113,11 @@ class StatsCollector:
             self._counts["batches"] += 1
             self._counts["batched_requests"] += occupancy
 
-    def record_latency(self, seconds: float) -> None:
+    def record_latency(self, seconds: float, path: str | None = None) -> None:
         with self._lock:
             self._latencies.append(seconds)
+        if path is not None:
+            self.path_histograms[path].observe(seconds)
 
     def snapshot(self) -> ServiceStats:
         with self._lock:
@@ -106,6 +131,15 @@ class StatsCollector:
             )
         else:
             p50 = p90 = p99 = 0.0
+        paths = {
+            path: hist.snapshot()
+            for path, hist in self.path_histograms.items()
+            if hist.count
+        }
         return ServiceStats(
-            **counts, p50_latency=p50, p90_latency=p90, p99_latency=p99
+            **counts,
+            p50_latency=p50,
+            p90_latency=p90,
+            p99_latency=p99,
+            path_latencies=paths,
         )

@@ -50,6 +50,68 @@ class TestBasics:
         assert table.insert_stream(np.array([])) == 0
 
 
+class TestOverlappingStreams:
+    """Regression: successive ``insert_stream`` calls used to re-count keys
+    already resident (``np.unique`` was per-batch only), double-counting
+    distinct keys and inflating resize_count/moved_entries -- the exact
+    quantity Figure 6(b) reports."""
+
+    def test_reinserted_keys_do_not_count_again(self):
+        table = SimulatedHashTable(initial_capacity=256)
+        table.insert_stream(np.array([1, 2, 3]))
+        table.insert_stream(np.array([1, 2, 3]))
+        assert table.distinct == 3
+
+    def test_overlapping_blocks_match_one_concatenated_insert(self):
+        keys = np.arange(10_000)
+        blocks = [keys[:6_000], keys[4_000:8_000], keys[2_000:]]
+
+        streamed = SimulatedHashTable(initial_capacity=256, load_factor=0.5)
+        for block in blocks:
+            streamed.insert_stream(block)
+
+        whole = SimulatedHashTable(initial_capacity=256, load_factor=0.5)
+        whole.insert_stream(keys)
+
+        assert streamed.distinct == whole.distinct == 10_000
+        assert streamed.resize_count == whole.resize_count
+        assert streamed.moved_entries == whole.moved_entries
+        assert streamed.capacity == whole.capacity
+
+    def test_fully_repeated_blocks_never_resize_presized_table(self):
+        block = np.arange(1_000)
+        table = SimulatedHashTable(initial_capacity=4_096, load_factor=0.5)
+        for _ in range(10):
+            table.insert_stream(block)
+        # The old implementation counted 10 * 1000 = 10_000 "new" keys and
+        # resized a table whose keys never exceeded 1000.
+        assert table.distinct == 1_000
+        assert table.resize_count == 0
+        assert table.moved_entries == 0
+
+    def test_partial_overlap_counts_only_new_keys(self):
+        table = SimulatedHashTable(initial_capacity=256)
+        table.insert_stream(np.array([1, 2, 3, 4]))
+        final = table.insert_stream(np.array([3, 4, 5, 6]))
+        assert final == 6
+
+    def test_per_block_streaming_resizes_at_the_same_thresholds(self):
+        """Block-at-a-time insertion with duplicates inside and across
+        blocks replays the same growth curve as the distinct totals."""
+        rng = np.random.default_rng(7)
+        table = SimulatedHashTable(initial_capacity=4, load_factor=0.5)
+        seen: set[int] = set()
+        for _ in range(20):
+            block = rng.integers(0, 500, size=200)
+            table.insert_stream(block)
+            seen.update(block.tolist())
+        reference = SimulatedHashTable(initial_capacity=4, load_factor=0.5)
+        reference.insert_distinct_total(len(seen))
+        assert table.distinct == len(seen)
+        assert table.resize_count == reference.resize_count
+        assert table.moved_entries == reference.moved_entries
+
+
 class TestPreSizingEffect:
     def test_good_estimate_eliminates_resizes(self):
         """The Figure 6(b) mechanism: an accurate NDV estimate pre-sizes the

@@ -1,0 +1,111 @@
+"""Regression tests for NDV-driven pre-sizing: clamping and waste accounting.
+
+The old ``hash_aggregate`` allocated ``ceil(estimated_ndv / load_factor)``
+slots with no ceiling, so a wildly overestimated NDV produced an
+arbitrarily large initial table.  Pre-sizing is now clamped to
+``EngineConfig.max_presize_capacity`` and the over-allocation actually paid
+is reported in ``AggregationResult.presize_waste``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineConfig, hash_aggregate
+from repro.engine.hash_table import _next_power_of_two
+from repro.sql.query import AggSpec, AggKind, CardQuery
+from repro.storage import Catalog, Table
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    rng = np.random.default_rng(11)
+    catalog = Catalog()
+    catalog.register(
+        Table.from_arrays(
+            "t",
+            {
+                "grp": rng.integers(0, 64, 5000),
+                "val": rng.integers(0, 100, 5000),
+            },
+        )
+    )
+    return catalog
+
+
+def group_query() -> CardQuery:
+    return CardQuery(
+        tables=("t",),
+        group_by=(("t", "grp"),),
+        agg=AggSpec(AggKind.COUNT, None, None),
+    )
+
+
+def aggregate(catalog, estimated_ndv, **kwargs):
+    tuples = {"t": np.arange(len(catalog.table("t")))}
+    return hash_aggregate(
+        catalog, group_query(), tuples, estimated_ndv, **kwargs
+    )
+
+
+class TestPresizeClamp:
+    def test_overestimate_is_clamped(self, catalog):
+        result = aggregate(
+            catalog, estimated_ndv=1e12, max_presize_capacity=1 << 14
+        )
+        assert result.presize_clamped
+        assert result.initial_capacity == 1 << 14
+        assert result.final_capacity <= 1 << 15  # clamp held; no blowup
+
+    def test_unclamped_overestimate_would_blow_up(self, catalog):
+        """The bug the clamp fixes: without a cap, the estimate dictates
+        the allocation directly (here ~2M slots for 64 actual groups)."""
+        unbounded = aggregate(catalog, estimated_ndv=1e6)
+        assert not unbounded.presize_clamped
+        assert unbounded.initial_capacity == 2_000_000
+        assert unbounded.final_capacity >= 1 << 21
+        clamped = aggregate(
+            catalog, estimated_ndv=1e6, max_presize_capacity=1 << 12
+        )
+        assert clamped.presize_clamped
+        assert clamped.final_capacity < unbounded.final_capacity
+
+    def test_reasonable_estimate_not_clamped(self, catalog):
+        result = aggregate(
+            catalog, estimated_ndv=64, max_presize_capacity=1 << 21
+        )
+        assert not result.presize_clamped
+        assert result.resize_count == 0
+
+    def test_engine_config_default_cap(self):
+        config = EngineConfig()
+        assert config.max_presize_capacity == 1 << 21
+
+
+class TestPresizeWaste:
+    def test_waste_measures_overallocation(self, catalog):
+        result = aggregate(catalog, estimated_ndv=4096)
+        # 64 actual groups at load factor 0.5 need 128 slots.
+        required = _next_power_of_two(int(np.ceil(result.groups / 0.5)))
+        assert result.groups == 64
+        assert result.presize_waste == result.final_capacity - required
+        assert result.presize_waste > 0
+
+    def test_accurate_estimate_has_zero_waste(self, catalog):
+        result = aggregate(catalog, estimated_ndv=64)
+        assert result.presize_waste == 0
+
+    def test_default_capacity_path_reports_waste_too(self, catalog):
+        result = aggregate(catalog, estimated_ndv=None, default_capacity=4096)
+        assert result.presize_waste == result.final_capacity - 128
+
+    def test_empty_result_counts_full_table_as_waste(self, catalog):
+        empty = {"t": np.array([], dtype=np.int64)}
+        result = hash_aggregate(
+            catalog,
+            group_query(),
+            empty,
+            estimated_ndv=10_000,
+            max_presize_capacity=1 << 21,
+        )
+        assert result.groups == 0
+        assert result.presize_waste == result.final_capacity - 1

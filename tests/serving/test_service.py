@@ -213,6 +213,62 @@ class TestRequestPath:
         assert 0.0 < stats.p50_latency <= stats.p90_latency <= stats.p99_latency
 
 
+class TestPathLatencies:
+    """Regression: latencies used to land in one shared ring, so sub-ms
+    cache hits drowned the model-path distribution.  They are now recorded
+    per path (cache/batch/model/fallback) alongside the old aggregate."""
+
+    def test_cache_and_model_paths_recorded_separately(self):
+        with make_service(Doubler()) as service:
+            service.estimate_count(make_query(5.0))  # model
+            for _ in range(3):
+                service.estimate_count(make_query(5.0))  # cache hits
+        stats = service.stats()
+        assert stats.path_latencies["model"].count == 1
+        assert stats.path_latencies["cache"].count == 3
+        assert "fallback" not in stats.path_latencies
+        # Aggregate quantiles (old behaviour) still cover every request.
+        assert stats.p99_latency > 0.0
+
+    def test_fallback_latency_lands_on_fallback_path(self):
+        with make_service(Broken()) as service:
+            detail = service.estimate_count_detail(make_query(5.0))
+        assert detail.path == "fallback"
+        stats = service.stats()
+        assert stats.path_latencies["fallback"].count == 1
+        assert "model" not in stats.path_latencies
+
+    def test_request_scoped_stages_trace_the_path(self):
+        with make_service(Doubler()) as service:
+            miss = service.estimate_count_detail(make_query(5.0))
+            hit = service.estimate_count_detail(make_query(5.0))
+        assert [s.name for s in miss.stages] == [
+            "serve.cache_lookup",
+            "serve.model",
+        ]
+        assert [s.name for s in hit.stages] == ["serve.cache_lookup"]
+
+    def test_registry_exports_per_path_histograms(self):
+        from repro.obs import MetricsRegistry, export_text
+
+        registry = MetricsRegistry()
+        model = Doubler()
+        service = EstimationService(
+            model,
+            Constant(FALLBACK),
+            Constant(FALLBACK),
+            ServingConfig(deadline_ms=None, enable_batching=False, num_workers=2),
+            registry=registry,
+        )
+        with service:
+            service.estimate_count(make_query(5.0))
+            service.estimate_count(make_query(5.0))
+        text = export_text(registry)
+        assert 'serving_request_seconds_count{path="model"} 1' in text
+        assert 'serving_request_seconds_count{path="cache"} 1' in text
+        assert 'serving_requests_total{task="count"} 2' in text
+
+
 class TestConfigValidation:
     @pytest.mark.parametrize(
         "kwargs",
