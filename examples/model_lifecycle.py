@@ -40,13 +40,13 @@ def main() -> None:
     print(f"  collected join keys          : {join_keys}")
 
     print("\n== 2. ModelForge training ==")
-    for model_info in bytecard.forge.train_count_models(bundle):
+    for model_info in bytecard.forge_service.train_count_models(bundle):
         print(
             f"  trained bn/{model_info.name:<12} "
             f"{model_info.nbytes / 1024:7.1f} KB in {model_info.seconds:.2f}s "
             f"(ts={model_info.timestamp})"
         )
-    rbx_info = bytecard.forge.train_rbx_universal()
+    rbx_info = bytecard.forge_service.train_rbx_universal()
     print(f"  trained rbx/universal  {rbx_info.nbytes / 1024:7.1f} KB "
           f"in {rbx_info.seconds:.2f}s")
 
@@ -67,11 +67,11 @@ def main() -> None:
 
     print("\n== 5. ingestion signal -> retrain -> reload ==")
     before = bytecard.registry.latest("bn", "impressions")
-    bytecard.forge.ingest_signal(
+    bytecard.forge_service.ingest_signal(
         IngestionSignal(table="impressions", source="kafka",
                         details={"topic": "ad_impressions", "offset": 123456})
     )
-    retrained = bytecard.forge.run_training_cycle(bundle)
+    retrained = bytecard.forge_service.run_training_cycle(bundle)
     after = bytecard.registry.latest("bn", "impressions")
     assert before is not None and after is not None
     print(f"  retrained: {[i.name for i in retrained]}")

@@ -92,7 +92,7 @@ def main() -> None:
     print("== 4. loader refresh invalidates cached estimates ==")
     before = service.stats().cache_invalidations
     table = queries[0].tables[0]
-    bytecard.forge.train_count_models(bundle, tables=[table])
+    bytecard.forge_service.train_count_models(bundle, tables=[table])
     bytecard.loader.refresh()
     service.estimate_count(queries[0])  # recomputed against the new model
     after = service.stats().cache_invalidations

@@ -18,6 +18,11 @@ Modules map one-to-one onto the paper's components:
 * :mod:`repro.core.registry`     -- the cloud model store, simulated;
 * :mod:`repro.core.bytecard`     -- the facade wiring everything together
   into an estimator suite the engine can use.
+
+The asynchronous side of the lifecycle -- background training jobs, the
+persistent versioned artifact store, and drift-triggered retraining --
+lives in :mod:`repro.forge` and attaches via ``ByteCard.forge()`` /
+``ByteCard.from_store()``.
 """
 
 from repro.core.config import ByteCardConfig

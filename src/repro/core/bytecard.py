@@ -62,7 +62,7 @@ class ByteCard(CountEstimator, NdvEstimator):
         self.registry = registry or ModelRegistry()
         self.obs = MetricsRegistry(enabled=self.config.enable_observability)
         self.validator = ModelValidator(self.config.max_model_bytes)
-        self.forge = ModelForgeService(self.registry, self.config)
+        self.forge_service = ModelForgeService(self.registry, self.config)
         self.monitor = ModelMonitor(bundle, self.config, metrics=self.obs)
         self.preprocessor = ModelPreprocessor(
             self.catalog, self.config.join_bucket_count
@@ -103,12 +103,58 @@ class ByteCard(CountEstimator, NdvEstimator):
     ) -> "ByteCard":
         """Train, publish, load, assemble, and (optionally) monitor."""
         bytecard = cls(bundle, config=config, registry=registry)
-        bytecard.forge.train_count_models(bundle)
-        bytecard.forge.train_rbx_universal()
+        bytecard.forge_service.train_count_models(bundle)
+        bytecard.forge_service.train_rbx_universal()
         bytecard.refresh()
         if run_monitor:
             bytecard.run_monitor()
         return bytecard
+
+    @classmethod
+    def from_store(
+        cls,
+        bundle: DatasetBundle,
+        store_dir,
+        config: ByteCardConfig | None = None,
+        run_monitor: bool = False,
+    ) -> "ByteCard":
+        """Warm-start from a persistent artifact store: **zero training**.
+
+        Every current artifact in the store is republished into a fresh
+        registry and loaded through the normal validation path; the
+        instance serves estimates immediately.  Raises
+        :class:`~repro.errors.ModelError` when the store holds nothing
+        (nothing to serve from).
+        """
+        from repro.forge.manager import raise_if_incomplete
+        from repro.forge.store import ArtifactStore
+
+        bytecard = cls(bundle, config=config)
+        store = ArtifactStore(store_dir, metrics=bytecard.obs)
+        raise_if_incomplete(store)
+        store.sync_registry(bytecard.registry)
+        bytecard.refresh()
+        if run_monitor:
+            bytecard.run_monitor()
+        return bytecard
+
+    def forge(self, store_dir, forge_config=None) -> "object":
+        """An asynchronous lifecycle manager bound to this instance.
+
+        Returns a :class:`repro.forge.ForgeManager`: background training
+        workers, a persistent versioned artifact store at ``store_dir``,
+        and a drift-triggered retrain loop subscribed to this instance's
+        Model Monitor.  Current models are persisted on creation (unless
+        the config says otherwise), so :meth:`from_store` can warm-start a
+        future process from the same directory.
+        """
+        from repro.forge import ArtifactStore, ForgeConfig, ForgeManager
+
+        forge_config = forge_config or ForgeConfig()
+        store = ArtifactStore(
+            store_dir, retention=forge_config.retention, metrics=self.obs
+        )
+        return ForgeManager(self, store, forge_config)
 
     def _make_engine(self, kind: str, name: str):
         if kind == "bn":
@@ -160,14 +206,9 @@ class ByteCard(CountEstimator, NdvEstimator):
         reports: list[MonitorReport] = []
         if self._factorjoin is not None:
             for table in sorted(self._factorjoin.models):
-                report = self.monitor.assess_count_model(table, self._factorjoin)
+                report = self.reassess_table(table)
+                assert report is not None  # the table has a model
                 reports.append(report)
-                if report.passed:
-                    self.fallback_tables.discard(table)
-                else:
-                    # Failed *or* untested (passed is None): an unassessed
-                    # model must not serve as if it had been vetted.
-                    self.fallback_tables.add(table)
         if self._rbx is not None:
             for table, column in self.bundle.high_ndv_columns:
                 report = self.monitor.assess_ndv_column(table, column, self._rbx)
@@ -178,6 +219,25 @@ class ByteCard(CountEstimator, NdvEstimator):
                     self._calibrate_column(table, column)
         self.monitor_reports = reports
         return reports
+
+    def reassess_table(self, table: str) -> MonitorReport | None:
+        """Gate one table's COUNT model and update its fallback state.
+
+        The forge's post-retrain revalidation hook: a passing assessment
+        lifts the table's traditional-estimator fallback, a failing *or
+        untested* one (re)imposes it.  Returns ``None`` when no learned
+        model serves the table.
+        """
+        if self._factorjoin is None or table not in self._factorjoin.models:
+            return None
+        report = self.monitor.assess_count_model(table, self._factorjoin)
+        if report.passed:
+            self.fallback_tables.discard(table)
+        else:
+            # Failed *or* untested (passed is None): an unassessed model
+            # must not serve as if it had been vetted.
+            self.fallback_tables.add(table)
+        return report
 
     def monitor_and_heal(self, max_cycles: int = 2) -> list[MonitorReport]:
         """The self-healing loop around a data-distribution shift.
@@ -198,10 +258,10 @@ class ByteCard(CountEstimator, NdvEstimator):
             if not failing:
                 break
             for table in failing:
-                self.forge.ingest_signal(
+                self.forge_service.ingest_signal(
                     IngestionSignal(table=table, source="monitor-drift")
                 )
-            self.forge.run_training_cycle(self.bundle)
+            self.forge_service.run_training_cycle(self.bundle)
             self.refresh()
             reports = self.run_monitor(fine_tune=False)
         self.monitor_reports = reports
@@ -211,7 +271,7 @@ class ByteCard(CountEstimator, NdvEstimator):
         """The calibration protocol: fine-tune, validate, install."""
         assert self._rbx is not None
         samples = self.monitor.collect_column_samples(table, column)
-        self.forge.fine_tune_column(self._rbx.model, table, column, samples)
+        self.forge_service.fine_tune_column(self._rbx.model, table, column, samples)
         record = self.registry.latest("rbx", f"{table}.{column}")
         assert record is not None
         tuned, _meta = deserialize_rbx(record.blob)

@@ -41,6 +41,12 @@ class _LoadedModel:
     seq: int = 0
 
 
+#: refusal categories, the ``reason`` label of
+#: ``loader_models_refused_total`` (pre-registered so exports always carry
+#: all three, even at zero -- the CI smoke contract)
+REFUSAL_REASONS = ("size", "deserialize", "health")
+
+
 @dataclass
 class RefreshReport:
     """What one refresh pass did."""
@@ -49,10 +55,21 @@ class RefreshReport:
     refused: list[tuple[str, str, str]] = field(default_factory=list)
     evicted: list[tuple[str, str]] = field(default_factory=list)
     unchanged: list[tuple[str, str]] = field(default_factory=list)
+    #: refusal categories parallel to :attr:`refused` (see REFUSAL_REASONS)
+    refusal_reasons: list[str] = field(default_factory=list)
 
     def changed_keys(self) -> list[tuple[str, str]]:
         """Keys whose serving state changed this pass (loaded or evicted)."""
         return list(dict.fromkeys(self.loaded + self.evicted))
+
+    def refusals(self) -> list[tuple[str, str, str, str]]:
+        """(kind, name, reason-category, detail) per refused load."""
+        return [
+            (kind, name, reason, detail)
+            for (kind, name, detail), reason in zip(
+                self.refused, self.refusal_reasons
+            )
+        ]
 
 
 class ModelLoader:
@@ -77,7 +94,18 @@ class ModelLoader:
         self._seq = 0
         self._generation = 0
         self._listeners: list[Callable[[RefreshReport], None]] = []
+        #: guards the loaded-model map only; held for dict ops, never
+        #: across deserialization or validation
         self._lock = threading.Lock()
+        #: serializes whole refresh passes (the slow part runs unlocked)
+        self._refresh_lock = threading.Lock()
+        if self.metrics.enabled:
+            # Pre-register the refusal counters so a scrape can assert on
+            # them (at zero) before the first refusal ever happens.
+            for reason in REFUSAL_REASONS:
+                self.metrics.counter(
+                    "loader_models_refused_total", reason=reason
+                )
 
     # ------------------------------------------------------------------
     @property
@@ -93,36 +121,66 @@ class ModelLoader:
 
     # ------------------------------------------------------------------
     def refresh(self) -> RefreshReport:
-        """One loader pass over everything the registry holds."""
+        """One loader pass over everything the registry holds.
+
+        Deserialization, validation, and context initialization -- the
+        expensive part -- run *outside* the map lock: :meth:`get` on the
+        serving hot path never blocks behind a refresh.  Prepared engines
+        are swapped in under the lock at the end of the pass.
+        """
+        with self._refresh_lock:
+            report = self._refresh_pass()
+        if report.loaded or report.evicted:
+            for listener in self._listeners:
+                listener(report)
+        return report
+
+    def _refresh_pass(self) -> RefreshReport:
         report = RefreshReport()
         with self._lock:
-            for key in self.registry.keys():
-                kind, name = key
-                record = self.registry.latest(kind, name)
-                assert record is not None
-                current = self._loaded.get(key)
-                if current is not None and current.timestamp >= record.timestamp:
+            current_ts = {
+                key: model.timestamp for key, model in self._loaded.items()
+            }
+        staged: list[tuple[tuple[str, str], CardEstInferenceEngine, int, int]] = []
+        for key in self.registry.keys():
+            kind, name = key
+            record = self.registry.latest(kind, name)
+            assert record is not None
+            loaded_ts = current_ts.get(key)
+            if loaded_ts is not None and loaded_ts >= record.timestamp:
+                report.unchanged.append(key)
+                continue
+            size_check = self.validator.check_size(record.blob)
+            if not size_check.ok:
+                self._refuse(
+                    report, key, "size", "; ".join(size_check.problems)
+                )
+                continue
+            engine = self.engine_factory(kind, name)
+            if not engine.load_model(record.blob):
+                self._refuse(
+                    report, key, "deserialize", "deserialization failed"
+                )
+                continue
+            health = engine.validate()
+            if not health.ok:
+                self._refuse(report, key, "health", "; ".join(health.problems))
+                continue
+            engine.init_context()
+            staged.append((key, engine, record.timestamp, record.nbytes))
+        with self._lock:
+            for key, engine, timestamp, nbytes in staged:
+                resident = self._loaded.get(key)
+                if resident is not None and resident.timestamp >= timestamp:
+                    # another publish+refresh won the race mid-pass
                     report.unchanged.append(key)
                     continue
-                size_check = self.validator.check_size(record.blob)
-                if not size_check.ok:
-                    report.refused.append((kind, name, "; ".join(size_check.problems)))
-                    continue
-                engine = self.engine_factory(kind, name)
-                if not engine.load_model(record.blob):
-                    report.refused.append((kind, name, "deserialization failed"))
-                    continue
-                health = engine.validate()
-                if not health.ok:
-                    report.refused.append((kind, name, "; ".join(health.problems)))
-                    continue
-                engine.init_context()
                 self._tick += 1
                 self._seq += 1
                 self._loaded[key] = _LoadedModel(
                     engine=engine,
-                    timestamp=record.timestamp,
-                    nbytes=record.nbytes,
+                    timestamp=timestamp,
+                    nbytes=nbytes,
                     last_used=self._tick,
                     seq=self._seq,
                 )
@@ -131,10 +189,24 @@ class ModelLoader:
             if report.loaded or report.evicted:
                 self._generation += 1
             self._record_metrics(report)
-        if report.loaded or report.evicted:
-            for listener in self._listeners:
-                listener(report)
         return report
+
+    def _refuse(
+        self,
+        report: RefreshReport,
+        key: tuple[str, str],
+        reason: str,
+        detail: str,
+    ) -> None:
+        """Record one refused load, with its reason category in the obs
+        registry -- a silent refusal is an invisible production outage."""
+        kind, name = key
+        report.refused.append((kind, name, detail))
+        report.refusal_reasons.append(reason)
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "loader_models_refused_total", reason=reason
+            ).inc()
 
     def _record_metrics(self, report: RefreshReport) -> None:
         """Loader lifecycle events -> the observability registry."""
@@ -144,8 +216,6 @@ class ModelLoader:
         metrics.counter("loader_refresh_total").inc()
         if report.loaded:
             metrics.counter("loader_models_loaded_total").inc(len(report.loaded))
-        if report.refused:
-            metrics.counter("loader_models_refused_total").inc(len(report.refused))
         if report.evicted:
             metrics.counter("loader_models_evicted_total").inc(len(report.evicted))
         metrics.gauge("loader_generation").set(self._generation)

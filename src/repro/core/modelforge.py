@@ -73,6 +73,14 @@ class ModelForgeService:
         self.config = config or ByteCardConfig()
         self._dirty_tables: set[str] = set()
         self.history: list[TrainedModelInfo] = []
+        # Preprocessor products (join bucketizer, training columns) are
+        # catalog-wide and expensive; cache them across training cycles and
+        # invalidate only when a join-key table's data changes -- bucket
+        # edges are built from join-key domains, so dirt on a pure filter
+        # table cannot move them.
+        self._prepared: tuple[JoinBucketizer, dict[str, list[str]]] | None = None
+        self._prepared_key: tuple[int, int] | None = None
+        self._join_tables: set[str] = set()
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -80,9 +88,37 @@ class ModelForgeService:
     def ingest_signal(self, signal: IngestionSignal) -> None:
         """Record that a table's data changed upstream."""
         self._dirty_tables.add(signal.table)
+        if self._prepared is not None and signal.table in self._join_tables:
+            self.invalidate_preprocessor_cache()
 
     def dirty_tables(self) -> set[str]:
         return set(self._dirty_tables)
+
+    def invalidate_preprocessor_cache(self) -> None:
+        """Force the next training call to rebuild the join buckets."""
+        self._prepared = None
+        self._prepared_key = None
+
+    def _prepare(
+        self, bundle: DatasetBundle
+    ) -> tuple[JoinBucketizer, dict[str, list[str]]]:
+        """The cached (bucketizer, training columns) for ``bundle``."""
+        cache_key = (id(bundle.catalog), id(bundle.filter_columns))
+        if self._prepared is not None and self._prepared_key == cache_key:
+            return self._prepared
+        preprocessor = ModelPreprocessor(
+            bundle.catalog, join_bucket_count=self.config.join_bucket_count
+        )
+        bucketizer = preprocessor.build_join_buckets()
+        training_columns = preprocessor.training_columns(bundle.filter_columns)
+        self._join_tables = {
+            table
+            for left_t, _lc, right_t, _rc in preprocessor.collect_join_patterns()
+            for table in (left_t, right_t)
+        }
+        self._prepared = (bucketizer, training_columns)
+        self._prepared_key = cache_key
+        return self._prepared
 
     # ------------------------------------------------------------------
     # COUNT models
@@ -93,11 +129,7 @@ class ModelForgeService:
         tables: list[str] | None = None,
     ) -> list[TrainedModelInfo]:
         """Train and publish BN models for the given (or all) tables."""
-        preprocessor = ModelPreprocessor(
-            bundle.catalog, join_bucket_count=self.config.join_bucket_count
-        )
-        bucketizer = preprocessor.build_join_buckets()
-        training_columns = preprocessor.training_columns(bundle.filter_columns)
+        bucketizer, training_columns = self._prepare(bundle)
         targets = tables if tables is not None else sorted(training_columns)
         infos: list[TrainedModelInfo] = []
         for table_name in targets:
@@ -172,12 +204,8 @@ class ModelForgeService:
             raise TrainingError(
                 f"table {table_name!r} has no shard column {shard_column!r}"
             )
-        preprocessor = ModelPreprocessor(
-            bundle.catalog, join_bucket_count=self.config.join_bucket_count
-        )
-        columns = preprocessor.training_columns(bundle.filter_columns).get(
-            table_name, []
-        )
+        _bucketizer, training_columns = self._prepare(bundle)
+        columns = training_columns.get(table_name, [])
         if not columns:
             raise TrainingError(f"no trainable columns for table {table_name!r}")
         shard_of = table.column(shard_column).values.astype(np.int64) % num_shards

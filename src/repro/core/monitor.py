@@ -83,7 +83,18 @@ class ModelMonitor:
         #: per-model p90 Q-Error across assessments, oldest first -- the
         #: drift record behind fallback-list churn
         self.drift: dict[str, list[float]] = {}
+        #: callbacks invoked after every assessment with (report, kind);
+        #: the forge's drift-triggered retrain loop subscribes here
+        self._listeners: list = []
         self._rng = derive_rng(bundle.seed, "monitor")
+
+    def add_assessment_listener(self, listener) -> None:
+        """Register ``listener(report, kind)`` to observe every assessment.
+
+        ``kind`` is ``"count"`` or ``"ndv"``.  Listeners run synchronously
+        after the assessment is recorded; they must not block.
+        """
+        self._listeners.append(listener)
 
     # ------------------------------------------------------------------
     # Test-query generation (the cardestbench-style generator)
@@ -193,17 +204,18 @@ class ModelMonitor:
         p90 = report.p90
         if p90 is not None:
             self.drift.setdefault(report.name, []).append(p90)
-        if not self.metrics.enabled:
-            return
-        self.metrics.counter(
-            "monitor_assessments_total", kind=kind
-        ).inc()
-        if report.passed is False:
-            self.metrics.counter("monitor_failures_total", kind=kind).inc()
-        if p90 is not None:
-            self.metrics.series(
-                "monitor_qerror_p90", model=report.name, kind=kind
-            ).append(p90)
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "monitor_assessments_total", kind=kind
+            ).inc()
+            if report.passed is False:
+                self.metrics.counter("monitor_failures_total", kind=kind).inc()
+            if p90 is not None:
+                self.metrics.series(
+                    "monitor_qerror_p90", model=report.name, kind=kind
+                ).append(p90)
+        for listener in self._listeners:
+            listener(report, kind)
 
     # ------------------------------------------------------------------
     # Fine-tune corpus collection

@@ -1,0 +1,36 @@
+"""Configuration of the asynchronous model-lifecycle subsystem."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ForgeConfig:
+    """Knobs of the forge scheduler, store, and retrain loop."""
+
+    # -- scheduler ------------------------------------------------------
+    #: background training workers (training is CPU-bound; keep this small
+    #: so it cannot starve the serving tier)
+    num_workers: int = 2
+    #: attempts per job before it is marked FAILED (first run + retries)
+    max_attempts: int = 3
+    #: first retry delay; doubles per attempt (exponential backoff)
+    backoff_base_s: float = 0.05
+    #: backoff ceiling
+    backoff_max_s: float = 5.0
+
+    # -- artifact store -------------------------------------------------
+    #: versions retained per (kind, name); older artifacts are pruned
+    retention: int = 4
+
+    # -- drift-triggered retraining -------------------------------------
+    #: a monitor assessment whose p90 Q-Error grew by more than this factor
+    #: over the previous assessment counts as *drifting* even if it still
+    #: passes the gate, and schedules a proactive retrain
+    drift_ratio: float = 4.0
+    #: re-assess a retrained COUNT model before lifting its fallback
+    revalidate: bool = True
+    #: persist every currently published model into the store when the
+    #: manager is created, so a warm restart can serve without retraining
+    persist_current: bool = True

@@ -136,8 +136,14 @@ class EstimationService(CountEstimator, NdvEstimator):
                 bump_everything = True
         if bump_everything:
             self.cache.bump_all()
+            self.registry.counter(
+                "serving_cache_generation_bumps_total", scope="all"
+            ).inc()
         elif tables:
             self.cache.bump_tables(tables)
+            self.registry.counter(
+                "serving_cache_generation_bumps_total", scope="tables"
+            ).inc(len(tables))
 
     # ------------------------------------------------------------------
     # Serving pipeline

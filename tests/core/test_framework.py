@@ -112,6 +112,46 @@ class TestModelForge:
         assert info.nbytes > 100_000  # a few hundred KB of weights
 
 
+class TestPreprocessorCache:
+    """The join bucketizer is rebuilt only when its inputs can have moved."""
+
+    def test_training_cycles_reuse_bucketizer(self, imdb, config):
+        forge = ModelForgeService(ModelRegistry(), config)
+        first = forge._prepare(imdb)
+        forge.train_count_models(imdb, tables=["title"])
+        assert forge._prepare(imdb) is first  # same cached tuple
+
+    def test_join_table_signal_invalidates(self, imdb, config):
+        forge = ModelForgeService(ModelRegistry(), config)
+        first = forge._prepare(imdb)
+        # every IMDB table joins on title.id/movie_id, so any table is a
+        # join-key table here
+        forge.ingest_signal(IngestionSignal(table="title", source="hive"))
+        assert forge._prepared is None
+        assert forge._prepare(imdb) is not first
+
+    def test_non_join_table_signal_keeps_cache(self, imdb, config):
+        forge = ModelForgeService(ModelRegistry(), config)
+        first = forge._prepare(imdb)
+        # a table outside the collected join patterns cannot move bucket
+        # edges: the cache must survive its dirt
+        forge.ingest_signal(IngestionSignal(table="not_joined", source="hive"))
+        assert forge.dirty_tables() == {"not_joined"}
+        assert forge._prepare(imdb) is first
+
+    def test_explicit_invalidation(self, imdb, config):
+        forge = ModelForgeService(ModelRegistry(), config)
+        first = forge._prepare(imdb)
+        forge.invalidate_preprocessor_cache()
+        assert forge._prepare(imdb) is not first
+
+    def test_different_bundle_rebuilds(self, imdb, aeolus, config):
+        forge = ModelForgeService(ModelRegistry(), config)
+        imdb_prepared = forge._prepare(imdb)
+        aeolus_prepared = forge._prepare(aeolus)
+        assert aeolus_prepared is not imdb_prepared
+
+
 class TestInferenceEngineAPI:
     def test_estimate_requires_context(self, imdb, config):
         registry = ModelRegistry()

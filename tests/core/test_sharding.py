@@ -100,8 +100,8 @@ class TestShardTraining:
             training_sample_rows=4000, rbx_corpus_size=300, rbx_epochs=5
         )
         bytecard = ByteCard(sharded_bundle, config=config)
-        bytecard.forge.train_count_models(sharded_bundle)
-        bytecard.forge.train_sharded(sharded_bundle, "events", "shard_key", 2)
+        bytecard.forge_service.train_count_models(sharded_bundle)
+        bytecard.forge_service.train_sharded(sharded_bundle, "events", "shard_key", 2)
         bytecard.refresh()
         assert bytecard._factorjoin is not None
         assert set(bytecard._factorjoin.models) == {"events"}

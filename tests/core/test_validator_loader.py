@@ -290,3 +290,178 @@ class TestLoaderBookkeeping:
         assert events == [[("bn", "t")]]
         loader.refresh()  # no change: listener must stay quiet
         assert len(events) == 1
+
+
+class TestRefusalObservability:
+    """Refused loads carry a reason category and a labeled obs counter."""
+
+    def _loader(self, catalog, registry, metrics=None, max_model=1 << 30):
+        validator = ModelValidator(max_model)
+        return ModelLoader(
+            registry,
+            validator,
+            engine_factory=lambda kind, name: BNInferenceEngine(catalog, validator),
+            max_total_bytes=1 << 30,
+            metrics=metrics,
+        )
+
+    def _metrics(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        return MetricsRegistry()
+
+    def test_counters_preregistered_at_zero(self, small_catalog):
+        from repro.core.loader import REFUSAL_REASONS
+        from repro.obs import export_text
+
+        metrics = self._metrics()
+        self._loader(small_catalog, ModelRegistry(), metrics=metrics)
+        text = export_text(metrics)
+        for reason in REFUSAL_REASONS:
+            line = f'loader_models_refused_total{{reason="{reason}"}} 0'
+            assert line in text
+
+    def test_size_refusal_reason(self, small_catalog, bn_blob):
+        blob, _model = bn_blob
+        registry = ModelRegistry()
+        registry.publish("bn", "t", blob)
+        metrics = self._metrics()
+        loader = self._loader(
+            small_catalog, registry, metrics=metrics, max_model=10
+        )
+        report = loader.refresh()
+        assert report.refusal_reasons == ["size"]
+        (kind, name, reason, detail) = report.refusals()[0]
+        assert (kind, name, reason) == ("bn", "t", "size")
+        assert "exceeds" in detail
+        assert metrics.counter(
+            "loader_models_refused_total", reason="size"
+        ).value == 1
+
+    def test_deserialize_refusal_reason(self, small_catalog):
+        registry = ModelRegistry()
+        registry.publish("bn", "t", b"garbage")
+        metrics = self._metrics()
+        loader = self._loader(small_catalog, registry, metrics=metrics)
+        report = loader.refresh()
+        assert report.refusal_reasons == ["deserialize"]
+        assert metrics.counter(
+            "loader_models_refused_total", reason="deserialize"
+        ).value == 1
+
+    def test_health_refusal_reason(self, small_catalog, bn_blob):
+        _blob, model = bn_blob
+        bad_cpds = [c.copy() for c in model.cpds]
+        bad_cpds[0] = bad_cpds[0] * 3.0
+        broken = type(model)(
+            table_name=model.table_name,
+            columns=model.columns,
+            discretizers=model.discretizers,
+            parents=model.parents,
+            cpds=bad_cpds,
+            total_rows=model.total_rows,
+        )
+        registry = ModelRegistry()
+        registry.publish("bn", "t", serialize_bn(broken))
+        metrics = self._metrics()
+        loader = self._loader(small_catalog, registry, metrics=metrics)
+        report = loader.refresh()
+        assert report.refusal_reasons == ["health"]
+        assert metrics.counter(
+            "loader_models_refused_total", reason="health"
+        ).value == 1
+
+    def test_refusals_surface_in_bytecard_metrics_text(self, small_catalog):
+        """The labeled series reaches the facade-level text export."""
+        metrics = self._metrics()
+        registry = ModelRegistry()
+        registry.publish("bn", "t", b"garbage")
+        loader = self._loader(small_catalog, registry, metrics=metrics)
+        loader.refresh()
+        from repro.obs import export_text
+
+        text = export_text(metrics)
+        assert 'loader_models_refused_total{reason="deserialize"} 1' in text
+
+
+class TestRefreshLocking:
+    """refresh() deserializes/validates outside the map lock: get() on the
+    serving hot path must never block behind a slow load."""
+
+    def test_get_served_while_refresh_deserializes(self, small_catalog, bn_blob):
+        import threading
+
+        blob, _model = bn_blob
+        registry = ModelRegistry()
+        registry.publish("bn", "t", blob)
+        validator = ModelValidator(1 << 30)
+        in_load = threading.Event()
+        release = threading.Event()
+        got_during_load = []
+
+        class SlowEngine(BNInferenceEngine):
+            def load_model(self, raw: bytes) -> bool:
+                if in_load.is_set():
+                    # second refresh: block mid-deserialize
+                    assert release.wait(5.0)
+                return super().load_model(raw)
+
+        loader = ModelLoader(
+            registry,
+            validator,
+            engine_factory=lambda kind, name: SlowEngine(small_catalog, validator),
+            max_total_bytes=1 << 30,
+        )
+        loader.refresh()  # resident version installed
+        in_load.set()
+        registry.publish("bn", "t", blob)  # newer version to load slowly
+
+        refresher = threading.Thread(target=loader.refresh)
+        refresher.start()
+        try:
+            # While the refresh thread is stuck inside load_model, the
+            # resident engine must still be reachable without blocking.
+            getter = threading.Thread(
+                target=lambda: got_during_load.append(loader.get("bn", "t"))
+            )
+            getter.start()
+            getter.join(2.0)
+            assert not getter.is_alive(), "get() blocked behind refresh()"
+            assert got_during_load and got_during_load[0] is not None
+        finally:
+            release.set()
+            refresher.join(5.0)
+        assert loader.get("bn", "t") is not None
+
+    def test_concurrent_refreshes_install_newest(self, small_catalog, bn_blob):
+        import threading
+
+        blob, _model = bn_blob
+        registry = ModelRegistry()
+        registry.publish("bn", "t", blob)
+        validator = ModelValidator(1 << 30)
+        loader = ModelLoader(
+            registry,
+            validator,
+            engine_factory=lambda kind, name: BNInferenceEngine(
+                small_catalog, validator
+            ),
+            max_total_bytes=1 << 30,
+        )
+
+        def publish_and_refresh():
+            registry.publish("bn", "t", blob)
+            loader.refresh()
+
+        threads = [
+            threading.Thread(target=publish_and_refresh) for _ in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        final = loader.refresh()
+        # Everything newest is resident; nothing newer remains to load.
+        assert final.unchanged == [("bn", "t")]
+        record = registry.latest("bn", "t")
+        assert record is not None

@@ -1,0 +1,426 @@
+"""Concurrency tests for the background training scheduler.
+
+Determinism strategy: a single worker plus runner functions that block on
+events, so the tests control exactly when a job is RUNNING vs PENDING when
+the next submit/failure lands.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.forge.scheduler import (
+    ForgeJob,
+    JobPriority,
+    JobState,
+    TrainingScheduler,
+)
+
+
+def make_scheduler(runner, **kwargs):
+    kwargs.setdefault("num_workers", 1)
+    kwargs.setdefault("backoff_base_s", 0.01)
+    return TrainingScheduler(runner, **kwargs)
+
+
+class TestBasics:
+    def test_submit_runs_and_records_result(self):
+        with make_scheduler(lambda job: f"trained:{job.name}") as sched:
+            job = sched.submit("bn", "ads")
+            assert job.wait(5.0)
+        assert job.state is JobState.SUCCEEDED
+        assert job.result == "trained:ads"
+        assert job.attempts == 1
+        assert job.error is None
+
+    def test_context_manager_drains(self):
+        ran = []
+        with make_scheduler(lambda job: ran.append(job.name)) as sched:
+            for name in ("a", "b", "c"):
+                sched.submit("bn", name)
+        assert sorted(ran) == ["a", "b", "c"]
+
+    def test_submit_after_shutdown_raises(self):
+        sched = make_scheduler(lambda job: None)
+        sched.shutdown()
+        with pytest.raises(RuntimeError):
+            sched.submit("bn", "late")
+
+    def test_job_key(self):
+        job = ForgeJob(kind="bn", name="ads")
+        assert job.key == ("bn", "ads")
+        assert not job.done
+
+
+class TestCoalescing:
+    def test_pending_submits_coalesce(self):
+        """Repeat signals for a queued key merge into one job."""
+        release = threading.Event()
+        started = threading.Event()
+
+        def runner(job):
+            if job.name == "blocker":
+                started.set()
+                assert release.wait(5.0)
+            return job.name
+
+        sched = make_scheduler(runner)
+        try:
+            sched.submit("bn", "blocker")
+            assert started.wait(5.0)  # the lone worker is now occupied
+            first = sched.submit("bn", "events", details={"rows": 10})
+            second = sched.submit("bn", "events", details={"rows": 25})
+            third = sched.submit("bn", "events")
+            assert second is first
+            assert third is first
+            assert first.details == {"rows": 25}  # details folded in
+            assert sched.pending_count() == 1
+            release.set()
+            assert first.wait(5.0)
+            assert first.state is JobState.SUCCEEDED
+        finally:
+            sched.shutdown()
+
+    def test_running_key_gets_fresh_job(self):
+        """A signal during training queues one more cycle, not zero."""
+        release = threading.Event()
+        started = threading.Event()
+
+        def runner(job):
+            if not started.is_set():
+                started.set()
+                assert release.wait(5.0)
+            return job.attempts
+
+        sched = make_scheduler(runner)
+        try:
+            first = sched.submit("bn", "t")
+            assert started.wait(5.0)
+            # "t" is RUNNING, not pending: this must be a distinct job.
+            second = sched.submit("bn", "t")
+            assert second is not first
+            release.set()
+            assert first.wait(5.0) and second.wait(5.0)
+            assert first.state is JobState.SUCCEEDED
+            assert second.state is JobState.SUCCEEDED
+        finally:
+            sched.shutdown()
+
+    def test_priority_escalation(self):
+        """Coalescing keeps the most urgent priority of the two signals."""
+        release = threading.Event()
+        started = threading.Event()
+        order = []
+
+        def runner(job):
+            if job.name == "blocker":
+                started.set()
+                assert release.wait(5.0)
+            else:
+                order.append(job.name)
+            return None
+
+        sched = make_scheduler(runner)
+        try:
+            sched.submit("bn", "blocker")
+            assert started.wait(5.0)
+            low = sched.submit("bn", "low", priority=JobPriority.LOW)
+            sched.submit("bn", "urgent", priority=JobPriority.LOW)
+            escalated = sched.submit(
+                "bn", "urgent", priority=JobPriority.URGENT
+            )
+            assert escalated.priority == JobPriority.URGENT
+            release.set()
+            assert low.wait(5.0) and escalated.wait(5.0)
+            assert order == ["urgent", "low"]
+        finally:
+            sched.shutdown()
+
+
+class TestPriorityOrdering:
+    def test_urgent_runs_before_normal(self):
+        release = threading.Event()
+        started = threading.Event()
+        order = []
+
+        def runner(job):
+            if job.name == "blocker":
+                started.set()
+                assert release.wait(5.0)
+            else:
+                order.append(job.name)
+            return None
+
+        sched = make_scheduler(runner)
+        try:
+            sched.submit("bn", "blocker")
+            assert started.wait(5.0)
+            sched.submit("bn", "n1", priority=JobPriority.NORMAL)
+            sched.submit("bn", "n2", priority=JobPriority.NORMAL)
+            sched.submit("bn", "u1", priority=JobPriority.URGENT)
+            sched.submit("bn", "h1", priority=JobPriority.HIGH)
+            release.set()
+            assert sched.drain(5.0)
+            assert order == ["u1", "h1", "n1", "n2"]
+        finally:
+            sched.shutdown()
+
+
+class TestRetry:
+    def test_retry_until_success(self):
+        attempts = []
+
+        def runner(job):
+            attempts.append(time.monotonic())
+            if len(attempts) < 3:
+                raise RuntimeError("transient training failure")
+            return "ok"
+
+        with make_scheduler(runner, max_attempts=5) as sched:
+            job = sched.submit("bn", "flaky")
+            assert job.wait(10.0)
+        assert job.state is JobState.SUCCEEDED
+        assert job.attempts == 3
+        assert job.result == "ok"
+
+    def test_backoff_delays_grow(self):
+        attempts = []
+
+        def runner(job):
+            attempts.append(time.monotonic())
+            raise RuntimeError("always fails")
+
+        with make_scheduler(
+            runner, max_attempts=3, backoff_base_s=0.05, backoff_max_s=1.0
+        ) as sched:
+            job = sched.submit("bn", "doomed")
+            assert job.wait(10.0)
+        assert job.state is JobState.FAILED
+        assert job.attempts == 3
+        gap1 = attempts[1] - attempts[0]
+        gap2 = attempts[2] - attempts[1]
+        assert gap1 >= 0.05 * 0.9
+        assert gap2 >= 0.10 * 0.9  # second retry doubles the delay
+
+    def test_failed_after_max_attempts_records_error(self):
+        def runner(job):
+            raise ValueError("bad training data")
+
+        with make_scheduler(runner, max_attempts=2) as sched:
+            job = sched.submit("bn", "t")
+            assert job.wait(10.0)
+        assert job.state is JobState.FAILED
+        assert job.attempts == 2
+        assert "bad training data" in job.error
+
+    def test_retry_superseded_by_newer_job(self):
+        """A failed attempt yields when a fresher job already covers the key."""
+        fail_gate = threading.Event()
+        started = threading.Event()
+        calls = []
+
+        def runner(job):
+            calls.append(job)
+            if len(calls) == 1:
+                started.set()
+                assert fail_gate.wait(5.0)
+                raise RuntimeError("stale training input")
+            return "fresh"
+
+        sched = make_scheduler(runner, max_attempts=3)
+        try:
+            first = sched.submit("bn", "t")
+            assert started.wait(5.0)
+            second = sched.submit("bn", "t")  # arrives mid-training
+            fail_gate.set()
+            assert first.wait(5.0) and second.wait(5.0)
+            assert first.state is JobState.SUPERSEDED
+            assert second.state is JobState.SUCCEEDED
+            assert second.result == "fresh"
+            assert len(calls) == 2  # no redundant retry of the stale job
+        finally:
+            sched.shutdown()
+
+
+class TestCancellation:
+    def test_cancel_pending(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def runner(job):
+            started.set()
+            assert release.wait(5.0)
+            return None
+
+        sched = make_scheduler(runner)
+        try:
+            sched.submit("bn", "blocker")
+            assert started.wait(5.0)
+            victim = sched.submit("bn", "victim")
+            assert sched.cancel("bn", "victim")
+            assert victim.state is JobState.CANCELLED
+            assert victim.done
+            assert not sched.cancel("bn", "victim")  # already gone
+            release.set()
+        finally:
+            sched.shutdown()
+
+    def test_cancel_unknown_key(self):
+        with make_scheduler(lambda job: None) as sched:
+            assert not sched.cancel("bn", "ghost")
+
+    def test_shutdown_without_drain_cancels_pending(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def runner(job):
+            started.set()
+            assert release.wait(5.0)
+            return None
+
+        sched = make_scheduler(runner)
+        sched.submit("bn", "running")
+        assert started.wait(5.0)
+        doomed = sched.submit("bn", "queued")
+        release.set()
+        sched.shutdown(drain=False)
+        assert doomed.state is JobState.CANCELLED
+
+
+class TestDrain:
+    def test_drain_waits_for_everything(self):
+        done = []
+        with make_scheduler(
+            lambda job: done.append(job.name), num_workers=2
+        ) as sched:
+            for i in range(8):
+                sched.submit("bn", f"t{i}")
+            assert sched.drain(10.0)
+            assert len(done) == 8
+            assert sched.pending_count() == 0
+            assert sched.running_count() == 0
+
+    def test_drain_timeout(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def runner(job):
+            started.set()
+            assert release.wait(5.0)
+            return None
+
+        sched = make_scheduler(runner)
+        try:
+            sched.submit("bn", "slow")
+            assert started.wait(5.0)
+            assert not sched.drain(0.05)  # still running: times out
+            release.set()
+            assert sched.drain(5.0)
+        finally:
+            sched.shutdown()
+
+
+class TestConcurrency:
+    def test_threaded_submits_dedup_per_key(self):
+        """Many threads signalling few keys produce few trainings."""
+        release = threading.Event()
+        started = threading.Event()
+        trained = []
+        lock = threading.Lock()
+
+        def runner(job):
+            if job.name == "blocker":
+                started.set()
+                assert release.wait(5.0)
+            else:
+                with lock:
+                    trained.append(job.key)
+            return None
+
+        sched = make_scheduler(runner)
+        try:
+            sched.submit("bn", "blocker")
+            assert started.wait(5.0)
+
+            def spam(name):
+                for _ in range(50):
+                    sched.submit("bn", name)
+
+            threads = [
+                threading.Thread(target=spam, args=(f"k{i % 3}",))
+                for i in range(6)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            # 300 submits over 3 keys while the worker is blocked ->
+            # exactly 3 pending jobs.
+            assert sched.pending_count() == 3
+            release.set()
+            assert sched.drain(10.0)
+            assert sorted(set(trained)) == [
+                ("bn", "k0"), ("bn", "k1"), ("bn", "k2"),
+            ]
+            assert len(trained) == 3
+        finally:
+            sched.shutdown()
+
+    def test_parallel_workers_make_progress(self):
+        barrier = threading.Barrier(2, timeout=5.0)
+
+        def runner(job):
+            barrier.wait()  # only passes if two jobs run simultaneously
+            return None
+
+        with make_scheduler(runner, num_workers=2) as sched:
+            a = sched.submit("bn", "a")
+            b = sched.submit("bn", "b")
+            assert a.wait(5.0) and b.wait(5.0)
+            assert a.state is JobState.SUCCEEDED
+            assert b.state is JobState.SUCCEEDED
+
+
+class TestMetrics:
+    def test_counters_and_gauges(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        release = threading.Event()
+        started = threading.Event()
+
+        def runner(job):
+            if job.name == "blocker":
+                started.set()
+                assert release.wait(5.0)
+            elif job.name == "bad":
+                raise RuntimeError("nope")
+            return None
+
+        sched = make_scheduler(runner, metrics=registry, max_attempts=2)
+        try:
+            sched.submit("bn", "blocker")
+            assert started.wait(5.0)
+            sched.submit("bn", "dup")
+            sched.submit("bn", "dup")
+            bad = sched.submit("bn", "bad")
+            release.set()
+            assert sched.drain(10.0)
+            assert bad.state is JobState.FAILED
+        finally:
+            sched.shutdown()
+        assert registry.counter(
+            "forge_jobs_submitted_total", kind="bn"
+        ).value == 3
+        assert registry.counter(
+            "forge_jobs_coalesced_total", kind="bn"
+        ).value == 1
+        assert registry.counter(
+            "forge_jobs_failed_total", kind="bn"
+        ).value == 1
+        assert registry.counter(
+            "forge_job_retries_total", kind="bn"
+        ).value == 1
+        assert registry.gauge("forge_queue_depth").value == 0
+        assert registry.gauge("forge_jobs_running").value == 0

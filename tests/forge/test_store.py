@@ -1,0 +1,244 @@
+"""Tests for the persistent artifact store: atomicity and crash recovery.
+
+The kill-point tests simulate the states a crash can leave behind --
+truncated blob, missing blob, orphan blob without a manifest entry, stale
+tmp file, corrupted manifest -- and assert the store always recovers to the
+last complete version.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ModelError
+from repro.forge.store import ArtifactStore, _sha256
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store", retention=3)
+
+
+class TestRoundTrip:
+    def test_put_and_read(self, store):
+        record = store.put("bn", "ads", b"model-bytes", timestamp=7)
+        assert record.version == 1
+        assert record.nbytes == len(b"model-bytes")
+        assert record.sha256 == _sha256(b"model-bytes")
+        assert record.timestamp == 7
+        assert store.read_blob(record) == b"model-bytes"
+        assert store.keys() == [("bn", "ads")]
+
+    def test_versions_increment(self, store):
+        store.put("bn", "ads", b"v1")
+        record = store.put("bn", "ads", b"v2")
+        assert record.version == 2
+        assert store.current("bn", "ads").version == 2
+        assert [v.version for v in store.versions("bn", "ads")] == [1, 2]
+
+    def test_empty_blob_refused(self, store):
+        with pytest.raises(ModelError):
+            store.put("bn", "ads", b"")
+
+    def test_missing_key(self, store):
+        assert store.current("bn", "nope") is None
+        assert store.versions("bn", "nope") == []
+
+    def test_names_with_special_characters(self, store):
+        """Shard and per-column model names round-trip."""
+        store.put("bn", "events@shard0", b"s0")
+        store.put("rbx", "users.city", b"cal")
+        assert store.current("bn", "events@shard0") is not None
+        assert store.current("rbx", "users.city") is not None
+
+
+class TestRetention:
+    def test_old_versions_pruned(self, tmp_path):
+        store = ArtifactStore(tmp_path, retention=2)
+        for i in range(5):
+            store.put("bn", "t", f"v{i}".encode())
+        versions = store.versions("bn", "t")
+        assert [v.version for v in versions] == [4, 5]
+        # pruned files are gone from disk too
+        names = {p.name for p in store.blob_dir.iterdir()}
+        assert names == {v.file for v in versions}
+
+    def test_rolled_back_current_survives_pruning(self, tmp_path):
+        store = ArtifactStore(tmp_path, retention=2)
+        store.put("bn", "t", b"v1")
+        store.put("bn", "t", b"v2")
+        store.rollback("bn", "t")  # current -> v1
+        store.put("bn", "t", b"v3")
+        store.put("bn", "t", b"v4")
+        # v1 is outside the retention window but is no longer current
+        # (put repoints current at the new version), so it may be pruned;
+        # what must never happen is a current pointer at a pruned version.
+        current = store.current("bn", "t")
+        assert current is not None
+        assert store.read_blob(current)
+
+
+class TestRollback:
+    def test_rollback_moves_pointer_only(self, store):
+        store.put("bn", "t", b"old")
+        store.put("bn", "t", b"new")
+        record = store.rollback("bn", "t")
+        assert record.version == 1
+        assert store.read_blob(record) == b"old"
+        # both versions still on disk
+        assert [v.version for v in store.versions("bn", "t")] == [1, 2]
+
+    def test_rollback_without_history_raises(self, store):
+        store.put("bn", "t", b"only")
+        with pytest.raises(ModelError):
+            store.rollback("bn", "t")
+
+    def test_rollback_unknown_key_raises(self, store):
+        with pytest.raises(ModelError):
+            store.rollback("bn", "ghost")
+
+    def test_rollback_survives_reopen(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("bn", "t", b"old")
+        store.put("bn", "t", b"new")
+        store.rollback("bn", "t")
+        reopened = ArtifactStore(tmp_path)
+        assert reopened.current("bn", "t").version == 1
+        assert reopened.recovery.clean
+
+
+class TestCrashRecovery:
+    """Kill-point tests: every torn state a crash can leave behind."""
+
+    def test_truncated_blob_discarded(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("bn", "t", b"complete-version-1")
+        record = store.put("bn", "t", b"complete-version-2")
+        # kill-point: the v2 file lost its tail after the manifest updated
+        path = store.blob_dir / record.file
+        path.write_bytes(path.read_bytes()[:-5])
+
+        recovered = ArtifactStore(tmp_path)
+        assert recovered.current("bn", "t").version == 1
+        assert recovered.read_blob(recovered.current("bn", "t")) == (
+            b"complete-version-1"
+        )
+        assert any("truncated" in r for *_k, r in recovered.recovery.discarded)
+
+    def test_corrupted_blob_discarded(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("bn", "t", b"good-version")
+        record = store.put("bn", "t", b"bad-version!")
+        path = store.blob_dir / record.file
+        path.write_bytes(b"x" * record.nbytes)  # same size, wrong bytes
+
+        recovered = ArtifactStore(tmp_path)
+        assert recovered.current("bn", "t").version == 1
+        assert any(
+            "checksum" in r for *_k, r in recovered.recovery.discarded
+        )
+
+    def test_missing_blob_file_discarded(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("bn", "t", b"kept")
+        record = store.put("bn", "t", b"vanished")
+        (store.blob_dir / record.file).unlink()
+
+        recovered = ArtifactStore(tmp_path)
+        assert recovered.current("bn", "t").version == 1
+
+    def test_all_versions_torn_drops_the_key(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        record = store.put("bn", "t", b"only-version")
+        (store.blob_dir / record.file).write_bytes(b"zz")
+
+        recovered = ArtifactStore(tmp_path)
+        assert recovered.keys() == []
+        assert recovered.current("bn", "t") is None
+
+    def test_stale_tmp_files_removed(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("bn", "t", b"committed")
+        # kill-point: a write died between tmp-write and rename
+        (store.blob_dir / "bn__t__v2.bcm.tmp").write_bytes(b"half")
+        (tmp_path / "MANIFEST.json.tmp").write_bytes(b"{half")
+
+        recovered = ArtifactStore(tmp_path)
+        assert len(recovered.recovery.removed_tmp) == 2
+        assert not list(recovered.blob_dir.glob("*.tmp"))
+        assert recovered.current("bn", "t").version == 1
+
+    def test_orphan_blob_without_manifest_entry_removed(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("bn", "t", b"committed")
+        # kill-point: blob renamed into place but the crash hit before the
+        # manifest recorded it
+        (store.blob_dir / "bn__t__v2.bcm").write_bytes(b"unrecorded")
+
+        recovered = ArtifactStore(tmp_path)
+        assert recovered.recovery.orphans == ["bn__t__v2.bcm"]
+        assert recovered.current("bn", "t").version == 1
+        assert not (recovered.blob_dir / "bn__t__v2.bcm").exists()
+
+    def test_corrupt_manifest_restarts_empty(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("bn", "t", b"data")
+        store.manifest_path.write_text("{not json", "utf-8")
+
+        recovered = ArtifactStore(tmp_path)
+        assert recovered.recovery.manifest_corrupt
+        assert recovered.keys() == []
+        # a fresh put works after the reset
+        assert recovered.put("bn", "t", b"again").version == 1
+
+    def test_clean_reopen_reports_clean(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("bn", "a", b"one")
+        store.put("rbx", "universal", b"two")
+        recovered = ArtifactStore(tmp_path)
+        assert recovered.recovery.clean
+        assert recovered.keys() == [("bn", "a"), ("rbx", "universal")]
+
+    def test_recovery_rewrites_manifest(self, tmp_path):
+        """After recovery the manifest no longer references torn versions."""
+        store = ArtifactStore(tmp_path)
+        store.put("bn", "t", b"good")
+        record = store.put("bn", "t", b"torn")
+        (store.blob_dir / record.file).unlink()
+        ArtifactStore(tmp_path)  # recovery pass rewrites the manifest
+
+        doc = json.loads((tmp_path / "MANIFEST.json").read_text("utf-8"))
+        versions = doc["entries"]["bn::t"]["versions"]
+        assert [v["version"] for v in versions] == [1]
+
+
+class TestReadIntegrity:
+    def test_read_blob_detects_post_recovery_corruption(self, store):
+        record = store.put("bn", "t", b"fine-at-write")
+        (store.blob_dir / record.file).write_bytes(b"rotted-bytes!")
+        with pytest.raises(ModelError):
+            store.read_blob(record)
+
+
+class TestRegistryBridge:
+    def test_sync_registry_publishes_current_versions(self, store):
+        from repro.core.registry import ModelRegistry
+
+        store.put("bn", "ads", b"stale")
+        store.put("bn", "ads", b"fresh")
+        store.put("rbx", "universal", b"net")
+        registry = ModelRegistry()
+        published = store.sync_registry(registry)
+        assert published == [("bn", "ads"), ("rbx", "universal")]
+        assert registry.latest("bn", "ads").blob == b"fresh"
+        assert registry.latest("rbx", "universal").blob == b"net"
+
+    def test_sync_registry_respects_rollback(self, store):
+        from repro.core.registry import ModelRegistry
+
+        store.put("bn", "t", b"old")
+        store.put("bn", "t", b"new")
+        store.rollback("bn", "t")
+        registry = ModelRegistry()
+        store.sync_registry(registry)
+        assert registry.latest("bn", "t").blob == b"old"
