@@ -1,0 +1,188 @@
+"""Partition pruning ratio and parallel-scan speedup.
+
+A partition-clustered fact table (rows sorted by ``day``, contiguous range
+partitions, so each partition's zone map covers a disjoint key range) is
+scanned two ways:
+
+* **pruning** -- a selective predicate on the clustering column must let
+  zone maps refute at least half the partitions, verified through the
+  ``engine_partitions_pruned_total`` counter (not just the scan result);
+* **scaling** -- a full-width scan fanned over 1 / 2 / 4 worker threads
+  must return bit-identical results and I/O charges at every level, with
+  wall-clock dropping as workers are added (numpy block kernels release
+  the GIL, so real thread parallelism is available).
+
+The JSON report lands in ``benchmarks/results/partition_scaling.json``.
+Set ``PARTITION_BENCH_SMOKE=1`` for a reduced configuration suitable for a
+CI smoke job; the speedup bar is only enforced in the full configuration
+*and* when the host actually exposes more than one core (smoke-sized scans
+are too short to amortize thread startup, and on a single-core box thread
+fan-out cannot reduce wall-clock at all -- determinism is still checked).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from conftest import RESULTS_DIR, record_table, render_grid
+
+from repro.engine import partitioned_scan
+from repro.obs import MetricsRegistry
+from repro.sql.query import CardQuery, PredicateOp, TablePredicate
+from repro.storage import IOCounter, Table
+
+SMOKE = os.environ.get("PARTITION_BENCH_SMOKE", "") not in ("", "0")
+try:
+    NUM_CORES = len(os.sched_getaffinity(0))
+except AttributeError:  # pragma: no cover - non-Linux hosts
+    NUM_CORES = os.cpu_count() or 1
+NUM_ROWS = 200_000 if SMOKE else 2_000_000
+NUM_PARTITIONS = 8
+BLOCK_SIZE = 5_000 if SMOKE else 25_000
+ROUNDS = 2 if SMOKE else 3
+PARALLELISM_LEVELS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def fact_table():
+    rng = np.random.default_rng(97)
+    return Table.from_arrays(
+        "facts",
+        {
+            # Clustering column: sorted, so range partitions own disjoint
+            # day ranges and zone maps can actually refute.
+            "day": np.sort(rng.integers(0, 365, NUM_ROWS)),
+            "metric_a": rng.integers(0, 10_000, NUM_ROWS),
+            "metric_b": rng.integers(0, 10_000, NUM_ROWS),
+            "payload": rng.integers(0, 1_000_000, NUM_ROWS),
+        },
+        block_size=BLOCK_SIZE,
+        partitions=NUM_PARTITIONS,
+    )
+
+
+def _selective_query():
+    """Last ~1/8th of the year: survives only the tail partition(s)."""
+    return CardQuery(
+        tables=("facts",),
+        predicates=(TablePredicate("facts", "day", PredicateOp.GE, 340.0),),
+    )
+
+
+def _full_width_query():
+    """Touches every partition; work for the parallel fan-out."""
+    return CardQuery(
+        tables=("facts",),
+        predicates=(
+            TablePredicate("facts", "metric_a", PredicateOp.LE, 6_000.0),
+            TablePredicate("facts", "metric_b", PredicateOp.GE, 2_000.0),
+        ),
+    )
+
+
+def _timed_scan(table, query, parallelism):
+    """Best-of-ROUNDS wall-clock; returns (seconds, result, io snapshot)."""
+    best = float("inf")
+    result = snapshot = None
+    for _ in range(ROUNDS):
+        io = IOCounter()
+        start = time.perf_counter()
+        scan = partitioned_scan(
+            table, query, ["payload"], io, parallelism=parallelism
+        )
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best, result, snapshot = elapsed, scan, io.snapshot()
+    return best, result, snapshot
+
+
+def test_partition_scaling(fact_table):
+    report: dict = {
+        "smoke": SMOKE,
+        "num_rows": NUM_ROWS,
+        "num_partitions": NUM_PARTITIONS,
+        "block_size": BLOCK_SIZE,
+        "num_cores": NUM_CORES,
+    }
+
+    # -- pruning ratio, observed through the obs counter ----------------
+    registry = MetricsRegistry()
+    io = IOCounter()
+    pruned_scan = partitioned_scan(
+        fact_table, _selective_query(), ["payload"], io, registry=registry
+    )
+    pruned_total = registry.get("engine_partitions_pruned_total").value
+    pruning_ratio = pruned_total / NUM_PARTITIONS
+    report["pruning"] = {
+        "partitions_pruned": int(pruned_total),
+        "pruning_ratio": pruning_ratio,
+        "blocks_read": io.blocks_read,
+        "matching_rows": int(pruned_scan.row_indices.size),
+    }
+    # Acceptance: a selective predicate over the partition-clustered column
+    # prunes at least 50% of partitions.
+    assert pruning_ratio >= 0.5, f"pruning ratio {pruning_ratio:.2f} < 0.5"
+    assert pruned_scan.row_indices.size > 0
+
+    # -- parallel scaling: identical results, shrinking wall-clock ------
+    query = _full_width_query()
+    timings: dict[int, float] = {}
+    baseline_result = baseline_io = None
+    for parallelism in PARALLELISM_LEVELS:
+        seconds, result, io_snapshot = _timed_scan(fact_table, query, parallelism)
+        timings[parallelism] = seconds
+        if baseline_result is None:
+            baseline_result, baseline_io = result, io_snapshot
+        else:
+            # Bit-identical to the sequential scan, including I/O charges.
+            assert np.array_equal(result.row_indices, baseline_result.row_indices)
+            assert result.blocks_read == baseline_result.blocks_read
+            assert result.rows_scanned == baseline_result.rows_scanned
+            assert io_snapshot == baseline_io
+
+    speedups = {p: timings[1] / timings[p] for p in PARALLELISM_LEVELS}
+    speedup_enforced = not SMOKE and NUM_CORES >= 2
+    report["scaling"] = {
+        "seconds": {str(p): timings[p] for p in PARALLELISM_LEVELS},
+        "speedup": {str(p): speedups[p] for p in PARALLELISM_LEVELS},
+        "identical_results": True,
+        "speedup_enforced": speedup_enforced,
+    }
+    if speedup_enforced:
+        assert speedups[4] > 1.0, f"no speedup at parallelism 4: {speedups}"
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "partition_scaling.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+
+    rows = [
+        [
+            str(p),
+            f"{timings[p] * 1e3:8.2f}",
+            f"{speedups[p]:5.2f}x",
+            "yes",
+        ]
+        for p in PARALLELISM_LEVELS
+    ]
+    rows.append(
+        [
+            "prune",
+            f"{int(pruned_total)}/{NUM_PARTITIONS} partitions",
+            f"{pruning_ratio:5.0%}",
+            "-",
+        ]
+    )
+    record_table(
+        "partition_scaling",
+        render_grid(
+            "Partitioned scan: pruning ratio and thread scaling",
+            ["parallelism", "scan ms", "speedup", "identical"],
+            rows,
+        ),
+    )

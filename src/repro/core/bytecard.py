@@ -334,6 +334,40 @@ class ByteCard(CountEstimator, NdvEstimator):
             return self._traditional_count.selectivity(query)
         return self._factorjoin.selectivity(query)
 
+    def shard_selectivity(
+        self, table: str, shard: int, query: CardQuery
+    ) -> float | None:
+        """Selectivity from the shard-specialized BN, or None if unavailable.
+
+        The optimizer's partition planner calls this when zone-map pruning
+        pins a partition of a table partitioned by the shard key: partition
+        index ``shard`` corresponds to the ``{table}@shard{shard}`` model
+        ModelForge's ``train_sharded`` publishes (hash-mod shard function).
+        Whole-table FactorJoin assembly deliberately skips these models;
+        they are addressable only through this per-shard route.
+
+        Predicates on columns the shard BN does not model -- notably the
+        shard key itself -- are dropped before inference: within a pinned
+        partition the key predicate's effect is already captured by the
+        pruning that pinned it.
+        """
+        engine = self.loader.get("bn", f"{table}@shard{shard}")
+        model = getattr(engine, "model", None)
+        if model is None:
+            return None
+        modeled = getattr(model, "columns", ())
+        predicates = [
+            p
+            for p in query.predicates
+            if p.table == table and p.column in modeled
+        ]
+        if not predicates:
+            return None
+        try:
+            return float(model.selectivity(predicates))
+        except EstimationError:
+            return None
+
     def estimate_ndv(self, query: CardQuery) -> float:
         if query.agg.kind is not AggKind.COUNT_DISTINCT:
             raise EstimationError("estimate_ndv requires COUNT DISTINCT")

@@ -17,6 +17,7 @@ the paper's optimizations touch:
 from repro.engine.config import EngineConfig, CLUSTER_SETUP
 from repro.engine.hash_table import SimulatedHashTable
 from repro.engine.readers import ReaderKind, ScanResult, single_stage_scan, multi_stage_scan
+from repro.engine.partitioned import partition_refuted, partitioned_scan, prune_partitions
 from repro.engine.join import hash_join_tree
 from repro.engine.aggregation import AggregationResult, hash_aggregate
 from repro.engine.optimizer import Optimizer, PhysicalPlan
@@ -32,6 +33,9 @@ __all__ = [
     "ScanResult",
     "single_stage_scan",
     "multi_stage_scan",
+    "partition_refuted",
+    "partitioned_scan",
+    "prune_partitions",
     "hash_join_tree",
     "AggregationResult",
     "hash_aggregate",

@@ -2,7 +2,22 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
+
+
+def _default_scan_parallelism() -> int:
+    """Default worker count for partition fan-out.
+
+    ``REPRO_SCAN_PARALLELISM`` overrides the default of 1 (sequential, the
+    pre-partitioning behaviour); CI's engine-parallel-smoke job uses it to
+    run the whole engine suite at parallelism 4.
+    """
+    raw = os.environ.get("REPRO_SCAN_PARALLELISM", "")
+    try:
+        return max(1, int(raw)) if raw else 1
+    except ValueError:
+        return 1
 
 
 @dataclass(frozen=True)
@@ -34,6 +49,12 @@ class EngineConfig:
     #: (exact left-deep dynamic programming over connected subsets --
     #: affordable for the <= 8-way joins of the paper's workloads)
     join_order_strategy: str = "greedy"
+    #: worker threads for scanning surviving partitions concurrently;
+    #: 1 (the default) scans sequentially and is bit-identical to the
+    #: pre-partitioning engine.  Overridable via REPRO_SCAN_PARALLELISM.
+    scan_parallelism: int = field(default_factory=_default_scan_parallelism)
+    #: consult zone maps to skip partitions before any block I/O
+    partition_pruning: bool = True
 
     # cost-model weights (abstract units)
     io_block_cost: float = 1.0

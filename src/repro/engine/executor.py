@@ -13,19 +13,17 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.engine.aggregation import AggregationResult, hash_aggregate
 from repro.obs.metrics import MetricsRegistry
 from repro.engine.config import EngineConfig
 from repro.engine.join import JoinExecution, hash_join_tree
 from repro.engine.optimizer import PhysicalPlan
-from repro.engine.readers import (
-    ReaderKind,
-    ScanResult,
-    multi_stage_scan,
-    single_stage_scan,
-)
+from repro.engine.partitioned import partitioned_scan
+from repro.engine.readers import ReaderKind, ScanResult
 from repro.metrics.latency import LatencyRecord
-from repro.sql.query import CardQuery
+from repro.sql.query import AggKind, CardQuery
 from repro.storage.catalog import Catalog
 from repro.storage.io_stats import IOCounter
 
@@ -88,17 +86,19 @@ class Executor:
         for table_name in query.tables:
             table = self.catalog.table(table_name)
             payload = self._payload_columns(query, table_name)
-            reader = plan.readers.get(table_name, ReaderKind.SINGLE_STAGE)
-            if reader is ReaderKind.MULTI_STAGE:
-                scans[table_name] = multi_stage_scan(
-                    table,
-                    query,
-                    payload,
-                    io,
-                    column_order=plan.column_orders.get(table_name),
-                )
-            else:
-                scans[table_name] = single_stage_scan(table, query, payload, io)
+            scans[table_name] = partitioned_scan(
+                table,
+                query,
+                payload,
+                io,
+                default_reader=plan.readers.get(table_name, ReaderKind.SINGLE_STAGE),
+                default_column_order=plan.column_orders.get(table_name),
+                partition_readers=plan.partition_readers.get(table_name),
+                partition_column_orders=plan.partition_column_orders.get(table_name),
+                parallelism=self.config.scan_parallelism,
+                prune=self.config.partition_pruning,
+                registry=self.registry,
+            )
         stage_timings["scan"] = time.perf_counter() - stage_start
 
         scanned_rows = {name: scan.row_indices for name, scan in scans.items()}
@@ -209,8 +209,6 @@ class Executor:
         self, query: CardQuery, join_exec: JoinExecution
     ) -> float:
         """The query's scalar answer for the no-GROUP-BY case."""
-        from repro.sql.query import AggKind
-
         kind = query.agg.kind
         if kind is AggKind.COUNT:
             return float(join_exec.result_rows)
@@ -225,8 +223,6 @@ class Executor:
             .astype(float)
         )
         if kind is AggKind.COUNT_DISTINCT:
-            import numpy as np
-
             return float(np.unique(target).size)
         if kind is AggKind.SUM:
             return float(target.sum())

@@ -29,6 +29,25 @@ def explain_plan(plan: PhysicalPlan) -> str:
         if order:
             parts.append("column_order=" + " -> ".join(order))
         lines.append("  ".join(parts))
+        total_partitions = plan.partition_counts.get(table)
+        if total_partitions is not None:
+            pruned = plan.pruned_partitions.get(table, ())
+            lines.append(
+                f"    partitions: {total_partitions - len(pruned)}/"
+                f"{total_partitions} survive zone-map pruning"
+                + (f" (pruned: {', '.join(map(str, pruned))})" if pruned else "")
+            )
+            partition_readers = plan.partition_readers.get(table, {})
+            for index in sorted(partition_readers):
+                kind = partition_readers[index]
+                detail = [f"    partition {index}: reader={kind.value}"]
+                selectivity = plan.partition_selectivities.get(table, {}).get(index)
+                if selectivity is not None:
+                    detail.append(f"est_selectivity={selectivity:.4f}")
+                part_order = plan.partition_column_orders.get(table, {}).get(index)
+                if part_order:
+                    detail.append("column_order=" + " -> ".join(part_order))
+                lines.append("  ".join(detail))
     for index, join in enumerate(plan.join_order, start=1):
         lines.append(f"  join {index}: {join}")
     if query.group_by:
@@ -67,9 +86,17 @@ def explain_result(result: QueryResult) -> str:
         f"  io: {result.blocks_read} blocks ({result.rows_scanned} rows scanned)"
     )
     for table, scan in sorted(result.scans.items()):
+        partitions = ""
+        if scan.partitions_pruned or scan.partitions_scanned > 1:
+            total = scan.partitions_scanned + scan.partitions_pruned
+            partitions = (
+                f", partitions {scan.partitions_scanned}/{total}"
+                f" ({scan.partitions_pruned} pruned)"
+            )
         lines.append(
             f"    {table}: {scan.reader.value}, {scan.blocks_read} blocks"
             + (f" ({scan.random_blocks} random)" if scan.random_blocks else "")
+            + partitions
         )
     if result.resize_count:
         lines.append(

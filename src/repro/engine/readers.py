@@ -23,6 +23,7 @@ import numpy as np
 from repro.sql.query import CardQuery, TablePredicate
 from repro.storage.blocks import BlockReader, block_count
 from repro.storage.io_stats import IOCounter
+from repro.storage.partitions import Partition
 from repro.storage.table import Table
 from repro.workloads.predicates import predicate_mask
 
@@ -34,7 +35,11 @@ class ReaderKind(enum.Enum):
 
 @dataclass
 class ScanResult:
-    """Outcome of scanning one table."""
+    """Outcome of scanning one table (or one partition of it).
+
+    ``row_indices`` are always *global* table row indices, so per-partition
+    results concatenate into exactly what a whole-table scan would return.
+    """
 
     table: str
     reader: ReaderKind
@@ -48,6 +53,16 @@ class ScanResult:
     #: tuple-append cost: the incremental tuple construction the paper
     #: describes for the multi-stage reader)
     stage_survivors: list[int] = field(default_factory=list)
+    #: which partition this scan covered (None for whole-table scans and
+    #: for merged results from the partitioned driver)
+    partition_index: int | None = None
+    #: partition accounting, filled by the partitioned scan driver
+    partitions_scanned: int = 1
+    partitions_pruned: int = 0
+    pruned_partition_indices: tuple[int, ...] = ()
+    #: per-partition scan details when the partitioned driver merged
+    #: several partition scans (empty for plain whole-table scans)
+    partition_scans: list["ScanResult"] = field(default_factory=list)
 
 
 def _filter_columns_of(table: Table, query: CardQuery) -> list[str]:
@@ -92,14 +107,19 @@ def single_stage_scan(
     query: CardQuery,
     payload_columns: list[str],
     io: IOCounter,
+    partition: Partition | None = None,
 ) -> ScanResult:
-    """One-pass scan: read every needed column fully, filter once."""
-    reader = BlockReader(table, io)
+    """One-pass scan: read every needed column fully, filter once.
+
+    With ``partition`` the scan covers that partition's row range only
+    (partition-local blocks); the default covers the whole table.
+    """
+    reader = BlockReader(table, io, partition=partition)
     filter_columns = _filter_columns_of(table, query)
     needed = list(dict.fromkeys(filter_columns + payload_columns))
     total_blocks = reader.total_blocks()
     before = io.blocks_read
-    mask = np.ones(len(table), dtype=bool)
+    mask = np.ones(reader.num_rows, dtype=bool)
     for column in needed:
         pieces = [
             reader.read_column_block(column, b) for b in range(total_blocks)
@@ -107,7 +127,7 @@ def single_stage_scan(
         values = np.concatenate(pieces) if pieces else np.empty(0)
         if column in filter_columns:
             mask &= _mask_for_column(table, query, column, values)
-    row_indices = np.flatnonzero(mask)
+    row_indices = np.flatnonzero(mask) + reader.row_start
     if query.or_groups:
         row_indices = row_indices[_or_group_mask(table, query, row_indices)]
     return ScanResult(
@@ -115,7 +135,8 @@ def single_stage_scan(
         reader=ReaderKind.SINGLE_STAGE,
         row_indices=row_indices,
         blocks_read=io.blocks_read - before,
-        rows_scanned=len(table) * len(needed),
+        rows_scanned=reader.num_rows * len(needed),
+        partition_index=partition.index if partition is not None else None,
     )
 
 
@@ -125,9 +146,14 @@ def multi_stage_scan(
     payload_columns: list[str],
     io: IOCounter,
     column_order: list[str] | None = None,
+    partition: Partition | None = None,
 ) -> ScanResult:
-    """Staged scan: filter column by column, skipping exhausted blocks."""
-    reader = BlockReader(table, io)
+    """Staged scan: filter column by column, skipping exhausted blocks.
+
+    With ``partition`` the scan covers that partition's row range only
+    (partition-local blocks); the default covers the whole table.
+    """
+    reader = BlockReader(table, io, partition=partition)
     filter_columns = column_order or _filter_columns_of(table, query)
     total_blocks = reader.total_blocks()
     before = io.blocks_read
@@ -140,8 +166,7 @@ def multi_stage_scan(
     if not filter_columns:
         # No predicates: every row of every block survives.
         for block in surviving_blocks:
-            start = block * table.block_size
-            stop = min(start + table.block_size, len(table))
+            start, stop = reader.block_bounds(block)
             block_masks[block] = np.ones(stop - start, dtype=bool)
     for stage, column in enumerate(filter_columns):
         next_surviving: list[int] = []
@@ -177,7 +202,7 @@ def multi_stage_scan(
 
     indices_pieces = []
     for block in surviving_blocks:
-        start = block * table.block_size
+        start, _stop = reader.block_bounds(block)
         local = np.flatnonzero(block_masks[block]) + start
         indices_pieces.append(local)
     row_indices = (
@@ -194,7 +219,9 @@ def multi_stage_scan(
                 if pred.table == table.name and pred.column not in filter_columns
             }
         )
-        touched_blocks = np.unique(row_indices // table.block_size)
+        touched_blocks = np.unique(
+            (row_indices - reader.row_start) // table.block_size
+        )
         for column in or_columns:
             for block in touched_blocks:
                 values = reader.read_column_block(column, int(block))
@@ -209,4 +236,5 @@ def multi_stage_scan(
         rows_scanned=rows_scanned,
         random_blocks=random_blocks,
         stage_survivors=stage_survivors,
+        partition_index=partition.index if partition is not None else None,
     )

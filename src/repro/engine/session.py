@@ -68,7 +68,11 @@ class EngineSession:
         self.registry = registry
         self.config = config or EngineConfig()
         self.optimizer = Optimizer(
-            suite.count_estimator, suite.ndv_estimator, self.config, registry
+            suite.count_estimator,
+            suite.ndv_estimator,
+            self.config,
+            registry,
+            catalog=catalog,
         )
         self.executor = Executor(catalog, self.config, registry)
 

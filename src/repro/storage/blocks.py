@@ -4,6 +4,11 @@ The engine never reads a column wholesale: it reads *blocks* (runs of
 ``table.block_size`` rows) and charges each block to an :class:`IOCounter`.
 Multi-stage readers exploit this by skipping blocks whose rows were already
 filtered out by earlier, more selective columns.
+
+A reader can be bound to one :class:`~repro.storage.partitions.Partition`,
+in which case block indices are partition-local and reads never cross the
+partition's row range.  An unbound reader addresses the whole table (the
+single-partition default), preserving the original global block addressing.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.storage.io_stats import IOCounter
+from repro.storage.partitions import Partition
 from repro.storage.table import Table
 
 
@@ -35,25 +41,63 @@ class BlockReader:
     The reader is deliberately stateless between calls so that several query
     threads can share one instance; only the counter is mutated, matching the
     paper's "immutable data structures for lock-free inference" discipline.
+
+    When ``partition`` is given, ``block_index`` arguments are
+    partition-local and :meth:`total_blocks` counts the partition's blocks
+    only; otherwise the reader spans the whole table.
     """
 
-    def __init__(self, table: Table, io: IOCounter):
+    def __init__(
+        self,
+        table: Table,
+        io: IOCounter,
+        partition: Partition | None = None,
+    ):
         self.table = table
         self.io = io
+        self.partition = partition
+        if partition is None:
+            self._row_start, self._row_stop = 0, table.num_rows
+        else:
+            self._row_start, self._row_stop = partition.row_start, partition.row_stop
+
+    @property
+    def row_start(self) -> int:
+        return self._row_start
+
+    @property
+    def num_rows(self) -> int:
+        """Rows addressable by this reader (partition rows when bound)."""
+        return self._row_stop - self._row_start
+
+    def block_bounds(self, block_index: int) -> tuple[int, int]:
+        """Global ``(start, stop)`` row bounds of one (local) block."""
+        start = self._row_start + block_index * self.table.block_size
+        if block_index < 0 or start >= self._row_stop:
+            where = (
+                f"partition {self.partition.index} of " if self.partition else ""
+            )
+            raise IndexError(
+                f"block {block_index} out of range for {where}table "
+                f"{self.table.name!r}"
+            )
+        return start, min(start + self.table.block_size, self._row_stop)
 
     def read_column_block(self, column: str, block_index: int) -> np.ndarray:
-        """Read one block of one column, charging exactly one block I/O."""
+        """Read one block of one column, charging exactly one block I/O.
+
+        Bytes charged are the slice's actual dtype bytes; a string column's
+        dictionary is charged separately, once per (table, column) per
+        counter, instead of being smeared into every block read.
+        """
         col = self.table.column(column)
-        start = block_index * self.table.block_size
-        if start >= self.table.num_rows or block_index < 0:
-            raise IndexError(
-                f"block {block_index} out of range for table {self.table.name!r}"
-            )
-        stop = min(start + self.table.block_size, self.table.num_rows)
+        start, stop = self.block_bounds(block_index)
         values = col.values[start:stop]
-        bytes_per_row = max(1, col.nbytes // max(1, self.table.num_rows))
+        if col.dictionary is not None:
+            dict_nbytes = col.nbytes - int(col.values.nbytes)
+            self.io.record_dictionary(self.table.name, column, dict_nbytes)
         self.io.record_block(
-            self.table.name, column, rows=stop - start, nbytes=len(values) * bytes_per_row
+            self.table.name, column, rows=stop - start, nbytes=int(values.nbytes)
         )
         return values
 
@@ -66,4 +110,4 @@ class BlockReader:
         }
 
     def total_blocks(self) -> int:
-        return block_count(self.table.num_rows, self.table.block_size)
+        return block_count(self.num_rows, self.table.block_size)

@@ -89,10 +89,24 @@ class Catalog:
         if table.name in self._tables:
             raise SchemaError(f"table {table.name!r} is already registered")
         self._tables[table.name] = table
+        self._load_partition_stats(table)
 
     def replace(self, table: Table) -> None:
         """Replace a table's contents (used by scaling experiments)."""
         self._tables[table.name] = table
+        self._load_partition_stats(table)
+
+    @staticmethod
+    def _load_partition_stats(table: Table) -> None:
+        """Build zone maps at load time for partitioned tables.
+
+        Single-partition tables defer to lazy per-column construction: their
+        only pruning opportunity is a predicate refuting the whole table, so
+        paying an eager full-column pass for every registered table (sample
+        tables, scaling copies, ...) would be wasted work.
+        """
+        if table.num_partitions > 1:
+            table.build_zone_maps()
 
     def table(self, name: str) -> Table:
         try:

@@ -1,14 +1,22 @@
-"""Tables: ordered collections of equal-length columns plus schema metadata."""
+"""Tables: ordered collections of equal-length columns plus schema metadata.
+
+A table's rows are organized two ways: into fixed-size *blocks* (the I/O
+granule the readers charge) and into an ordered list of *partitions*
+(contiguous row ranges, each with its own partition-local block index and
+per-column zone maps).  The default is a single partition covering the whole
+table, which preserves the pre-partitioning behaviour of every reader.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import SchemaError
 from repro.storage.column import Column
+from repro.storage.partitions import Partition, ZoneMap
 from repro.storage.types import ColumnType
 
 #: Default rows per storage block; ByteHouse-like engines use granules of
@@ -58,7 +66,16 @@ class Table:
         name: str,
         columns: Iterable[Column],
         block_size: int = DEFAULT_BLOCK_SIZE,
+        partitions: int | Sequence[int] | None = None,
+        partition_key: str | None = None,
     ):
+        """``partitions`` is either a partition count (rows split into that
+        many near-equal contiguous ranges) or an explicit sequence of
+        per-partition row counts summing to the table size.  ``partition_key``
+        records the column the rows are clustered/sharded by (set by
+        :meth:`partition_by_key`); partition index ``i`` then corresponds to
+        shard ``i`` of ModelForge's hash-mod shard function.
+        """
         column_list = list(columns)
         if not column_list:
             raise SchemaError(f"table {name!r} must have at least one column")
@@ -77,6 +94,47 @@ class Table:
         self._columns: dict[str, Column] = {col.name: col for col in column_list}
         self._order: tuple[str, ...] = tuple(names)
         self.num_rows = lengths.pop()
+        if partition_key is not None and partition_key not in self._columns:
+            raise SchemaError(
+                f"table {name!r} has no partition key column {partition_key!r}"
+            )
+        self.partition_key = partition_key
+        self._partition_bounds = self._resolve_partition_bounds(partitions)
+        #: zone maps, cached per (partition index, column); built eagerly by
+        #: :meth:`build_zone_maps` when the catalog loads a partitioned
+        #: table, lazily on first pruning attempt otherwise
+        self._zone_maps: dict[tuple[int, str], ZoneMap] = {}
+
+    def _resolve_partition_bounds(
+        self, partitions: int | Sequence[int] | None
+    ) -> tuple[tuple[int, int], ...]:
+        if partitions is None:
+            return ((0, self.num_rows),)
+        if isinstance(partitions, int):
+            if partitions <= 0:
+                raise SchemaError(
+                    f"partition count must be positive, got {partitions}"
+                )
+            count = min(partitions, max(1, self.num_rows))
+            edges = np.linspace(0, self.num_rows, count + 1).astype(np.int64)
+            return tuple(
+                (int(edges[i]), int(edges[i + 1])) for i in range(count)
+            )
+        sizes = [int(size) for size in partitions]
+        if not sizes:
+            raise SchemaError("partition size list must not be empty")
+        if any(size < 0 for size in sizes):
+            raise SchemaError(f"partition sizes must be non-negative: {sizes}")
+        if sum(sizes) != self.num_rows:
+            raise SchemaError(
+                f"partition sizes {sizes} do not sum to table rows {self.num_rows}"
+            )
+        bounds = []
+        start = 0
+        for size in sizes:
+            bounds.append((start, start + size))
+            start += size
+        return tuple(bounds)
 
     # ------------------------------------------------------------------
     # Schema / access
@@ -108,11 +166,96 @@ class Table:
         return self.num_rows
 
     def __repr__(self) -> str:
-        return f"Table({self.name!r}, rows={self.num_rows}, cols={len(self._order)})"
+        return (
+            f"Table({self.name!r}, rows={self.num_rows}, "
+            f"cols={len(self._order)}, partitions={self.num_partitions})"
+        )
 
     @property
     def nbytes(self) -> int:
         return sum(col.nbytes for col in self._columns.values())
+
+    # ------------------------------------------------------------------
+    # Partitions and zone maps
+    # ------------------------------------------------------------------
+    @property
+    def num_partitions(self) -> int:
+        return len(self._partition_bounds)
+
+    def partition(self, index: int) -> Partition:
+        if index < 0 or index >= len(self._partition_bounds):
+            raise IndexError(
+                f"partition {index} out of range for table {self.name!r} "
+                f"({self.num_partitions} partitions)"
+            )
+        start, stop = self._partition_bounds[index]
+        return Partition(
+            table_name=self.name,
+            index=index,
+            row_start=start,
+            row_stop=stop,
+            block_size=self.block_size,
+        )
+
+    def partitions(self) -> tuple[Partition, ...]:
+        """All partitions, in row order."""
+        return tuple(self.partition(i) for i in range(self.num_partitions))
+
+    def zone_map(self, partition_index: int, column: str) -> ZoneMap:
+        """The (cached) zone map of one column of one partition."""
+        key = (partition_index, column)
+        cached = self._zone_maps.get(key)
+        if cached is not None:
+            return cached
+        part = self.partition(partition_index)
+        values = self.column(column).values[part.row_start : part.row_stop]
+        zone_map = ZoneMap.from_values(values)
+        self._zone_maps[key] = zone_map
+        return zone_map
+
+    def build_zone_maps(self) -> None:
+        """Eagerly build every partition's zone maps (catalog load time)."""
+        for index in range(self.num_partitions):
+            for column in self._order:
+                self.zone_map(index, column)
+
+    def repartition(
+        self,
+        partitions: int | Sequence[int],
+        partition_key: str | None = None,
+    ) -> "Table":
+        """A view of the same columns under a new partition layout."""
+        return Table(
+            self.name,
+            [self._columns[name] for name in self._order],
+            block_size=self.block_size,
+            partitions=partitions,
+            partition_key=partition_key,
+        )
+
+    def partition_by_key(self, column: str, num_partitions: int) -> "Table":
+        """Cluster rows into hash-mod partitions of ``column``.
+
+        Partition ``p`` holds exactly the rows with
+        ``int(column) % num_partitions == p`` -- the same shard function
+        ModelForge's ``train_sharded`` uses, so partition index ``p``
+        corresponds to the shard model ``{table}@shard{p}``.  Row order
+        within a partition preserves the original row order (stable sort).
+        """
+        if num_partitions <= 1:
+            raise SchemaError(
+                f"partition_by_key needs at least two partitions, got {num_partitions}"
+            )
+        shard_of = self.column(column).values.astype(np.int64) % num_partitions
+        order = np.argsort(shard_of, kind="stable")
+        sizes = np.bincount(shard_of, minlength=num_partitions)
+        return Table(
+            self.name,
+            [self._columns[name].take(order) for name in self._order],
+            block_size=self.block_size,
+            partitions=[int(s) for s in sizes],
+            partition_key=column,
+        )
 
     # ------------------------------------------------------------------
     # Construction and sampling
@@ -123,6 +266,8 @@ class Table:
         name: str,
         arrays: Mapping[str, np.ndarray],
         block_size: int = DEFAULT_BLOCK_SIZE,
+        partitions: int | Sequence[int] | None = None,
+        partition_key: str | None = None,
     ) -> "Table":
         """Build a table of INT/FLOAT columns straight from numpy arrays."""
         columns = []
@@ -137,7 +282,26 @@ class Table:
                     f"from_arrays only accepts numeric arrays; column "
                     f"{col_name!r} has dtype {arr.dtype}"
                 )
-        return cls(name, columns, block_size=block_size)
+        return cls(
+            name,
+            columns,
+            block_size=block_size,
+            partitions=partitions,
+            partition_key=partition_key,
+        )
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Row-gather into a new single-partition table.
+
+        Gathered tables lose the partition layout: arbitrary row subsets no
+        longer respect the contiguous partition ranges, so the result
+        collapses to one partition (zone maps rebuild lazily).
+        """
+        return Table(
+            self.name,
+            [self._columns[name].take(indices) for name in self._order],
+            block_size=self.block_size,
+        )
 
     def sample(self, rows: int, rng: np.random.Generator) -> "Table":
         """Uniform row sample without replacement (capped at the table size).
@@ -150,11 +314,7 @@ class Table:
         take = min(rows, self.num_rows)
         indices = rng.choice(self.num_rows, size=take, replace=False)
         indices.sort()
-        return Table(
-            self.name,
-            [self._columns[name].take(indices) for name in self._order],
-            block_size=self.block_size,
-        )
+        return self.take(indices)
 
     def select_rows(self, mask: np.ndarray) -> "Table":
         """Return the sub-table of rows where ``mask`` is true."""
@@ -162,9 +322,4 @@ class Table:
             raise ValueError(
                 f"mask shape {mask.shape} does not match table rows {self.num_rows}"
             )
-        indices = np.flatnonzero(mask)
-        return Table(
-            self.name,
-            [self._columns[name].take(indices) for name in self._order],
-            block_size=self.block_size,
-        )
+        return self.take(np.flatnonzero(mask))

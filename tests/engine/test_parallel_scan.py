@@ -1,0 +1,166 @@
+"""Determinism tests: parallel scans must be bit-identical to sequential."""
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineConfig, EngineSession, EstimatorSuite, partitioned_scan
+from repro.estimators.traditional import SelingerEstimator, SketchNdvEstimator
+from repro.sql.query import CardQuery, PredicateOp, TablePredicate
+from repro.storage import Catalog, Column, ColumnType, IOCounter, Table
+
+
+def _partitioned_table(rows=8000, partitions=8, block_size=200, seed=17):
+    rng = np.random.default_rng(seed)
+    return Table.from_arrays(
+        "events",
+        {
+            "ts": np.sort(rng.integers(0, 10_000, rows)),
+            "kind": rng.integers(0, 8, rows),
+            "value": rng.integers(0, 1_000, rows),
+        },
+        block_size=block_size,
+        partitions=partitions,
+    )
+
+
+def _workload(seed=29, count=12):
+    rng = np.random.default_rng(seed)
+    queries = []
+    for index in range(count):
+        lo = float(rng.integers(0, 9_000))
+        queries.append(
+            CardQuery(
+                tables=("events",),
+                predicates=(
+                    TablePredicate("events", "ts", PredicateOp.GE, lo),
+                    TablePredicate("events", "ts", PredicateOp.LE, lo + 1_500.0),
+                    TablePredicate(
+                        "events", "kind", PredicateOp.LE, float(rng.integers(1, 8))
+                    ),
+                ),
+                name=f"q{index}",
+            )
+        )
+    return queries
+
+
+def _session(table, parallelism):
+    catalog = Catalog()
+    catalog.register(table)
+    suite = EstimatorSuite(
+        "sketch", SelingerEstimator(catalog), SketchNdvEstimator(catalog)
+    )
+    config = EngineConfig(scan_parallelism=parallelism)
+    return EngineSession(catalog, suite, config)
+
+
+class TestScanDeterminism:
+    @pytest.mark.parametrize("parallelism", [2, 4])
+    def test_partitioned_scan_identical_at_any_parallelism(self, parallelism):
+        table = _partitioned_table()
+        query = _workload(count=1)[0]
+        seq_io, par_io = IOCounter(), IOCounter()
+        sequential = partitioned_scan(
+            table, query, ["value"], seq_io, parallelism=1
+        )
+        parallel = partitioned_scan(
+            table, query, ["value"], par_io, parallelism=parallelism
+        )
+        assert np.array_equal(sequential.row_indices, parallel.row_indices)
+        assert sequential.blocks_read == parallel.blocks_read
+        assert sequential.rows_scanned == parallel.rows_scanned
+        assert sequential.stage_survivors == parallel.stage_survivors
+        assert seq_io.snapshot() == par_io.snapshot()
+
+    def test_repeated_runs_are_stable(self):
+        table = _partitioned_table()
+        query = _workload(count=1)[0]
+        baselines = None
+        for _ in range(3):
+            io = IOCounter()
+            result = partitioned_scan(table, query, ["value"], io, parallelism=4)
+            current = (result.row_indices.tobytes(), io.snapshot())
+            if baselines is None:
+                baselines = current
+            assert current == baselines
+
+    def test_full_workload_through_sessions(self):
+        table = _partitioned_table()
+        sequential = _session(table, parallelism=1)
+        parallel = _session(table, parallelism=4)
+        for query in _workload():
+            seq = sequential.run(query)
+            par = parallel.run(query)
+            assert seq.result_rows == par.result_rows
+            assert seq.blocks_read == par.blocks_read
+            assert seq.rows_scanned == par.rows_scanned
+            assert seq.io_cost == par.io_cost
+            assert seq.cpu_cost == par.cpu_cost
+            for name in seq.scans:
+                assert np.array_equal(
+                    seq.scans[name].row_indices, par.scans[name].row_indices
+                )
+                assert seq.scans[name].blocks_read == par.scans[name].blocks_read
+
+    def test_dictionary_columns_charged_once_under_parallelism(self):
+        rng = np.random.default_rng(5)
+        words = np.array(["alpha", "beta", "gamma", "delta"])
+        labels = words[rng.integers(0, 4, 4000)]
+        table = Table(
+            "tagged",
+            [
+                Column("ts", ColumnType.INT, np.sort(rng.integers(0, 1000, 4000))),
+                Column.from_strings("label", list(labels)),
+            ],
+            block_size=100,
+            partitions=4,
+        )
+        query = CardQuery(
+            tables=("tagged",),
+            predicates=(TablePredicate("tagged", "ts", PredicateOp.GE, 0.0),),
+        )
+        seq_io, par_io = IOCounter(), IOCounter()
+        partitioned_scan(table, query, ["label"], seq_io, parallelism=1)
+        partitioned_scan(table, query, ["label"], par_io, parallelism=4)
+        assert seq_io.bytes_read == par_io.bytes_read
+        assert len(par_io.dict_charges) == 1  # one charge for tagged.label
+
+    def test_parallelism_beyond_partitions_is_safe(self):
+        table = _partitioned_table(partitions=2)
+        query = _workload(count=1)[0]
+        io = IOCounter()
+        result = partitioned_scan(table, query, ["value"], io, parallelism=16)
+        baseline_io = IOCounter()
+        baseline = partitioned_scan(
+            table, query, ["value"], baseline_io, parallelism=1
+        )
+        assert np.array_equal(result.row_indices, baseline.row_indices)
+        assert io.snapshot() == baseline_io.snapshot()
+
+
+class TestConfigKnobs:
+    def test_env_var_sets_default_parallelism(self, monkeypatch):
+        from repro.engine.config import _default_scan_parallelism
+
+        monkeypatch.setenv("REPRO_SCAN_PARALLELISM", "4")
+        assert _default_scan_parallelism() == 4
+        assert EngineConfig().scan_parallelism == 4
+        monkeypatch.delenv("REPRO_SCAN_PARALLELISM")
+        assert EngineConfig().scan_parallelism == 1
+
+    def test_pruning_can_be_disabled(self):
+        table = _partitioned_table()
+        catalog = Catalog()
+        catalog.register(table)
+        suite = EstimatorSuite(
+            "sketch", SelingerEstimator(catalog), SketchNdvEstimator(catalog)
+        )
+        config = EngineConfig(partition_pruning=False)
+        session = EngineSession(catalog, suite, config)
+        query = CardQuery(
+            tables=("events",),
+            predicates=(TablePredicate("events", "ts", PredicateOp.LT, 0.0),),
+        )
+        result = session.run(query)
+        assert result.scans["events"].partitions_pruned == 0
+        assert result.scans["events"].partitions_scanned == 8

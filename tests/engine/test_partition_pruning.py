@@ -1,0 +1,179 @@
+"""Tests for zone-map partition pruning and the partitioned-scan driver."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ReaderKind,
+    partition_refuted,
+    partitioned_scan,
+    prune_partitions,
+)
+from repro.obs import MetricsRegistry
+from repro.sql.query import CardQuery, JoinCondition, PredicateOp, TablePredicate
+from repro.storage import IOCounter, Table
+from repro.workloads.predicates import table_mask
+
+
+def _clustered_table(rows=4000, partitions=4, block_size=100):
+    """Rows clustered on 'key' so each partition owns a disjoint key range."""
+    rng = np.random.default_rng(3)
+    return Table.from_arrays(
+        "t",
+        {
+            "key": np.sort(rng.integers(0, 1000, rows)),
+            "noise": rng.integers(0, 100, rows),
+            "payload": rng.integers(0, 1000, rows),
+        },
+        block_size=block_size,
+        partitions=partitions,
+    )
+
+
+def _query(*predicates, or_groups=()):
+    return CardQuery(
+        tables=("t",), predicates=tuple(predicates), or_groups=tuple(or_groups)
+    )
+
+
+class TestPruning:
+    def test_selective_predicate_prunes_most_partitions(self):
+        table = _clustered_table()
+        lo = float(table.zone_map(0, "key").max_value) + 1
+        query = _query(TablePredicate("t", "key", PredicateOp.GE, 900.0))
+        assert lo < 900.0  # sanity: the probe is above partition 0's range
+        survivors, pruned = prune_partitions(table, query)
+        assert len(pruned) >= 2  # >= 50% of 4 partitions refuted
+        assert {p.index for p in survivors}.isdisjoint(pruned)
+
+    def test_predicates_on_other_tables_never_prune(self):
+        table = _clustered_table()
+        query = CardQuery(
+            tables=("t", "u"),
+            joins=(JoinCondition("t", "key", "u", "key"),),
+            predicates=(TablePredicate("u", "key", PredicateOp.EQ, -1.0),),
+        )
+        survivors, pruned = prune_partitions(table, query)
+        assert len(survivors) == 4 and not pruned
+
+    def test_or_group_prunes_only_when_all_members_refuted(self):
+        table = _clustered_table()
+        part0_hi = float(table.zone_map(0, "key").max_value)
+        part3_lo = float(table.zone_map(3, "key").min_value)
+        group = (
+            TablePredicate("t", "key", PredicateOp.LE, part0_hi),
+            TablePredicate("t", "key", PredicateOp.GE, part3_lo),
+        )
+        assert not partition_refuted(table, table.partition(0), _query(or_groups=(group,)))
+        assert not partition_refuted(table, table.partition(3), _query(or_groups=(group,)))
+        # A middle partition overlapping neither arm is refuted.
+        middle = table.partition(1)
+        mid_lo = float(table.zone_map(1, "key").min_value)
+        mid_hi = float(table.zone_map(1, "key").max_value)
+        if mid_lo > part0_hi and mid_hi < part3_lo:
+            assert partition_refuted(table, middle, _query(or_groups=(group,)))
+
+    def test_empty_partition_always_refuted(self):
+        table = Table.from_arrays(
+            "t", {"x": np.arange(10)}, partitions=[10, 0], block_size=4
+        )
+        assert partition_refuted(table, table.partition(1), _query())
+
+
+class TestPartitionedScan:
+    @pytest.mark.parametrize("reader", [ReaderKind.SINGLE_STAGE, ReaderKind.MULTI_STAGE])
+    def test_matches_reference_mask(self, reader):
+        table = _clustered_table()
+        query = _query(
+            TablePredicate("t", "key", PredicateOp.GE, 700.0),
+            TablePredicate("t", "noise", PredicateOp.LT, 50.0),
+        )
+        io = IOCounter()
+        result = partitioned_scan(
+            table, query, ["payload"], io, default_reader=reader
+        )
+        expected = np.flatnonzero(table_mask(table, query))
+        assert np.array_equal(result.row_indices, expected)
+        assert result.partitions_scanned + result.partitions_pruned == 4
+
+    def test_pruning_saves_block_io(self):
+        table = _clustered_table()
+        query = _query(TablePredicate("t", "key", PredicateOp.GE, 900.0))
+        pruned_io, full_io = IOCounter(), IOCounter()
+        pruned_result = partitioned_scan(table, query, ["payload"], pruned_io)
+        full_result = partitioned_scan(
+            table, query, ["payload"], full_io, prune=False
+        )
+        assert np.array_equal(pruned_result.row_indices, full_result.row_indices)
+        assert pruned_io.blocks_read < full_io.blocks_read
+        assert pruned_result.partitions_pruned >= 2
+        assert full_result.partitions_pruned == 0
+
+    def test_single_partition_table_unchanged(self):
+        table = _clustered_table(partitions=1)
+        query = _query(TablePredicate("t", "key", PredicateOp.GE, 900.0))
+        io = IOCounter()
+        result = partitioned_scan(table, query, ["payload"], io)
+        assert result.partitions_scanned == 1
+        assert result.partitions_pruned == 0
+        assert result.partition_scans == []
+
+    def test_per_partition_reader_overrides(self):
+        table = _clustered_table()
+        query = _query(TablePredicate("t", "noise", PredicateOp.LT, 50.0))
+        io = IOCounter()
+        result = partitioned_scan(
+            table,
+            query,
+            ["payload"],
+            io,
+            default_reader=ReaderKind.SINGLE_STAGE,
+            partition_readers={2: ReaderKind.MULTI_STAGE},
+            partition_column_orders={2: ["noise"]},
+        )
+        kinds = {s.partition_index: s.reader for s in result.partition_scans}
+        assert kinds[2] is ReaderKind.MULTI_STAGE
+        assert kinds[0] is ReaderKind.SINGLE_STAGE
+        expected = np.flatnonzero(table_mask(table, query))
+        assert np.array_equal(result.row_indices, expected)
+
+    def test_all_partitions_pruned_yields_empty_result(self):
+        table = _clustered_table()
+        query = _query(TablePredicate("t", "key", PredicateOp.LT, 0.0))
+        io = IOCounter()
+        result = partitioned_scan(table, query, ["payload"], io)
+        assert result.row_indices.size == 0
+        assert result.partitions_pruned == 4
+        assert io.blocks_read == 0
+
+    def test_metrics_counters_and_histogram(self):
+        table = _clustered_table()
+        registry = MetricsRegistry()
+        query = _query(TablePredicate("t", "key", PredicateOp.GE, 900.0))
+        result = partitioned_scan(
+            table, query, ["payload"], IOCounter(), registry=registry
+        )
+        pruned = registry.get("engine_partitions_pruned_total")
+        scanned = registry.get("engine_partitions_scanned_total")
+        assert pruned.value == result.partitions_pruned > 0
+        assert scanned.value == result.partitions_scanned > 0
+        histogram = registry.get("engine_partition_scan_seconds", table="t")
+        assert histogram is not None
+        assert histogram.snapshot().count == result.partitions_scanned
+
+    def test_stage_survivors_summed_across_partitions(self):
+        table = _clustered_table()
+        query = _query(
+            TablePredicate("t", "key", PredicateOp.GE, 500.0),
+            TablePredicate("t", "noise", PredicateOp.LT, 50.0),
+        )
+        result = partitioned_scan(
+            table,
+            query,
+            ["payload"],
+            IOCounter(),
+            default_reader=ReaderKind.MULTI_STAGE,
+            default_column_order=["key", "noise"],
+        )
+        assert result.stage_survivors
+        assert result.stage_survivors[-1] == result.row_indices.size

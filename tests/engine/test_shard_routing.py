@@ -1,0 +1,259 @@
+"""Tests for routing selectivity to shard-specialized models at plan time."""
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineConfig, Optimizer, ReaderKind, explain_plan
+from repro.estimators.traditional import SelingerEstimator, SketchNdvEstimator
+from repro.sql.query import CardQuery, PredicateOp, TablePredicate
+from repro.storage import Catalog, Table
+
+
+@pytest.fixture()
+def sharded_catalog():
+    """Keys whose parity determines their range, so zone maps on the
+    partition key can prune hash-mod partitions: partition 0 (even keys)
+    spans [0, 100) and partition 1 (odd keys) spans [1001, 2000)."""
+    rng = np.random.default_rng(23)
+    n = 4000
+    even = rng.integers(0, 50, n) * 2
+    odd = rng.integers(500, 1000, n) * 2 + 1
+    keys = np.where(rng.integers(0, 2, n) == 0, even, odd)
+    table = Table.from_arrays(
+        "events",
+        {"k": keys, "v": rng.integers(0, 100, n)},
+        block_size=200,
+    ).partition_by_key("k", 2)
+    catalog = Catalog()
+    catalog.register(table)
+    return catalog
+
+
+class RecordingRouter:
+    def __init__(self, selectivity=0.01):
+        self.selectivity = selectivity
+        self.calls = []
+
+    def __call__(self, table, shard, query):
+        self.calls.append((table, shard, tuple(query.predicates)))
+        return self.selectivity
+
+
+def _optimizer(catalog, router, **config):
+    suite_estimator = SelingerEstimator(catalog)
+    return Optimizer(
+        suite_estimator,
+        SketchNdvEstimator(catalog),
+        EngineConfig(**config),
+        catalog=catalog,
+        shard_router=router,
+    )
+
+
+class TestShardRouting:
+    def test_pinned_partition_routes_to_shard_model(self, sharded_catalog):
+        router = RecordingRouter(selectivity=0.25)
+        optimizer = _optimizer(sharded_catalog, router)
+        query = CardQuery(
+            tables=("events",),
+            predicates=(TablePredicate("events", "k", PredicateOp.LE, 100.0),),
+        )
+        plan = optimizer.plan(query)
+        assert plan.pruned_partitions["events"] == (1,)
+        assert any(shard == 0 for _t, shard, _p in router.calls)
+        table = sharded_catalog.table("events")
+        share = table.partition(0).num_rows / len(table)
+        assert plan.table_selectivities["events"] == pytest.approx(0.25 * share)
+        assert plan.partition_selectivities["events"][0] == 0.25
+        provenance = plan.decision_provenance.get("selectivity:events", {})
+        assert provenance.get("shard_model", 0) >= 1
+
+    def test_surviving_partitions_each_get_a_reader(self, sharded_catalog):
+        router = RecordingRouter(selectivity=0.001)
+        optimizer = _optimizer(sharded_catalog, router)
+        query = CardQuery(
+            tables=("events",),
+            predicates=(TablePredicate("events", "v", PredicateOp.EQ, 7.0),),
+        )
+        plan = optimizer.plan(query)
+        readers = plan.partition_readers["events"]
+        assert set(readers) == {0, 1}
+        # The router's tiny selectivity pushes every partition multi-stage.
+        assert all(kind is ReaderKind.MULTI_STAGE for kind in readers.values())
+        assert {shard for _t, shard, _p in router.calls} == {0, 1}
+
+    def test_column_order_uses_shard_local_selectivities(self, sharded_catalog):
+        # Per-column routed selectivity: 'v' is rarer than 'k' in this shard,
+        # so the multi-stage order must evaluate 'v' first.
+        def router(table, shard, query):
+            columns = {p.column for p in query.predicates}
+            if columns == {"v"}:
+                return 0.001
+            if columns == {"k"}:
+                return 0.5
+            return 0.01
+
+        optimizer = _optimizer(sharded_catalog, router)
+        query = CardQuery(
+            tables=("events",),
+            predicates=(
+                TablePredicate("events", "k", PredicateOp.LE, 100.0),
+                TablePredicate("events", "v", PredicateOp.EQ, 7.0),
+            ),
+        )
+        plan = optimizer.plan(query)
+        orders = plan.partition_column_orders["events"]
+        assert orders[0] == ["v", "k"]
+
+    def test_router_absent_falls_back_to_table_estimate(self, sharded_catalog):
+        optimizer = Optimizer(
+            SelingerEstimator(sharded_catalog),
+            SketchNdvEstimator(sharded_catalog),
+            EngineConfig(),
+            catalog=sharded_catalog,
+            shard_router=None,
+        )
+        # SelingerEstimator has no shard_selectivity attribute, so no router
+        # is inherited either.
+        assert optimizer.shard_router is None
+        query = CardQuery(
+            tables=("events",),
+            predicates=(TablePredicate("events", "k", PredicateOp.LE, 100.0),),
+        )
+        plan = optimizer.plan(query)
+        table_estimate = plan.table_selectivities["events"]
+        assert plan.partition_selectivities["events"][0] == table_estimate
+
+    def test_no_routing_without_partition_key(self):
+        rng = np.random.default_rng(3)
+        table = Table.from_arrays(
+            "plain",
+            {"a": np.sort(rng.integers(0, 100, 1000))},
+            block_size=100,
+            partitions=4,  # range partitions, not key-sharded
+        )
+        catalog = Catalog()
+        catalog.register(table)
+        router = RecordingRouter()
+        optimizer = _optimizer(catalog, router)
+        query = CardQuery(
+            tables=("plain",),
+            predicates=(TablePredicate("plain", "a", PredicateOp.LE, 10.0),),
+        )
+        plan = optimizer.plan(query)
+        assert router.calls == []
+        assert plan.partition_counts["plain"] == 4
+        assert len(plan.pruned_partitions["plain"]) >= 2
+
+    def test_pruning_disabled_skips_partition_planning(self, sharded_catalog):
+        router = RecordingRouter()
+        optimizer = _optimizer(sharded_catalog, router, partition_pruning=False)
+        query = CardQuery(
+            tables=("events",),
+            predicates=(TablePredicate("events", "k", PredicateOp.LE, 100.0),),
+        )
+        plan = optimizer.plan(query)
+        assert "events" not in plan.partition_counts
+        assert router.calls == []
+
+    def test_explain_plan_renders_partition_decisions(self, sharded_catalog):
+        router = RecordingRouter(selectivity=0.02)
+        optimizer = _optimizer(sharded_catalog, router)
+        query = CardQuery(
+            tables=("events",),
+            predicates=(TablePredicate("events", "k", PredicateOp.LE, 100.0),),
+        )
+        rendered = explain_plan(optimizer.plan(query))
+        assert "partitions: 1/2 survive zone-map pruning" in rendered
+        assert "(pruned: 1)" in rendered
+        assert "partition 0:" in rendered
+
+
+class TestByteCardIntegration:
+    def test_bytecard_shard_selectivity_routes_registry_models(self):
+        from repro.core import ByteCard, ByteCardConfig
+        from repro.datasets.base import DatasetBundle
+
+        rng = np.random.default_rng(31)
+        n = 12_000
+        even = rng.integers(0, 50, n) * 2
+        odd = rng.integers(500, 1000, n) * 2 + 1
+        keys = np.where(rng.integers(0, 2, n) == 0, even, odd)
+        # Even shard holds low values, odd shard high values.
+        value = np.where(keys % 2 == 0, rng.integers(0, 20, n), rng.integers(80, 100, n))
+        catalog = Catalog()
+        catalog.register(
+            Table.from_arrays("events", {"k": keys, "value": value})
+        )
+        bundle = DatasetBundle(
+            name="sharded",
+            catalog=catalog,
+            filter_columns={"events": ["value"]},
+            seed=13,
+        )
+        config = ByteCardConfig(
+            training_sample_rows=4000, rbx_corpus_size=200, rbx_epochs=3
+        )
+        bytecard = ByteCard(bundle, config=config)
+        bytecard.forge_service.train_count_models(bundle)
+        bytecard.forge_service.train_sharded(bundle, "events", "k", 2)
+        bytecard.refresh()
+
+        query = CardQuery(
+            tables=("events",),
+            predicates=(
+                TablePredicate("events", "value", PredicateOp.GE, 80.0),
+            ),
+        )
+        shard0 = bytecard.shard_selectivity("events", 0, query)
+        shard1 = bytecard.shard_selectivity("events", 1, query)
+        assert shard0 is not None and shard1 is not None
+        # value >= 80 is rare in the even shard and dominant in the odd one.
+        assert shard0 < 0.2 < shard1
+        assert bytecard.shard_selectivity("events", 9, query) is None
+
+    def test_optimizer_inherits_bytecard_router(self):
+        from repro.core import ByteCard, ByteCardConfig
+        from repro.datasets.base import DatasetBundle
+
+        rng = np.random.default_rng(7)
+        n = 8000
+        even = rng.integers(0, 50, n) * 2
+        odd = rng.integers(500, 1000, n) * 2 + 1
+        keys = np.where(rng.integers(0, 2, n) == 0, even, odd)
+        value = rng.integers(0, 100, n)
+        catalog = Catalog()
+        catalog.register(
+            Table.from_arrays("events", {"k": keys, "value": value})
+            .partition_by_key("k", 2)
+        )
+        bundle = DatasetBundle(
+            name="sharded",
+            catalog=catalog,
+            filter_columns={"events": ["value"]},
+            seed=5,
+        )
+        config = ByteCardConfig(
+            training_sample_rows=4000, rbx_corpus_size=200, rbx_epochs=3
+        )
+        bytecard = ByteCard(bundle, config=config)
+        bytecard.forge_service.train_count_models(bundle)
+        bytecard.forge_service.train_sharded(bundle, "events", "k", 2)
+        bytecard.refresh()
+
+        optimizer = Optimizer(bytecard, bytecard, EngineConfig())
+        assert optimizer.catalog is catalog
+        assert optimizer.shard_router == bytecard.shard_selectivity
+        # 'k' pins the even-key partition via zone maps; 'value' is the
+        # predicate the shard BN actually models and answers.
+        query = CardQuery(
+            tables=("events",),
+            predicates=(
+                TablePredicate("events", "k", PredicateOp.LE, 100.0),
+                TablePredicate("events", "value", PredicateOp.LE, 10.0),
+            ),
+        )
+        plan = optimizer.plan(query)
+        assert plan.pruned_partitions["events"] == (1,)
+        provenance = plan.decision_provenance.get("selectivity:events", {})
+        assert provenance.get("shard_model", 0) >= 1

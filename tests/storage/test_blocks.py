@@ -4,7 +4,14 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.storage import BlockReader, IOCounter, Table, block_count, block_slices
+from repro.storage import (
+    BlockReader,
+    Column,
+    IOCounter,
+    Table,
+    block_count,
+    block_slices,
+)
 
 
 class TestBlockMath:
@@ -71,6 +78,60 @@ class TestBlockReader:
     def test_total_blocks(self):
         _table, _io, reader = self._setup(rows=100, block_size=32)
         assert reader.total_blocks() == 4
+
+
+class TestByteAccounting:
+    """Regression tests pinning the bytes charged per block read.
+
+    The old accounting charged ``len(values) * (col.nbytes // num_rows)``,
+    which (a) rounded the per-row byte rate down and (b) smeared a string
+    column's dictionary into every block.  Bytes charged must now be the
+    slice's actual dtype bytes, with the dictionary charged exactly once
+    per (table, column) per counter.
+    """
+
+    def test_numeric_block_charges_slice_nbytes(self):
+        table = Table.from_arrays(
+            "t", {"a": np.arange(100, dtype=np.int64)}, block_size=32
+        )
+        io = IOCounter()
+        reader = BlockReader(table, io)
+        reader.read_column_block("a", 0)
+        assert io.bytes_read == 32 * 8
+        reader.read_column_block("a", 3)  # short tail block: 4 rows
+        assert io.bytes_read == 32 * 8 + 4 * 8
+
+    def test_narrow_dtype_charges_actual_width(self):
+        from repro.storage import ColumnType
+
+        values = np.arange(100, dtype=np.int16)
+        table = Table("t", [Column("a", ColumnType.INT, values)], block_size=50)
+        io = IOCounter()
+        BlockReader(table, io).read_column_block("a", 0)
+        assert io.bytes_read == 50 * values.dtype.itemsize
+
+    def test_string_dictionary_charged_once_per_column(self):
+        column = Column.from_strings("s", ["x", "y", "z", "w"] * 25)
+        table = Table("t", [column], block_size=20)
+        codes_itemsize = column.values.dtype.itemsize
+        dict_nbytes = column.nbytes - int(column.values.nbytes)
+        assert dict_nbytes > 0
+        io = IOCounter()
+        reader = BlockReader(table, io)
+        reader.read_column_block("s", 0)
+        assert io.bytes_read == 20 * codes_itemsize + dict_nbytes
+        # Subsequent blocks charge codes only: the dictionary is resident.
+        reader.read_column_block("s", 1)
+        reader.read_column_block("s", 2)
+        assert io.bytes_read == 3 * 20 * codes_itemsize + dict_nbytes
+
+    def test_distinct_counters_each_charge_the_dictionary(self):
+        column = Column.from_strings("s", ["x", "y"] * 50)
+        table = Table("t", [column], block_size=50)
+        first, second = IOCounter(), IOCounter()
+        BlockReader(table, first).read_column_block("s", 0)
+        BlockReader(table, second).read_column_block("s", 1)
+        assert first.bytes_read == second.bytes_read
 
 
 class TestIOCounter:
