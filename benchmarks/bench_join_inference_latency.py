@@ -1,0 +1,184 @@
+"""Join-estimation inference passes and latency: naive vs shared plans.
+
+Measures what the shared-belief inference plans buy on a join-heavy STATS
+workload.  Every query is estimated twice:
+
+* **naive** -- :meth:`FactorJoinEstimator.estimate_count_unshared`, the
+  pre-plan path that runs one BN pass per consumer call site (join-key
+  distribution, local selectivity, every inclusion-exclusion term);
+* **shared** -- :meth:`FactorJoinEstimator.estimate_count` with a
+  :class:`PlanDistributionCache` installed, so each (table, predicates)
+  scope is inferred once per query and reused across queries.
+
+The two paths must agree bit-for-bit on every query.  Pass counts come
+from the ``bn_passes_total`` counter (executed) and
+:meth:`naive_pass_count` (what the naive path would have run); the
+aggregate ratio must clear the 3x bar.  Latency is reported as per-query
+P50/P99 over best-of-ROUNDS, and the shared path must be faster on both.
+
+The JSON report lands in ``benchmarks/results/join_inference_latency.json``.
+Set ``JOIN_BENCH_SMOKE=1`` for a reduced configuration suitable for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from conftest import RESULTS_DIR, record_table, render_grid
+
+from repro.datasets import make_stats
+from repro.estimators.factorjoin import FactorJoinEstimator
+from repro.obs import MetricsRegistry
+from repro.serving import PlanDistributionCache
+from repro.workloads.generator import WorkloadSpec, generate_workload
+
+SMOKE = os.environ.get("JOIN_BENCH_SMOKE", "") not in ("", "0")
+SCALE = 0.2 if SMOKE else 0.5
+NUM_QUERIES = 40 if SMOKE else 120
+ROUNDS = 2 if SMOKE else 3
+MIN_PASS_RATIO = 3.0
+
+
+@pytest.fixture(scope="module")
+def lab():
+    """STATS bundle, join-heavy COUNT workload, trained estimator."""
+    bundle = make_stats(scale=SCALE)
+    spec = WorkloadSpec(
+        name="join-inference-bench",
+        num_queries=NUM_QUERIES,
+        min_tables=3,
+        max_tables=5,
+        max_predicates=4,
+        aggregation_fraction=0.0,
+        or_group_fraction=0.3,
+        num_ndv_queries=0,
+        seed=61,
+    )
+    workload = generate_workload(bundle, spec)
+    queries = [q for q in workload.queries if len(q.tables) >= 2]
+    assert len(queries) >= NUM_QUERIES // 2
+    registry = MetricsRegistry()
+    estimator = FactorJoinEstimator.train(
+        bundle.catalog,
+        bundle.filter_columns,
+        sample_rows=20_000,
+        metrics=registry,
+    )
+    return bundle, queries, estimator, registry
+
+
+def _timed(fn, queries):
+    """Best-of-ROUNDS per-query latencies; returns (seconds array, results)."""
+    best = np.full(len(queries), np.inf)
+    results = [0.0] * len(queries)
+    for _ in range(ROUNDS):
+        for index, query in enumerate(queries):
+            start = time.perf_counter()
+            value = fn(query)
+            elapsed = time.perf_counter() - start
+            if elapsed < best[index]:
+                best[index] = elapsed
+            results[index] = value
+    return best, results
+
+
+def test_join_inference_latency(lab):
+    _bundle, queries, estimator, registry = lab
+
+    # -- naive path: per-call-site passes, no sharing --------------------
+    naive_passes = sum(estimator.naive_pass_count(q) for q in queries)
+    naive_times, naive_estimates = _timed(
+        estimator.estimate_count_unshared, queries
+    )
+
+    # -- shared path: one cold pass over the workload for pass counting --
+    cache = PlanDistributionCache(registry=registry)
+    estimator.install_plan_cache(cache)
+    executed_before = registry.get("bn_passes_total").value
+    cold_estimates = [estimator.estimate_count(q) for q in queries]
+    executed = int(registry.get("bn_passes_total").value - executed_before)
+    saved = int(registry.get("bn_passes_saved_total").value)
+
+    # -- shared path latency (steady-state: warm distribution cache) -----
+    shared_times, shared_estimates = _timed(estimator.estimate_count, queries)
+    estimator.install_plan_cache(None)
+
+    # Bit-identical estimates on every query, cold and warm.
+    for naive, cold, warm in zip(
+        naive_estimates, cold_estimates, shared_estimates
+    ):
+        assert cold == naive
+        assert warm == naive
+
+    assert executed > 0
+    assert saved > 0, "bn_passes_saved_total never incremented"
+    pass_ratio = naive_passes / executed
+    assert pass_ratio >= MIN_PASS_RATIO, (
+        f"BN passes dropped only {pass_ratio:.2f}x "
+        f"({naive_passes} naive vs {executed} executed)"
+    )
+
+    naive_p50, naive_p99 = np.percentile(naive_times, [50, 99])
+    shared_p50, shared_p99 = np.percentile(shared_times, [50, 99])
+    assert shared_p50 < naive_p50
+    assert shared_p99 < naive_p99
+
+    report = {
+        "smoke": SMOKE,
+        "scale": SCALE,
+        "num_queries": len(queries),
+        "rounds": ROUNDS,
+        "naive": {
+            "bn_passes": naive_passes,
+            "passes_per_query": naive_passes / len(queries),
+            "p50_ms": naive_p50 * 1e3,
+            "p99_ms": naive_p99 * 1e3,
+            "total_s": float(naive_times.sum()),
+        },
+        "shared": {
+            "bn_passes": executed,
+            "passes_per_query": executed / len(queries),
+            "p50_ms": shared_p50 * 1e3,
+            "p99_ms": shared_p99 * 1e3,
+            "total_s": float(shared_times.sum()),
+            "plan_cache_hits": cache.hits,
+            "plan_cache_misses": cache.misses,
+        },
+        "pass_ratio": pass_ratio,
+        "bn_passes_saved_total": saved,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "join_inference_latency.json").write_text(
+        json.dumps(report, indent=2)
+    )
+
+    rows = [
+        [
+            "naive",
+            str(naive_passes),
+            f"{naive_passes / len(queries):.2f}",
+            f"{naive_p50 * 1e3:.3f}",
+            f"{naive_p99 * 1e3:.3f}",
+        ],
+        [
+            "shared",
+            str(executed),
+            f"{executed / len(queries):.2f}",
+            f"{shared_p50 * 1e3:.3f}",
+            f"{shared_p99 * 1e3:.3f}",
+        ],
+    ]
+    record_table(
+        "join_inference_latency",
+        render_grid(
+            f"Join inference: {pass_ratio:.1f}x fewer BN passes "
+            f"({len(queries)} queries, bit-identical estimates)",
+            ["path", "bn passes", "passes/query", "p50 ms", "p99 ms"],
+            rows,
+        ),
+    )

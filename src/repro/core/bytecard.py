@@ -73,6 +73,9 @@ class ByteCard(CountEstimator, NdvEstimator):
         # Serving state, assembled by refresh().
         self._factorjoin: FactorJoinEstimator | None = None
         self._rbx: RBXNdvEstimator | None = None
+        # Cross-query shared-belief plan cache; installed by the serving
+        # tier, re-threaded into every FactorJoin rebuild by refresh().
+        self._plan_cache = None
         self.fallback_tables: set[str] = set()
         self.monitor_reports: list[MonitorReport] = []
         self._rbx_samples = {
@@ -179,7 +182,11 @@ class ByteCard(CountEstimator, NdvEstimator):
         if models:
             bucketizer = self.preprocessor.build_join_buckets()
             self._factorjoin = FactorJoinEstimator(
-                self.catalog, models, bucketizer
+                self.catalog,
+                models,
+                bucketizer,
+                metrics=self.obs,
+                plan_cache=self._plan_cache,
             )
         universal = self.loader.get("rbx", "universal")
         if isinstance(universal, RBXInferenceEngine) and universal.network is not None:
@@ -313,16 +320,49 @@ class ByteCard(CountEstimator, NdvEstimator):
             return self._traditional_count.estimate_count(query)
         return self._factorjoin.estimate_count(query)
 
+    #: join COUNT batches route through FactorJoin's shared-plan path
+    supports_join_batching = True
+
+    def install_plan_cache(self, cache) -> None:
+        """Install the serving tier's cross-query plan-artifact cache.
+
+        Kept on the facade (not just the current FactorJoin instance)
+        because :meth:`refresh` rebuilds the estimator: the cache must
+        survive model swaps, with staleness handled by its generations.
+        """
+        self._plan_cache = cache
+        if self._factorjoin is not None:
+            self._factorjoin.install_plan_cache(cache)
+
+    @property
+    def last_pass_stats(self):
+        """Pass accounting of this thread's last join estimate (or None)."""
+        if self._factorjoin is None:
+            return None
+        return self._factorjoin.last_pass_stats
+
     def estimate_count_batch(
         self, table: str, queries: list[CardQuery]
     ) -> list[float]:
-        """Batched single-table COUNT estimates (the micro-batcher's hook)."""
-        if (
-            self._factorjoin is None
-            or table in self.fallback_tables
-            or table not in self._factorjoin.models
+        """Batched COUNT estimates (the micro-batcher's hook).
+
+        ``table`` is the micro-batch key: a table name for single-table
+        batches, the batcher's synthetic join key otherwise.  Any query
+        touching a gated or unmodeled table sends the whole batch to the
+        traditional estimator, mirroring :meth:`estimate_count`.
+        """
+        if self._factorjoin is None:
+            return [self._traditional_count.estimate_count(q) for q in queries]
+        tables: set[str] = set()
+        for query in queries:
+            tables.update(query.tables)
+        if any(
+            t in self.fallback_tables or t not in self._factorjoin.models
+            for t in tables
         ):
             return [self._traditional_count.estimate_count(q) for q in queries]
+        if any(not query.is_single_table() for query in queries):
+            return self._factorjoin.estimate_join_batch(queries)
         return self._factorjoin.estimate_count_batch(table, queries)
 
     def selectivity(self, query: CardQuery) -> float:

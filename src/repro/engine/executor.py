@@ -49,6 +49,10 @@ class QueryResult:
     aggregation: AggregationResult | None
     #: wall-clock seconds per execution stage (scan / join / aggregate)
     stage_timings: dict[str, float] = field(default_factory=dict)
+    #: per-decision estimate provenance carried over from the plan (how the
+    #: optimizer's estimates were produced, incl. actual vs. saved BN
+    #: inference pass counts from shared-belief plans)
+    estimate_provenance: dict[str, dict[str, int]] = field(default_factory=dict)
 
     @property
     def total_cost(self) -> float:
@@ -154,6 +158,10 @@ class Executor:
             scans=scans,
             aggregation=aggregation,
             stage_timings=stage_timings,
+            estimate_provenance={
+                decision: dict(sources)
+                for decision, sources in plan.decision_provenance.items()
+            },
         )
 
     # ------------------------------------------------------------------

@@ -119,6 +119,16 @@ def explain_result(result: QueryResult) -> str:
             for stage, seconds in result.stage_timings.items()
         )
         lines.append(f"  stage timings: {rendered}")
+    if result.estimate_provenance:
+        lines.append("  estimates:")
+        for decision in sorted(result.estimate_provenance):
+            rendered = ", ".join(
+                f"{source} x{count}"
+                for source, count in sorted(
+                    result.estimate_provenance[decision].items()
+                )
+            )
+            lines.append(f"    {decision}: {rendered}")
     lines.append(
         "  cost: "
         f"estimation={result.estimation_cost:.2f} "

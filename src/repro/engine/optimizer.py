@@ -142,10 +142,26 @@ class Optimizer:
             ).observe(elapsed)
 
     def _note_provenance(
-        self, plan: PhysicalPlan, decision: str, source: str
+        self, plan: PhysicalPlan, decision: str, source: str, count: int = 1
     ) -> None:
+        if count <= 0:
+            return
         bucket = plan.decision_provenance.setdefault(decision, {})
-        bucket[source] = bucket.get(source, 0) + 1
+        bucket[source] = bucket.get(source, 0) + count
+
+    def _note_pass_counts(self, plan: PhysicalPlan, decision: str) -> None:
+        """Record the estimator's actual BN pass accounting, when exposed.
+
+        Shared-belief estimators (FactorJoin/ByteCard) publish a per-thread
+        ``last_pass_stats`` after each join estimate; folding it into the
+        decision provenance makes ``explain_result`` show how many inference
+        passes each decision really ran vs. what the naive path would have.
+        """
+        stats = getattr(self.count_estimator, "last_pass_stats", None)
+        if stats is None:
+            return
+        self._note_provenance(plan, decision, "bn_pass", stats.executed)
+        self._note_provenance(plan, decision, "bn_pass_saved", stats.saved)
 
     def _selectivity_with_provenance(
         self, plan: PhysicalPlan, decision: str, subquery: CardQuery
@@ -157,6 +173,7 @@ class Optimizer:
             return float(value)
         value = float(self.count_estimator.selectivity(subquery))
         self._note_provenance(plan, decision, "direct")
+        self._note_pass_counts(plan, decision)
         return value
 
     def _estimate_count_with_provenance(
@@ -169,6 +186,7 @@ class Optimizer:
             return float(detail.value)
         value = float(self.count_estimator.estimate_count(subquery))
         self._note_provenance(plan, decision, "direct")
+        self._note_pass_counts(plan, decision)
         return value
 
     def _charge(self, plan: PhysicalPlan, subquery: CardQuery) -> None:

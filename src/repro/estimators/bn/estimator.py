@@ -9,6 +9,7 @@ formats before calculating selectivities".
 from __future__ import annotations
 
 from itertools import combinations
+from typing import Callable
 
 from repro.errors import EstimationError
 from repro.estimators.base import CountEstimator
@@ -56,17 +57,7 @@ class BNCountEstimator(CountEstimator):
         """Selectivity of all predicates (incl. OR-groups) on ``table``."""
         model = self.model_for(table)
         base = [p for p in query.predicates if p.table == table]
-        groups = [
-            [p for p in group if p.table == table]
-            for group in query.or_groups
-            if any(p.table == table for p in group)
-        ]
-        for group in query.or_groups:
-            tables_in_group = {p.table for p in group}
-            if table in tables_in_group and tables_in_group != {table}:
-                raise EstimationError(
-                    "OR-groups spanning multiple tables are not supported"
-                )
+        groups = table_or_groups(query, table)
         return _selectivity_with_or_groups(model, base, groups)
 
     def selectivity(self, query: CardQuery) -> float:
@@ -125,10 +116,28 @@ class BNCountEstimator(CountEstimator):
         return sum(model.nbytes for model in self.models.values())
 
 
+def table_or_groups(
+    query: CardQuery, table: str
+) -> list[list[TablePredicate]]:
+    """``table``'s OR-groups, validating that no group spans tables."""
+    for group in query.or_groups:
+        tables_in_group = {p.table for p in group}
+        if table in tables_in_group and tables_in_group != {table}:
+            raise EstimationError(
+                "OR-groups spanning multiple tables are not supported"
+            )
+    return [
+        [p for p in group if p.table == table]
+        for group in query.or_groups
+        if any(p.table == table for p in group)
+    ]
+
+
 def _selectivity_with_or_groups(
     model: TreeBayesNet,
     base: list[TablePredicate],
     groups: list[list[TablePredicate]],
+    selectivity_fn: Callable[[list[TablePredicate]], float] | None = None,
 ) -> float:
     """Inclusion-exclusion over OR-groups, evaluated by the BN.
 
@@ -136,9 +145,16 @@ def _selectivity_with_or_groups(
     terms; each conjunctive term is one BN selectivity call.  The expansion
     is exponential in the number of OR-groups, which is fine for the 1-2
     groups real queries carry (the paper applies the same transform).
+
+    ``selectivity_fn`` substitutes the per-term evaluator -- shared-belief
+    inference plans inject a memoizing wrapper here so each distinct
+    conjunctive term is inferred at most once per plan, while the expansion
+    structure (term order, per-level clipping) stays exactly the naive one.
     """
+    if selectivity_fn is None:
+        selectivity_fn = model.selectivity
     if not groups:
-        return model.selectivity(base)
+        return selectivity_fn(base)
     total = 0.0
     first, rest = groups[0], groups[1:]
     # Inclusion-exclusion over the members of the first group, recursing
@@ -147,6 +163,20 @@ def _selectivity_with_or_groups(
         sign = (-1.0) ** (size + 1)
         for subset in combinations(first, size):
             total += sign * _selectivity_with_or_groups(
-                model, base + list(subset), rest
+                model, base + list(subset), rest, selectivity_fn
             )
     return float(min(max(total, 0.0), 1.0))
+
+
+def or_expansion_terms(groups: list[list[TablePredicate]]) -> int:
+    """Conjunctive terms (BN passes) the inclusion-exclusion expansion costs.
+
+    One per non-empty member subset of each group, multiplied across groups;
+    zero when there are no groups (the AND-only pass is counted separately).
+    """
+    if not groups:
+        return 0
+    terms = 1
+    for group in groups:
+        terms *= (1 << len(group)) - 1
+    return terms

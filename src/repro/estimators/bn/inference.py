@@ -16,6 +16,13 @@ Inference is the standard two-pass sum-product on a tree:
 
 The probability of the evidence -- the query's selectivity -- is the root's
 belief total.
+
+Both passes also come in batched form (``selectivity_batch`` /
+``beliefs_batch``): evidence vectors become ``(bins, B)`` matrices, one
+column per query, and the tree messages become matrix products, so the
+Python/dispatch overhead of variable elimination is paid once for the whole
+batch.  The downward pass combines sibling messages with prefix/suffix
+running products, keeping it linear in the number of children.
 """
 
 from __future__ import annotations
@@ -110,37 +117,112 @@ class BNInferenceContext:
                     f"expected ({self.bin_count(node)},)"
                 )
 
-    # ------------------------------------------------------------------
-    def _upward(self, evidence: Sequence[np.ndarray]) -> list[np.ndarray]:
-        """Messages to parents, computed leaves-first.
+    def _check_evidence_batch(self, evidence: Sequence[np.ndarray]) -> int:
+        if len(evidence) != self.num_nodes:
+            raise ModelError(
+                f"expected {self.num_nodes} evidence matrices, got {len(evidence)}"
+            )
+        batch = evidence[0].shape[1] if evidence else 0
+        for node, mat in enumerate(evidence):
+            if mat.ndim != 2 or mat.shape != (self.bin_count(node), batch):
+                raise ModelError(
+                    f"evidence for node {node} has shape {mat.shape}, "
+                    f"expected ({self.bin_count(node)}, {batch})"
+                )
+        return batch
 
-        ``messages[i]`` is ``m_i`` over the *parent's* bins (unused for the
-        root slot).
+    # ------------------------------------------------------------------
+    def _sweep_up(
+        self, evidence: Sequence[np.ndarray]
+    ) -> tuple[list[np.ndarray | None], list[np.ndarray]]:
+        """Upward messages and combined local factors, leaves-first.
+
+        ``up[i]`` is node ``i``'s message over the *parent's* bins (``None``
+        for the root); ``local[i]`` is ``e_i * prod_j m_j`` over ``i``'s own
+        bins.  Childless nodes alias their (float64) evidence directly --
+        nothing downstream writes into a local factor, so the copy the old
+        implementation made per node is pure overhead.  Works unchanged on
+        ``(bins,)`` vectors and ``(bins, B)`` batch matrices.
         """
-        messages: list[np.ndarray | None] = [None] * self.num_nodes
-        partials: list[np.ndarray | None] = [None] * self.num_nodes
+        up: list[np.ndarray | None] = [None] * self.num_nodes
+        local: list[np.ndarray] = [np.empty(0)] * self.num_nodes
         for node in self.order[::-1]:
             node = int(node)
-            local = evidence[node].astype(np.float64, copy=True)
+            vec = evidence[node]
+            combined: np.ndarray | None = None
             for child in self.children[node]:
-                message = messages[child]
+                message = up[child]
                 assert message is not None
-                local *= message
-            partials[node] = local
+                if combined is None:
+                    combined = vec * message
+                else:
+                    combined *= message
+            if combined is None:
+                combined = (
+                    vec if vec.dtype == np.float64 else vec.astype(np.float64)
+                )
+            local[node] = combined
             parent = int(self.parents[node])
             if parent >= 0:
-                messages[node] = self.cpds[node] @ local
-        # Stash the root's combined local factor in its message slot.
-        root_local = partials[self.root]
-        assert root_local is not None
-        messages[self.root] = root_local
-        return [m if m is not None else np.ones(1) for m in messages]
+                up[node] = self.cpds[node] @ combined
+        return up, local
 
+    def _sweep_down(
+        self,
+        up: list[np.ndarray | None],
+        local: list[np.ndarray],
+        evidence: Sequence[np.ndarray],
+        batched: bool,
+    ) -> list[np.ndarray]:
+        """Per-node beliefs from the root-to-leaves pass.
+
+        Sibling messages are combined with prefix/suffix running products,
+        so a node with ``k`` children costs ``O(k)`` vector multiplies
+        instead of the ``O(k^2)`` of the naive all-but-one loop.
+        """
+        down: list[np.ndarray] = [np.empty(0)] * self.num_nodes
+        beliefs: list[np.ndarray] = [np.empty(0)] * self.num_nodes
+        root_cpd = self.cpds[self.root]
+        down[self.root] = root_cpd[:, None] if batched else root_cpd
+        beliefs[self.root] = down[self.root] * local[self.root]
+        for node in self.order:
+            node = int(node)
+            kids = self.children[node]
+            if not kids:
+                continue
+            # Everything at the node except each child's own message.
+            base = down[node] * evidence[node]
+            messages = [up[child] for child in kids]
+            prefixes: list[np.ndarray | None] = [None] * len(kids)
+            acc: np.ndarray | None = None
+            for i, message in enumerate(messages):
+                prefixes[i] = acc
+                assert message is not None
+                acc = message if acc is None else acc * message
+            suffix: np.ndarray | None = None
+            for i in range(len(kids) - 1, -1, -1):
+                context_vec = base
+                if prefixes[i] is not None:
+                    context_vec = context_vec * prefixes[i]
+                if suffix is not None:
+                    context_vec = context_vec * suffix
+                child = kids[i]
+                if batched:
+                    down[child] = self.cpds[child].T @ context_vec
+                else:
+                    down[child] = context_vec @ self.cpds[child]
+                beliefs[child] = down[child] * local[child]
+                message = messages[i]
+                assert message is not None
+                suffix = message if suffix is None else message * suffix
+        return beliefs
+
+    # ------------------------------------------------------------------
     def selectivity(self, evidence: Sequence[np.ndarray]) -> float:
         """P(evidence): the fraction of rows satisfying all evidence."""
         self._check_evidence(evidence)
-        messages = self._upward(evidence)
-        root_belief = self.cpds[self.root] * messages[self.root]
+        _up, local = self._sweep_up(evidence)
+        root_belief = self.cpds[self.root] * local[self.root]
         return float(np.clip(root_belief.sum(), 0.0, 1.0))
 
     def selectivity_batch(self, evidence: Sequence[np.ndarray]) -> np.ndarray:
@@ -153,33 +235,9 @@ class BNInferenceContext:
         paid once for the batch -- this is what the serving tier's
         micro-batcher amortizes.  Returns a ``(B,)`` selectivity vector.
         """
-        if len(evidence) != self.num_nodes:
-            raise ModelError(
-                f"expected {self.num_nodes} evidence matrices, got {len(evidence)}"
-            )
-        batch = evidence[0].shape[1] if evidence else 0
-        for node, mat in enumerate(evidence):
-            if mat.ndim != 2 or mat.shape != (self.bin_count(node), batch):
-                raise ModelError(
-                    f"evidence for node {node} has shape {mat.shape}, "
-                    f"expected ({self.bin_count(node)}, {batch})"
-                )
-        messages: list[np.ndarray | None] = [None] * self.num_nodes
-        for node in self.order[::-1]:
-            node = int(node)
-            local = evidence[node].astype(np.float64, copy=True)
-            for child in self.children[node]:
-                message = messages[child]
-                assert message is not None
-                local *= message
-            parent = int(self.parents[node])
-            if parent >= 0:
-                messages[node] = self.cpds[node] @ local
-            else:
-                messages[node] = local
-        root_local = messages[self.root]
-        assert root_local is not None
-        root_belief = self.cpds[self.root][:, None] * root_local
+        self._check_evidence_batch(evidence)
+        _up, local = self._sweep_up(evidence)
+        root_belief = self.cpds[self.root][:, None] * local[self.root]
         return np.clip(root_belief.sum(axis=0), 0.0, 1.0)
 
     def beliefs(
@@ -187,38 +245,28 @@ class BNInferenceContext:
     ) -> tuple[list[np.ndarray], float]:
         """Joint vectors ``b_i(c) = P(i = c, evidence)`` plus P(evidence)."""
         self._check_evidence(evidence)
-        up: list[np.ndarray | None] = [None] * self.num_nodes
-        local: list[np.ndarray] = [np.empty(0)] * self.num_nodes
-        for node in self.order[::-1]:
-            node = int(node)
-            combined = evidence[node].astype(np.float64, copy=True)
-            for child in self.children[node]:
-                message = up[child]
-                assert message is not None
-                combined *= message
-            local[node] = combined
-            parent = int(self.parents[node])
-            if parent >= 0:
-                up[node] = self.cpds[node] @ combined
-
-        down: list[np.ndarray] = [np.empty(0)] * self.num_nodes
-        down[self.root] = self.cpds[self.root].copy()
-        beliefs: list[np.ndarray] = [np.empty(0)] * self.num_nodes
-        beliefs[self.root] = down[self.root] * local[self.root]
+        up, local = self._sweep_up(evidence)
+        beliefs = self._sweep_down(up, local, evidence, batched=False)
         probability = float(np.clip(beliefs[self.root].sum(), 0.0, 1.0))
-        for node in self.order:
-            node = int(node)
-            for child in self.children[node]:
-                # Everything at the parent except the child's own message.
-                context_vec = down[node] * evidence[node]
-                for sibling in self.children[node]:
-                    if sibling != child:
-                        sibling_msg = up[sibling]
-                        assert sibling_msg is not None
-                        context_vec = context_vec * sibling_msg
-                down[child] = context_vec @ self.cpds[child]
-                beliefs[child] = down[child] * local[child]
         return beliefs, probability
+
+    def beliefs_batch(
+        self, evidence: Sequence[np.ndarray]
+    ) -> tuple[list[np.ndarray], np.ndarray]:
+        """Per-node joint matrices plus the P(evidence) vector for a batch.
+
+        ``evidence[i]`` has shape ``(bins_i, B)``; the result's ``i``-th
+        entry has the same shape, column ``b`` holding what
+        :meth:`beliefs` would return for query ``b`` alone.  One batched
+        two-pass sum-product replaces ``B`` scalar ones -- the join-query
+        analogue of :meth:`selectivity_batch`, feeding the shared-belief
+        inference plans of the FactorJoin path.
+        """
+        self._check_evidence_batch(evidence)
+        up, local = self._sweep_up(evidence)
+        beliefs = self._sweep_down(up, local, evidence, batched=True)
+        probabilities = np.clip(beliefs[self.root].sum(axis=0), 0.0, 1.0)
+        return beliefs, probabilities
 
     def marginal_with_evidence(
         self, node: int, evidence: Sequence[np.ndarray]

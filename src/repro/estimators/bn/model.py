@@ -85,19 +85,12 @@ class TreeBayesNet:
             return 1.0
         return context.selectivity(self.evidence_for(predicates))
 
-    def selectivity_batch(
+    def stacked_evidence_for(
         self, predicate_lists: list[list[TablePredicate]]
-    ) -> np.ndarray:
-        """P(all predicates) for many conjunctions in one inference pass.
-
-        Evidence columns of the whole batch are stacked per node so the
-        sum-product runs once with matrix messages; see
-        :meth:`BNInferenceContext.selectivity_batch`.
-        """
+    ) -> list[np.ndarray]:
+        """Per-node ``(bins, B)`` evidence matrices, one column per query."""
         context = self.init_context()
         batch = len(predicate_lists)
-        if batch == 0:
-            return np.empty(0)
         stacked = [
             np.ones((context.bin_count(i), batch))
             for i in range(len(self.columns))
@@ -113,7 +106,49 @@ class TreeBayesNet:
                 stacked[index][:, b] *= self.discretizers[pred.column].evidence(
                     pred
                 )
-        return context.selectivity_batch(stacked)
+        return stacked
+
+    def selectivity_batch(
+        self, predicate_lists: list[list[TablePredicate]]
+    ) -> np.ndarray:
+        """P(all predicates) for many conjunctions in one inference pass.
+
+        Evidence columns of the whole batch are stacked per node so the
+        sum-product runs once with matrix messages; see
+        :meth:`BNInferenceContext.selectivity_batch`.
+        """
+        context = self.init_context()
+        if not predicate_lists:
+            return np.empty(0)
+        return context.selectivity_batch(
+            self.stacked_evidence_for(predicate_lists)
+        )
+
+    def beliefs_for(
+        self, predicates: list[TablePredicate]
+    ) -> tuple[list[np.ndarray], float]:
+        """All per-column joint vectors plus P(predicates) in ONE pass.
+
+        ``beliefs[i][c] = P(column_i in bin c, predicates)`` and the float is
+        the conjunction's selectivity (the root belief total).  This is the
+        primitive behind shared-belief inference plans: every join-key
+        :meth:`distribution` and the local selectivity of one (table,
+        predicates) scope come out of a single two-pass sum-product.
+        """
+        context = self.init_context()
+        return context.beliefs(self.evidence_for(predicates))
+
+    def beliefs_batch(
+        self, predicate_lists: list[list[TablePredicate]]
+    ) -> tuple[list[np.ndarray], np.ndarray]:
+        """Batched :meth:`beliefs_for`: column ``b`` of each ``(bins, B)``
+        matrix holds the beliefs of ``predicate_lists[b]``."""
+        context = self.init_context()
+        if not predicate_lists:
+            return [], np.empty(0)
+        return context.beliefs_batch(
+            self.stacked_evidence_for(predicate_lists)
+        )
 
     def estimate_rows_batch(
         self, predicate_lists: list[list[TablePredicate]]

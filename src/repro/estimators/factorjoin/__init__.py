@@ -11,16 +11,32 @@ single-table models, which is the property Table 3 demonstrates.
 """
 
 from repro.estimators.factorjoin.buckets import JoinBucketizer, JoinKeyClass
-from repro.estimators.factorjoin.estimator import FactorJoinEstimator
+from repro.estimators.factorjoin.estimator import (
+    SELECTIVITY_FLOOR,
+    FactorJoinEstimator,
+)
 from repro.estimators.factorjoin.dimension_reduction import (
     join_key_tree,
     pairwise_bucket_joint,
+)
+from repro.estimators.factorjoin.plans import (
+    PassStats,
+    PlanArtifactSource,
+    PlanArtifacts,
+    QueryInferencePlans,
+    TableInferencePlan,
 )
 
 __all__ = [
     "JoinBucketizer",
     "JoinKeyClass",
     "FactorJoinEstimator",
+    "SELECTIVITY_FLOOR",
+    "PassStats",
+    "PlanArtifacts",
+    "PlanArtifactSource",
+    "QueryInferencePlans",
+    "TableInferencePlan",
     "join_key_tree",
     "pairwise_bucket_joint",
 ]

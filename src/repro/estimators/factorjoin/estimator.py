@@ -14,20 +14,51 @@ Two inference modes are provided:
   Q-Error experiments use;
 * ``bound``: replaces per-bucket mean multiplicities with per-bucket maximum
   frequencies, giving the upper-bound flavour of the original paper.
+
+Join queries run through **shared-belief inference plans**
+(:mod:`repro.estimators.factorjoin.plans`): one two-pass ``beliefs()``
+variable elimination per (table, predicate set) serves every join-key
+distribution, the local selectivity, and the OR-group correction of that
+scope -- bit-identical to the naive one-pass-per-call-site path, which is
+kept available as :meth:`estimate_count_unshared` for verification and
+benchmarking.
 """
 
 from __future__ import annotations
+
+import threading
+import time
 
 import numpy as np
 
 from repro.errors import EstimationError
 from repro.estimators.base import CountEstimator
-from repro.estimators.bn.estimator import BNCountEstimator, _selectivity_with_or_groups
+from repro.estimators.bn.estimator import (
+    BNCountEstimator,
+    _selectivity_with_or_groups,
+    or_expansion_terms,
+    table_or_groups,
+)
 from repro.estimators.bn.model import TreeBayesNet, fit_tree_bn
 from repro.estimators.factorjoin.buckets import JoinBucketizer
+from repro.estimators.factorjoin.plans import (
+    ArtifactSource,
+    PassStats,
+    PlanArtifactSource,
+    QueryInferencePlans,
+)
 from repro.estimators.jointree import JoinTree, build_join_tree
+from repro.obs.metrics import MetricsRegistry
 from repro.sql.query import CardQuery, JoinCondition, TablePredicate
 from repro.storage.catalog import Catalog
+
+#: Floor applied to local selectivities before they are used as divisors
+#: when conditioning a join-key distribution.  One constant for both
+#: ``_subtree_weights`` and ``_root_estimate`` (they used to disagree:
+#: 1e-12 vs 0.0, the latter relying on IEEE inf propagation for empty
+#: filters).  BN selectivities are already clipped to [0, 1], so flooring
+#: only at the division sites leaves all other arithmetic untouched.
+SELECTIVITY_FLOOR = 1e-12
 
 
 class FactorJoinEstimator(CountEstimator):
@@ -40,12 +71,17 @@ class FactorJoinEstimator(CountEstimator):
 
     name = "bytecard"
 
+    #: join COUNT queries sharing a table set may be micro-batched
+    supports_join_batching = True
+
     def __init__(
         self,
         catalog: Catalog,
         models: dict[str, TreeBayesNet],
         bucketizer: JoinBucketizer,
         mode: str = "expected",
+        metrics: MetricsRegistry | None = None,
+        plan_cache: ArtifactSource | None = None,
     ):
         if mode not in ("expected", "bound"):
             raise ValueError(f"unknown inference mode {mode!r}")
@@ -54,6 +90,16 @@ class FactorJoinEstimator(CountEstimator):
         self.bucketizer = bucketizer
         self.mode = mode
         self._bn = BNCountEstimator(models)
+        self.metrics = metrics if metrics is not None else MetricsRegistry(enabled=False)
+        #: cross-query (table, predicate-fingerprint) artifact store; the
+        #: serving tier installs its generation-invalidated cache here
+        self.plan_cache = plan_cache
+        self._local = threading.local()
+        if self.metrics.enabled:
+            # Pre-register so dashboards (and pass-ratio deltas) see zeros
+            # before the first join estimate rather than missing series.
+            self.metrics.counter("bn_passes_total")
+            self.metrics.counter("bn_passes_saved_total")
 
     # ------------------------------------------------------------------
     @classmethod
@@ -65,6 +111,7 @@ class FactorJoinEstimator(CountEstimator):
         max_bins: int = 64,
         sample_rows: int | None = None,
         mode: str = "expected",
+        metrics: MetricsRegistry | None = None,
     ) -> "FactorJoinEstimator":
         """Offline phase: build join buckets, then per-table BNs.
 
@@ -92,7 +139,7 @@ class FactorJoinEstimator(CountEstimator):
                 bucket_edges=bucket_edges,
                 sample_rows=sample_rows,
             )
-        return cls(catalog, models, bucketizer, mode=mode)
+        return cls(catalog, models, bucketizer, mode=mode, metrics=metrics)
 
     # ------------------------------------------------------------------
     def model_for(self, table: str) -> TreeBayesNet:
@@ -101,28 +148,167 @@ class FactorJoinEstimator(CountEstimator):
         except KeyError:
             raise EstimationError(f"no model for table {table!r}") from None
 
+    def install_plan_cache(self, cache: ArtifactSource | None) -> None:
+        """Install (or clear) the cross-query plan artifact cache."""
+        self.plan_cache = cache
+
+    @property
+    def last_pass_stats(self) -> PassStats | None:
+        """Pass accounting of this thread's most recent join estimate."""
+        return getattr(self._local, "last_stats", None)
+
+    def _record_pass_stats(self, stats: PassStats | None) -> None:
+        self._local.last_stats = stats
+        if stats is None:
+            return
+        if stats.executed:
+            self.metrics.counter("bn_passes_total").inc(stats.executed)
+        if stats.saved:
+            self.metrics.counter("bn_passes_saved_total").inc(stats.saved)
+
     def selectivity(self, query: CardQuery) -> float:
         if not query.is_single_table():
             raise EstimationError("selectivity() is defined for single tables")
+        self._local.last_stats = None
         return self._bn.table_selectivity(query, query.tables[0])
 
     def estimate_count(self, query: CardQuery) -> float:
         if query.is_single_table():
+            self._local.last_stats = None
+            return self._bn.estimate_count(query)
+        plans = QueryInferencePlans(
+            self.model_for, query, source=self.plan_cache
+        )
+        estimate = self._estimate_join(query, plans)
+        self._record_pass_stats(plans.stats)
+        return estimate
+
+    def estimate_count_unshared(self, query: CardQuery) -> float:
+        """The naive one-pass-per-call-site path, kept verbatim.
+
+        Exists so tests and ``bench_join_inference_latency`` can verify the
+        shared-plan path is bit-identical and measure what it saves.
+        """
+        if query.is_single_table():
             return self._bn.estimate_count(query)
         tree = build_join_tree(query)
         root = query.tables[0]
-        total = self._root_estimate(query, tree, root)
+        total = self._root_estimate(query, tree, root, None)
         return float(max(total, 0.0))
+
+    def naive_pass_count(self, query: CardQuery) -> int:
+        """BN passes :meth:`estimate_count_unshared` runs for ``query``."""
+        if query.is_single_table():
+            table = query.tables[0]
+            groups = table_or_groups(query, table)
+            if groups:
+                return or_expansion_terms(groups)
+            return 1 if any(p.table == table for p in query.predicates) else 0
+        plans = QueryInferencePlans(self.model_for, query)
+        self._root_estimate(query, build_join_tree(query), query.tables[0], plans)
+        return plans.stats.requested
 
     def estimate_count_batch(
         self, table: str, queries: list[CardQuery]
     ) -> list[float]:
-        """Batched single-table COUNT estimation against one table's BN."""
+        """Batched COUNT estimation for one micro-batch key.
+
+        Single-table batches go straight to the table's BN; join batches
+        (the micro-batcher keys them on the sorted table set) run through
+        :meth:`estimate_join_batch` so their plans share belief passes.
+        """
+        if any(not query.is_single_table() for query in queries):
+            return self.estimate_join_batch(queries)
         return self._bn.estimate_count_batch(table, queries)
 
+    def estimate_join_batch(self, queries: list[CardQuery]) -> list[float]:
+        """Estimate a batch of join COUNT queries with shared plans.
+
+        All queries share one artifact source, so identical (table,
+        predicates) scopes are inferred once for the whole batch; tables
+        with two or more distinct pending scopes are primed by a single
+        batched ``beliefs_batch`` pass.  Results align with input order.
+        """
+        if not queries:
+            return []
+        stats = PassStats()
+        source: ArtifactSource = (
+            self.plan_cache if self.plan_cache is not None else PlanArtifactSource()
+        )
+        plans_list: list[QueryInferencePlans | None] = [
+            None
+            if query.is_single_table()
+            else QueryInferencePlans(
+                self.model_for, query, source=source, stats=stats
+            )
+            for query in queries
+        ]
+        self._prime_batched_beliefs(plans_list, stats)
+        results: list[float] = []
+        for query, plans in zip(queries, plans_list):
+            if plans is None:
+                results.append(self._bn.estimate_count(query))
+            else:
+                results.append(self._estimate_join(query, plans))
+        self._record_pass_stats(stats)
+        return results
+
+    def _prime_batched_beliefs(
+        self,
+        plans_list: list[QueryInferencePlans | None],
+        stats: PassStats,
+    ) -> None:
+        """Run one ``beliefs_batch`` per table covering >= 2 pending scopes."""
+        pending: dict[str, dict[int, tuple]] = {}
+        for plans in plans_list:
+            if plans is None:
+                continue
+            for table in plans.query.tables:
+                plan = plans.plan_for(table)
+                if plan.artifacts.beliefs is None:
+                    pending.setdefault(table, {})[id(plan.artifacts)] = (
+                        plan.artifacts,
+                        plan.base,
+                    )
+        for table, scopes in pending.items():
+            if len(scopes) < 2:
+                continue  # a lone scope gains nothing from a batched pass
+            entries = list(scopes.values())
+            bases = [base for _artifacts, base in entries]
+            node_beliefs, probabilities = self.model_for(table).beliefs_batch(
+                bases
+            )
+            stats.executed += 1
+            for column, (artifacts, _base) in enumerate(entries):
+                with artifacts.lock:
+                    if artifacts.beliefs is None:
+                        artifacts.probability = float(probabilities[column])
+                        artifacts.beliefs = [
+                            np.ascontiguousarray(matrix[:, column])
+                            for matrix in node_beliefs
+                        ]
+
+    def _estimate_join(
+        self, query: CardQuery, plans: QueryInferencePlans
+    ) -> float:
+        start = time.perf_counter()
+        tree = build_join_tree(query)
+        root = query.tables[0]
+        total = self._root_estimate(query, tree, root, plans)
+        self.metrics.histogram("bn_join_inference_seconds").observe(
+            time.perf_counter() - start
+        )
+        return float(max(total, 0.0))
+
     def estimation_overhead(self, query: CardQuery) -> float:
-        # One BN message pass per table plus per-join bucket-vector algebra.
-        return 0.05 * len(query.tables) + 0.02 * len(query.joins)
+        # Shared-plan cost model: one beliefs pass per (table, predicates)
+        # scope, plus the extra inclusion-exclusion terms OR-groups add,
+        # plus per-join bucket-vector algebra.  Call-site counts no longer
+        # matter -- every consumer of a scope reads the same pass.
+        passes = len(query.tables)
+        for table in query.tables:
+            passes += or_expansion_terms(table_or_groups(query, table))
+        return 0.05 * passes + 0.01 * len(query.joins)
 
     @property
     def nbytes(self) -> int:
@@ -133,16 +319,31 @@ class FactorJoinEstimator(CountEstimator):
     # Factor-graph propagation
     # ------------------------------------------------------------------
     def _filtered_distribution(
-        self, query: CardQuery, table: str, column: str
+        self,
+        query: CardQuery,
+        table: str,
+        column: str,
+        plans: QueryInferencePlans | None,
     ) -> np.ndarray:
         """``P(column in bucket AND local predicates)`` via the table's BN."""
+        if plans is not None:
+            plan = plans.plan_for(table)
+            distribution = plan.distribution(column)
+            factor = plan.or_factor()
+            if factor != 1.0:
+                distribution = distribution * factor
+            return np.maximum(distribution, 0.0)
         model = self.model_for(table)
         predicates = [p for p in query.predicates if p.table == table]
         distribution = model.distribution(column, predicates)
         distribution = distribution * self._or_group_factor(query, table, predicates)
         return np.maximum(distribution, 0.0)
 
-    def _local_selectivity(self, query: CardQuery, table: str) -> float:
+    def _local_selectivity(
+        self, query: CardQuery, table: str, plans: QueryInferencePlans | None
+    ) -> float:
+        if plans is not None:
+            return plans.plan_for(table).table_selectivity()
         return self._bn.table_selectivity(query, table)
 
     def _or_group_factor(
@@ -154,11 +355,7 @@ class FactorJoinEstimator(CountEstimator):
         OR-groups scale it by their conditional selectivity (assumed
         independent of the join key's bucket).
         """
-        groups = [
-            [p for p in group if p.table == table]
-            for group in query.or_groups
-            if any(p.table == table for p in group)
-        ]
+        groups = table_or_groups(query, table)
         if not groups:
             return 1.0
         model = self.model_for(table)
@@ -174,18 +371,40 @@ class FactorJoinEstimator(CountEstimator):
         tree: JoinTree,
         table: str,
         parent_join: JoinCondition,
+        plans: QueryInferencePlans | None,
     ) -> np.ndarray:
         """Per-bucket tuple weights of ``table``'s subtree, keyed on the
         column joining ``table`` to its parent."""
+        if plans is not None:
+            return plans.subtree_weights(
+                table,
+                parent_join,
+                lambda: self._subtree_weights_impl(
+                    query, tree, table, parent_join, plans
+                ),
+            )
+        return self._subtree_weights_impl(query, tree, table, parent_join, None)
+
+    def _subtree_weights_impl(
+        self,
+        query: CardQuery,
+        tree: JoinTree,
+        table: str,
+        parent_join: JoinCondition,
+        plans: QueryInferencePlans | None,
+    ) -> np.ndarray:
         parent_column = parent_join.side_for(table)
         rows = len(self.catalog.table(table))
-        weights = rows * self._filtered_distribution(query, table, parent_column)
-        selectivity = max(self._local_selectivity(query, table), 1e-12)
+        weights = rows * self._filtered_distribution(
+            query, table, parent_column, plans
+        )
+        selectivity = max(
+            self._local_selectivity(query, table, plans), SELECTIVITY_FLOOR
+        )
 
         for child, join in tree[table]:
             own_column = join.side_for(table)
-            child_class = self.bucketizer.class_for(table, own_column)
-            child_weights = self._subtree_weights(query, tree, child, join)
+            child_weights = self._subtree_weights(query, tree, child, join, plans)
             multiplier = self._fanout_multiplier(child, join, child_weights)
             if own_column == parent_column:
                 weights = weights * multiplier
@@ -193,11 +412,12 @@ class FactorJoinEstimator(CountEstimator):
                 # Different join key: marginalize the multiplier over the
                 # key's filtered distribution (conditional independence of
                 # join keys given the filters -- FactorJoin's reduced form).
-                key_dist = self._filtered_distribution(query, table, own_column)
+                key_dist = self._filtered_distribution(
+                    query, table, own_column, plans
+                )
                 conditional = key_dist / selectivity
                 scalar = float(np.sum(conditional * multiplier))
                 weights = weights * scalar
-            del child_class
         return weights
 
     def _fanout_multiplier(
@@ -221,12 +441,16 @@ class FactorJoinEstimator(CountEstimator):
         )
 
     def _root_estimate(
-        self, query: CardQuery, tree: JoinTree, root: str
+        self,
+        query: CardQuery,
+        tree: JoinTree,
+        root: str,
+        plans: QueryInferencePlans | None,
     ) -> float:
         """Combine the root's children; bucket-wise over the dominant key."""
         children = tree[root]
         rows = len(self.catalog.table(root))
-        selectivity = max(self._local_selectivity(query, root), 0.0)
+        selectivity = self._local_selectivity(query, root, plans)
         if not children:
             return rows * selectivity
         # Group children by the root-side join column.
@@ -236,19 +460,23 @@ class FactorJoinEstimator(CountEstimator):
         # The column with the most children is handled bucket-wise; the rest
         # contribute scalar multipliers via their filtered distributions.
         keyed_column = max(by_column, key=lambda c: len(by_column[c]))
-        weights = rows * self._filtered_distribution(query, root, keyed_column)
-        local_selectivity = max(selectivity, 1e-12)
+        weights = rows * self._filtered_distribution(
+            query, root, keyed_column, plans
+        )
+        local_selectivity = max(selectivity, SELECTIVITY_FLOOR)
         for child, join in by_column[keyed_column]:
-            child_weights = self._subtree_weights(query, tree, child, join)
+            child_weights = self._subtree_weights(query, tree, child, join, plans)
             weights = weights * self._fanout_multiplier(child, join, child_weights)
         scalar = 1.0
         for column, group in by_column.items():
             if column == keyed_column:
                 continue
-            key_dist = self._filtered_distribution(query, root, column)
+            key_dist = self._filtered_distribution(query, root, column, plans)
             conditional = key_dist / local_selectivity
             for child, join in group:
-                child_weights = self._subtree_weights(query, tree, child, join)
+                child_weights = self._subtree_weights(
+                    query, tree, child, join, plans
+                )
                 multiplier = self._fanout_multiplier(child, join, child_weights)
                 scalar *= float(np.sum(conditional * multiplier))
         return float(weights.sum() * scalar)

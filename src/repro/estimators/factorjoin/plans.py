@@ -1,0 +1,309 @@
+"""Shared-belief inference plans: one BN pass per (table, predicates).
+
+The naive FactorJoin path re-runs a full two-pass ``beliefs()`` variable
+elimination for every ``_filtered_distribution`` call, again for
+``_local_selectivity``, and twice more per OR-group call site -- for the
+same table and the same predicate set within one query.  A single
+``beliefs()`` pass already yields *every* node's joint vector at once, so
+all of those consumers can be served from one pass per (table,
+AND-predicates) scope:
+
+* join-key filtered distributions, for every key the query touches;
+* the local AND selectivity (the root belief total comes free);
+* OR-group inclusion-exclusion terms, each inferred at most once per plan
+  instead of once per call site.
+
+:class:`TableInferencePlan` owns one such scope.  Its results live in a
+:class:`PlanArtifacts` container that can be shared across queries (via the
+serving tier's generation-invalidated plan cache) and across threads -- the
+container is lock-guarded and filled at most once.
+
+Bit-identity: the beliefs pass and the upward-only selectivity pass share
+one sweep implementation (:meth:`BNInferenceContext._sweep_up`), so the
+plan-served probability and every plan-served distribution are *bitwise*
+equal to what the naive per-call-site path produces.  The OR-group
+expansion reuses the naive recursion verbatim, only swapping the per-term
+evaluator for a memoizing one.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Hashable, Protocol
+
+import numpy as np
+
+from repro.estimators.bn.estimator import (
+    _selectivity_with_or_groups,
+    or_expansion_terms,
+    table_or_groups,
+)
+from repro.estimators.bn.model import TreeBayesNet
+from repro.sql.query import CardQuery, JoinCondition, TablePredicate
+
+
+class PassStats:
+    """BN inference passes requested (naive cost) vs actually executed."""
+
+    __slots__ = ("requested", "executed")
+
+    def __init__(self, requested: int = 0, executed: int = 0):
+        self.requested = requested
+        self.executed = executed
+
+    @property
+    def saved(self) -> int:
+        return max(0, self.requested - self.executed)
+
+    def snapshot(self) -> "PassStats":
+        return PassStats(self.requested, self.executed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PassStats(requested={self.requested}, executed={self.executed})"
+        )
+
+
+class PlanArtifacts:
+    """Fill-once results of one (table, base-predicates, OR-groups) scope.
+
+    Instances may be shared by many plans (cross-query cache hits) and many
+    threads; every field except ``lock`` is written under ``lock`` and only
+    transitions empty -> filled, so readers can check-then-lock cheaply.
+    """
+
+    __slots__ = (
+        "lock",
+        "beliefs",
+        "probability",
+        "terms",
+        "or_selectivity",
+        "or_term_count",
+    )
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        #: per-column joint vectors from the one beliefs pass (None = not run)
+        self.beliefs: list[np.ndarray] | None = None
+        #: P(base predicates) -- the root belief total of that same pass
+        self.probability: float = 0.0
+        #: memoized OR-expansion term selectivities keyed by predicate tuple
+        self.terms: dict[tuple[TablePredicate, ...], float] = {}
+        #: inclusion-exclusion result over the OR-groups (None = not run)
+        self.or_selectivity: float | None = None
+        #: conjunctive terms the expansion evaluated (for pass accounting)
+        self.or_term_count: int = 0
+
+
+def plan_key(
+    table: str,
+    base: list[TablePredicate],
+    or_groups: list[list[TablePredicate]],
+) -> Hashable:
+    """Exact-identity key of one plan scope (order-sensitive, hashable)."""
+    return (
+        table,
+        tuple(base),
+        tuple(tuple(group) for group in or_groups),
+    )
+
+
+class ArtifactSource(Protocol):
+    """Anything that can hand out shared artifacts for a plan scope."""
+
+    def artifacts_for(
+        self,
+        table: str,
+        base: list[TablePredicate],
+        or_groups: list[list[TablePredicate]],
+    ) -> PlanArtifacts: ...
+
+
+class PlanArtifactSource:
+    """Process-local artifact store with no invalidation.
+
+    Used to share plan scopes across the queries of one micro-batch; the
+    serving tier's :class:`~repro.serving.plan_cache.PlanDistributionCache`
+    is the cross-query, generation-invalidated variant of the same protocol.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._artifacts: dict[Hashable, PlanArtifacts] = {}
+
+    def artifacts_for(
+        self,
+        table: str,
+        base: list[TablePredicate],
+        or_groups: list[list[TablePredicate]],
+    ) -> PlanArtifacts:
+        key = plan_key(table, base, or_groups)
+        with self._lock:
+            artifacts = self._artifacts.get(key)
+            if artifacts is None:
+                artifacts = self._artifacts[key] = PlanArtifacts()
+            return artifacts
+
+
+class TableInferencePlan:
+    """One table's shared-belief scope within a query (or a batch).
+
+    Every consumer method bumps ``stats.requested`` by what the naive path
+    would have spent there; ``stats.executed`` counts the passes that
+    actually ran, so ``stats.saved`` is the amortization win.
+    """
+
+    def __init__(
+        self,
+        model: TreeBayesNet,
+        base: list[TablePredicate],
+        or_groups: list[list[TablePredicate]],
+        stats: PassStats,
+        artifacts: PlanArtifacts | None = None,
+    ):
+        self.model = model
+        self.base = list(base)
+        self.or_groups = [list(group) for group in or_groups]
+        self.stats = stats
+        self.artifacts = artifacts if artifacts is not None else PlanArtifacts()
+
+    # -- the one pass -------------------------------------------------
+    def _ensure_beliefs(self) -> PlanArtifacts:
+        artifacts = self.artifacts
+        if artifacts.beliefs is None:
+            with artifacts.lock:
+                if artifacts.beliefs is None:
+                    beliefs, probability = self.model.beliefs_for(self.base)
+                    self.stats.executed += 1
+                    artifacts.probability = probability
+                    artifacts.beliefs = beliefs
+        return artifacts
+
+    # -- consumers ----------------------------------------------------
+    def distribution(self, column: str) -> np.ndarray:
+        """``P(column in bin, base predicates)``; naive cost: one pass."""
+        self.stats.requested += 1
+        artifacts = self._ensure_beliefs()
+        assert artifacts.beliefs is not None
+        return artifacts.beliefs[self.model.column_index(column)]
+
+    def and_selectivity(self) -> float:
+        """``P(base predicates)`` -- free once the beliefs pass ran."""
+        if not self.base:
+            # model.selectivity([]) short-circuits to 1.0 without a pass.
+            return 1.0
+        self.stats.requested += 1
+        return self._ensure_beliefs().probability
+
+    def term_selectivity(
+        self, predicates: tuple[TablePredicate, ...]
+    ) -> float:
+        """One memoized conjunctive term of the OR expansion."""
+        self.stats.requested += 1
+        artifacts = self.artifacts
+        value = artifacts.terms.get(predicates)
+        if value is None:
+            value = self.model.selectivity(list(predicates))
+            with artifacts.lock:
+                if predicates not in artifacts.terms:
+                    self.stats.executed += 1
+                    artifacts.terms[predicates] = value
+                value = artifacts.terms[predicates]
+        return value
+
+    def table_selectivity(self) -> float:
+        """Selectivity including OR-groups (memoized inclusion-exclusion)."""
+        if not self.or_groups:
+            return self.and_selectivity()
+        artifacts = self.artifacts
+        if artifacts.or_selectivity is not None:
+            # The naive path would have re-run the whole expansion here.
+            self.stats.requested += artifacts.or_term_count
+            return artifacts.or_selectivity
+        calls = 0
+
+        def term(predicates: list[TablePredicate]) -> float:
+            nonlocal calls
+            calls += 1
+            return self.term_selectivity(tuple(predicates))
+
+        value = _selectivity_with_or_groups(
+            self.model, self.base, self.or_groups, selectivity_fn=term
+        )
+        with artifacts.lock:
+            if artifacts.or_selectivity is None:
+                artifacts.or_selectivity = value
+                artifacts.or_term_count = calls
+        return value
+
+    def or_factor(self) -> float:
+        """OR-group correction: with-groups over AND-only selectivity."""
+        if not self.or_groups:
+            return 1.0
+        with_groups = self.table_selectivity()
+        without_groups = self.and_selectivity()
+        if without_groups <= 0.0:
+            return 0.0
+        return with_groups / without_groups
+
+    def naive_pass_cost(self) -> int:
+        """Passes the naive path pays to evaluate this scope's selectivity."""
+        if self.or_groups:
+            return or_expansion_terms(self.or_groups)
+        return 1 if self.base else 0
+
+
+class QueryInferencePlans:
+    """All shared-belief plans serving one join query (or one batch).
+
+    Also memoizes subtree weights keyed on (table, normalized parent join),
+    so re-walks of the factor graph reuse whole messages, not just
+    distributions.  ``stats`` may be shared across the queries of a batch so
+    batched priming passes are accounted once.
+    """
+
+    def __init__(
+        self,
+        model_for: Callable[[str], TreeBayesNet],
+        query: CardQuery,
+        source: ArtifactSource | None = None,
+        stats: PassStats | None = None,
+    ):
+        self.query = query
+        self._model_for = model_for
+        self._source = source
+        self.stats = stats if stats is not None else PassStats()
+        self._plans: dict[str, TableInferencePlan] = {}
+        self._subtree: dict[
+            tuple[str, tuple[tuple[str, str], tuple[str, str]]], np.ndarray
+        ] = {}
+
+    def plan_for(self, table: str) -> TableInferencePlan:
+        plan = self._plans.get(table)
+        if plan is None:
+            model = self._model_for(table)
+            base = [p for p in self.query.predicates if p.table == table]
+            or_groups = table_or_groups(self.query, table)
+            artifacts = (
+                self._source.artifacts_for(table, base, or_groups)
+                if self._source is not None
+                else None
+            )
+            plan = TableInferencePlan(
+                model, base, or_groups, self.stats, artifacts
+            )
+            self._plans[table] = plan
+        return plan
+
+    def subtree_weights(
+        self,
+        table: str,
+        parent_join: JoinCondition,
+        compute: Callable[[], np.ndarray],
+    ) -> np.ndarray:
+        key = (table, parent_join.normalized())
+        weights = self._subtree.get(key)
+        if weights is None:
+            weights = compute()
+            self._subtree[key] = weights
+        return weights

@@ -28,6 +28,14 @@ class ServingConfig:
     cache_entries: int = 4096
     #: group concurrent same-table COUNT requests into one inference pass
     enable_batching: bool = True
+    #: extend micro-batching to join COUNT queries sharing a table set
+    #: (only used when the estimator advertises ``supports_join_batching``)
+    enable_join_batching: bool = True
+    #: share (table, predicate-fingerprint) belief artifacts across queries
+    #: (only used when the estimator exposes ``install_plan_cache``)
+    enable_plan_cache: bool = True
+    #: maximum cached plan-artifact scopes (LRU beyond this)
+    plan_cache_entries: int = 1024
     #: flush a micro-batch once it holds this many requests
     max_batch_size: int = 16
     #: ... or once the oldest member waited this long (milliseconds)
@@ -47,6 +55,8 @@ class ServingConfig:
             raise SchemaError("cache_entries must be >= 1")
         if self.max_batch_size < 1:
             raise SchemaError("max_batch_size must be >= 1")
+        if self.plan_cache_entries < 1:
+            raise SchemaError("plan_cache_entries must be >= 1")
         if self.batch_wait_ms < 0:
             raise SchemaError("batch_wait_ms must be >= 0")
         if self.num_workers < 1:

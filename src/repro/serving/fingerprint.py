@@ -105,6 +105,34 @@ def column_constraint(predicates: Sequence[TablePredicate]) -> Hashable:
     )
 
 
+def table_scope_fingerprint(
+    table: str,
+    predicates: Sequence[TablePredicate],
+    or_groups: Sequence[Sequence[TablePredicate]],
+) -> Fingerprint:
+    """Canonical identity of one table's local predicate scope.
+
+    This keys the shared-belief plan cache: one (table, AND-predicates,
+    OR-groups) scope maps to one set of inference artifacts regardless of
+    which join query produced it.  Same canonicalization rules as
+    :func:`query_fingerprint`, restricted to a single table's predicates.
+    """
+    per_column: dict[str, list[TablePredicate]] = {}
+    for pred in predicates:
+        per_column.setdefault(pred.column, []).append(pred)
+    predicate_part = tuple(
+        (column, column_constraint(preds))
+        for column, preds in sorted(per_column.items())
+    )
+    or_part = tuple(
+        sorted(
+            tuple(sorted(set(_predicate_signature(p) for p in group)))
+            for group in or_groups
+        )
+    )
+    return (table, predicate_part, or_part)
+
+
 def query_fingerprint(query: CardQuery) -> Fingerprint:
     """The canonical, hashable identity of one estimation request.
 

@@ -1,0 +1,136 @@
+"""Cross-query cache of shared-belief plan artifacts.
+
+The query-scoped inference plans of :mod:`repro.estimators.factorjoin.plans`
+already collapse every within-query consumer of one (table, predicates)
+scope onto a single BN pass.  This cache extends the amortization *across*
+queries: scopes are keyed by their canonical predicate fingerprint
+(:func:`repro.serving.fingerprint.table_scope_fingerprint`), so two join
+queries filtering a shared table the same way -- a very common shape in
+dashboard workloads -- reuse one set of belief vectors.
+
+Invalidation mirrors :class:`repro.serving.cache.EstimateCache`: the Model
+Loader's refresh listener bumps per-table generations (or the global one),
+and lookups lazily drop entries whose stamp no longer matches.  Because a
+:class:`PlanArtifacts` container is handed out *before* inference runs, the
+stamp is taken at hand-out time; a bump between hand-out and fill only means
+one extra pass later, never a stale hit, since the stale entry can no longer
+be returned.
+
+Hit/miss/invalidation counts are mirrored into a
+:class:`~repro.obs.metrics.MetricsRegistry` as ``plan_cache_hits_total`` /
+``plan_cache_misses_total`` / ``plan_cache_invalidations_total``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable, Iterable, Sequence
+
+from repro.estimators.factorjoin.plans import PlanArtifacts
+from repro.obs.metrics import MetricsRegistry
+from repro.serving.fingerprint import table_scope_fingerprint
+from repro.sql.query import TablePredicate
+
+#: (global_generation, table_generation) at hand-out time
+_Stamp = tuple[int, int]
+
+
+class PlanDistributionCache:
+    """Bounded LRU of :class:`PlanArtifacts` with generation invalidation.
+
+    Implements the ``ArtifactSource`` protocol the FactorJoin estimator
+    consumes, so installing it via ``install_plan_cache`` is all the wiring
+    the estimator needs.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 1024,
+        registry: MetricsRegistry | None = None,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.registry = (
+            registry if registry is not None else MetricsRegistry(enabled=False)
+        )
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[
+            Hashable, tuple[PlanArtifacts, _Stamp]
+        ] = OrderedDict()
+        self._table_generation: dict[str, int] = {}
+        self._global_generation = 0
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+        # Pre-register so exports show the series at zero from the start.
+        self._hits_counter = self.registry.counter("plan_cache_hits_total")
+        self._misses_counter = self.registry.counter("plan_cache_misses_total")
+        self._invalidations_counter = self.registry.counter(
+            "plan_cache_invalidations_total"
+        )
+
+    # ------------------------------------------------------------------
+    # Generations
+    # ------------------------------------------------------------------
+    def bump_tables(self, tables: Iterable[str]) -> None:
+        """Invalidate (lazily) every scope on any of ``tables``."""
+        with self._lock:
+            for table in tables:
+                self._table_generation[table] = (
+                    self._table_generation.get(table, 0) + 1
+                )
+
+    def bump_all(self) -> None:
+        """Invalidate (lazily) every cached scope."""
+        with self._lock:
+            self._global_generation += 1
+
+    def _stamp(self, table: str) -> _Stamp:
+        return (self._global_generation, self._table_generation.get(table, 0))
+
+    def _is_current(self, table: str, stamp: _Stamp) -> bool:
+        return stamp == self._stamp(table)
+
+    # ------------------------------------------------------------------
+    def artifacts_for(
+        self,
+        table: str,
+        base: Sequence[TablePredicate],
+        or_groups: Sequence[Sequence[TablePredicate]],
+    ) -> PlanArtifacts:
+        """The shared artifacts for one scope, minting a fresh container on
+        miss or stale generation."""
+        key = table_scope_fingerprint(table, base, or_groups)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                artifacts, stamp = entry
+                if self._is_current(table, stamp):
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    self._hits_counter.inc()
+                    return artifacts
+                del self._entries[key]
+                self.invalidations += 1
+                self._invalidations_counter.inc()
+            artifacts = PlanArtifacts()
+            self._entries[key] = (artifacts, self._stamp(table))
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self.misses += 1
+            self._misses_counter.inc()
+            return artifacts
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -33,10 +33,11 @@ from repro.errors import EstimationError
 from repro.estimators.base import CountEstimator, NdvEstimator
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import SpanRecord, Tracer
-from repro.serving.batching import MicroBatcher
+from repro.serving.batching import MicroBatcher, default_batch_key
 from repro.serving.cache import EstimateCache
 from repro.serving.config import ServingConfig
 from repro.serving.fingerprint import query_fingerprint
+from repro.serving.plan_cache import PlanDistributionCache
 from repro.serving.stats import ServiceStats, StatsCollector
 from repro.serving.workers import WorkerPool
 from repro.sql.query import AggKind, CardQuery
@@ -101,11 +102,24 @@ class EstimationService(CountEstimator, NdvEstimator):
             if self.config.enable_cache
             else None
         )
+        # Cross-query shared-belief plan cache: installed into the estimator
+        # when it supports inference plans (ByteCard / FactorJoin), bumped by
+        # the same loader refreshes that bump the estimate cache.
+        self.plan_cache: PlanDistributionCache | None = None
+        install_plan_cache = getattr(estimator, "install_plan_cache", None)
+        if self.config.enable_plan_cache and callable(install_plan_cache):
+            self.plan_cache = PlanDistributionCache(
+                self.config.plan_cache_entries, registry=self.registry
+            )
+            install_plan_cache(self.plan_cache)
         self.pool = WorkerPool(
             num_workers=self.config.num_workers,
             queue_capacity=self.config.queue_capacity,
         )
         batch_hook = getattr(estimator, "estimate_count_batch", None)
+        self._join_batching = self.config.enable_join_batching and bool(
+            getattr(estimator, "supports_join_batching", False)
+        )
         self.batcher: MicroBatcher | None = None
         if self.config.enable_batching and callable(batch_hook):
             self.batcher = MicroBatcher(
@@ -113,6 +127,7 @@ class EstimationService(CountEstimator, NdvEstimator):
                 max_batch_size=self.config.max_batch_size,
                 max_wait_ms=self.config.batch_wait_ms,
                 on_batch=self.stats_collector.record_batch,
+                key_fn=self._batch_key,
             )
         if loader is not None:
             loader.add_refresh_listener(self._on_loader_refresh)
@@ -121,8 +136,10 @@ class EstimationService(CountEstimator, NdvEstimator):
     # Model lifecycle integration
     # ------------------------------------------------------------------
     def _on_loader_refresh(self, report: RefreshReport) -> None:
-        """Invalidate cached estimates for tables whose models changed."""
-        if self.cache is None:
+        """Invalidate cached estimates (and plan artifacts) for tables whose
+        models changed."""
+        caches = [c for c in (self.cache, self.plan_cache) if c is not None]
+        if not caches:
             return
         tables: set[str] = set()
         bump_everything = False
@@ -135,12 +152,14 @@ class EstimationService(CountEstimator, NdvEstimator):
                 # any table; the coarse global bump keeps correctness.
                 bump_everything = True
         if bump_everything:
-            self.cache.bump_all()
+            for cache in caches:
+                cache.bump_all()
             self.registry.counter(
                 "serving_cache_generation_bumps_total", scope="all"
             ).inc()
         elif tables:
-            self.cache.bump_tables(tables)
+            for cache in caches:
+                cache.bump_tables(tables)
             self.registry.counter(
                 "serving_cache_generation_bumps_total", scope="tables"
             ).inc(len(tables))
@@ -245,13 +264,21 @@ class EstimationService(CountEstimator, NdvEstimator):
         self.stats_collector.record_latency(latency, path=estimate.path)
         return estimate
 
+    def _batch_key(self, query: CardQuery) -> str:
+        """Micro-batch grouping: single-table queries by table, join queries
+        by their (sorted) table set, so one leader primes shared plans."""
+        if query.is_single_table():
+            return default_batch_key(query)
+        return "join::" + "|".join(sorted(query.tables))
+
     def _batchable(self, query: CardQuery) -> bool:
-        return (
-            self.batcher is not None
-            and query.is_single_table()
-            and query.agg.kind is AggKind.COUNT
-            and not query.group_by
-        )
+        if (
+            self.batcher is None
+            or query.agg.kind is not AggKind.COUNT
+            or query.group_by
+        ):
+            return False
+        return query.is_single_table() or self._join_batching
 
     # ------------------------------------------------------------------
     # COUNT serving

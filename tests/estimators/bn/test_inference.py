@@ -172,3 +172,118 @@ class TestConcurrency:
             t.join()
         assert not errors
         assert all(r == pytest.approx(expected) for r in results)
+
+
+def _wide_star_context(num_children: int = 6, bins: int = 3, seed: int = 11):
+    """Root with many children -- exercises the prefix/suffix sibling
+    products of the downward pass beyond the trivial 1-2 child shapes."""
+    rng = np.random.default_rng(seed)
+    prior = rng.random(bins)
+    prior /= prior.sum()
+    cpds = [prior]
+    parents = [-1]
+    for _ in range(num_children):
+        cpd = rng.random((bins, bins))
+        cpd /= cpd.sum(axis=1, keepdims=True)
+        cpds.append(cpd)
+        parents.append(0)
+    return BNInferenceContext.from_structure(np.array(parents), cpds)
+
+
+def _brute_force_beliefs(context, evidence):
+    """Enumerate the full joint; O(bins^n) reference for tiny networks."""
+    num_nodes = len(context.cpds)
+    bins = [cpd.shape[-1] for cpd in context.cpds]
+    beliefs = [np.zeros(b) for b in bins]
+    probability = 0.0
+    for assignment in np.ndindex(*bins):
+        weight = context.cpds[context.root][assignment[context.root]]
+        for node in range(num_nodes):
+            parent = context.parents[node]
+            if parent >= 0:
+                weight *= context.cpds[node][assignment[parent], assignment[node]]
+            weight *= evidence[node][assignment[node]]
+        probability += weight
+        for node in range(num_nodes):
+            beliefs[node][assignment[node]] += weight
+    return beliefs, probability
+
+
+class TestDownwardPass:
+    def test_wide_star_matches_brute_force(self, rng):
+        context = _wide_star_context(num_children=5, bins=2)
+        evidence = [rng.random(2) for _ in range(6)]
+        beliefs, probability = context.beliefs(evidence)
+        expected_beliefs, expected_probability = _brute_force_beliefs(
+            context, evidence
+        )
+        assert probability == pytest.approx(expected_probability)
+        for got, want in zip(beliefs, expected_beliefs):
+            assert np.allclose(got, want)
+
+    def test_chain_matches_brute_force(self, rng):
+        context = _chain_context()
+        evidence = [rng.random(2), rng.random(2)]
+        beliefs, probability = context.beliefs(evidence)
+        expected_beliefs, expected_probability = _brute_force_beliefs(
+            context, evidence
+        )
+        assert probability == pytest.approx(expected_probability)
+        for got, want in zip(beliefs, expected_beliefs):
+            assert np.allclose(got, want)
+
+    def test_beliefs_probability_equals_selectivity(self, rng):
+        """The root-belief total *is* the upward-only selectivity, bitwise
+        -- the invariant the shared inference plans rely on."""
+        context = _wide_star_context(num_children=6, bins=4)
+        evidence = [
+            np.ascontiguousarray(rng.random(4)) for _ in range(7)
+        ]
+        _beliefs, probability = context.beliefs(evidence)
+        assert probability == context.selectivity(evidence)
+
+    def test_evidence_not_mutated(self, rng):
+        """Copy elision in the upward pass must never write through to the
+        caller's evidence vectors."""
+        context = _wide_star_context(num_children=4, bins=3)
+        evidence = [rng.random(3) for _ in range(5)]
+        originals = [vec.copy() for vec in evidence]
+        context.selectivity(evidence)
+        context.beliefs(evidence)
+        for vec, original in zip(evidence, originals):
+            assert np.array_equal(vec, original)
+
+
+class TestBeliefsBatch:
+    def test_columns_match_scalar_beliefs(self, rng):
+        context = _wide_star_context(num_children=4, bins=3)
+        batch = 5
+        evidence = [rng.random((3, batch)) for _ in range(5)]
+        beliefs, probabilities = context.beliefs_batch(evidence)
+        for b in range(batch):
+            column = [vec[:, b].copy() for vec in evidence]
+            scalar_beliefs, scalar_probability = context.beliefs(column)
+            assert probabilities[b] == pytest.approx(scalar_probability)
+            for node, scalar in enumerate(scalar_beliefs):
+                assert np.allclose(beliefs[node][:, b], scalar)
+
+    def test_probabilities_match_selectivity_batch(self, rng):
+        context = _chain_context()
+        evidence = [rng.random((2, 4)), rng.random((2, 4))]
+        _beliefs, probabilities = context.beliefs_batch(evidence)
+        assert np.allclose(probabilities, context.selectivity_batch(evidence))
+
+    def test_batch_shape_checked(self):
+        context = _chain_context()
+        with pytest.raises(ModelError):
+            context.beliefs_batch([np.ones((2, 3)), np.ones((2, 4))])
+        with pytest.raises(ModelError):
+            context.beliefs_batch([np.ones((3, 2)), np.ones((2, 2))])
+
+    def test_batch_evidence_not_mutated(self, rng):
+        context = _star_context()
+        evidence = [rng.random((2, 3)) for _ in range(3)]
+        originals = [mat.copy() for mat in evidence]
+        context.beliefs_batch(evidence)
+        for mat, original in zip(evidence, originals):
+            assert np.array_equal(mat, original)

@@ -70,6 +70,8 @@ def exercised(bytecard, aeolus):
         probe = CardQuery(tables=("ads",))
         service.estimate_count(probe)
         service.estimate_count(probe)  # cache hit
+        # Group-by COUNTs bypass the micro-batcher: the unbatched model path.
+        service.estimate_count(group_query())
         session = EngineSession(aeolus.catalog, service=service)
         plan = session.optimizer.plan(group_query())
         result = session.executor.execute(plan)
