@@ -1,0 +1,107 @@
+"""The serving fleet: sharded worker processes, hedged routing, failover.
+
+Run with::
+
+    python examples/fleet_demo.py
+
+Walks the serving path `repro.fleet` adds on top of the forge store:
+
+1. build ByteCard and start a two-worker fleet -- every model is
+   persisted to an artifact store, and each worker OS process
+   warm-starts the full model set from it (zero training calls);
+2. route estimates: each query's table scope is consistent-hashed to
+   its owning worker, a repeat hits that worker's warm cache;
+3. SIGKILL a worker mid-service -- requests on its shard fail over to
+   the router-local traditional estimator, nothing is lost;
+4. the supervisor restarts the worker, re-warms it from the store, and
+   the shard's answers return bit-identical to pre-kill;
+5. scrape one merged metrics export with a ``worker`` label per process.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+from repro.core import ByteCard, ByteCardConfig
+from repro.datasets import make_aeolus
+from repro.fleet import FleetConfig
+from repro.serving import ServingConfig
+from repro.workloads import aeolus_online
+
+
+def main() -> None:
+    print("== 1. build + start a two-worker fleet ==")
+    bundle = make_aeolus(scale=0.1, seed=17)
+    config = ByteCardConfig(
+        training_sample_rows=4000,
+        rbx_corpus_size=200,
+        rbx_epochs=4,
+        monitor_queries_per_table=4,
+        join_bucket_count=40,
+        max_bins=32,
+    )
+    bytecard = ByteCard.build(bundle, config=config, run_monitor=False)
+    workload = aeolus_online(bundle, num_queries=8, seed=5)
+    fleet = bytecard.fleet(
+        n_workers=2,
+        serving_config=ServingConfig(deadline_ms=None),
+        fleet_config=FleetConfig(
+            n_workers=2, heartbeat_interval_s=0.1, heartbeat_timeout_s=0.5
+        ),
+    )
+    for worker_id, info in sorted(fleet.worker_infos().items()):
+        print(f"  worker {worker_id}: pid {info['pid']}, "
+              f"{info['models']} models warm-started from the store")
+
+    print("== 2. routed estimates ==")
+    for query in workload.queries[:4]:
+        estimate = fleet.estimate_count_detail(query)
+        print(f"  {query.name:<12} -> worker {estimate.worker} "
+              f"[{estimate.source:<6}] {estimate.value:12.1f}")
+    repeat = fleet.estimate_count_detail(workload.queries[0])
+    print(f"  {workload.queries[0].name:<12} -> worker {repeat.worker} "
+          f"[{repeat.source:<6}] {repeat.value:12.1f}  (repeat)")
+
+    print("== 3. kill a worker: shard fails over, nothing lost ==")
+    victim = fleet.owner_of(workload.queries[0])
+    old_pid = fleet.worker_infos()[victim]["pid"]
+    baseline = fleet.estimate_count(workload.queries[0])
+    os.kill(old_pid, signal.SIGKILL)
+    outage = fleet.estimate_count_detail(workload.queries[0])
+    print(f"  worker {victim} (pid {old_pid}) killed; query answered via "
+          f"[{outage.source}] {outage.value:12.1f}")
+
+    print("== 4. supervisor restarts + re-warms the worker ==")
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        client = fleet._client(victim)
+        if (
+            client is not None
+            and client.alive
+            and client.ready_info is not None
+            and client.ready_info["pid"] != old_pid
+        ):
+            break
+        time.sleep(0.05)
+    new_pid = fleet.worker_infos()[victim]["pid"]
+    recovered = fleet.estimate_count_detail(workload.queries[0])
+    print(f"  worker {victim} restarted as pid {new_pid}; "
+          f"[{recovered.source}] {recovered.value:12.1f} "
+          f"(bit-identical: {recovered.value == baseline})")
+    assert recovered.value == baseline
+    assert fleet.stats().restarts >= 1
+
+    print("== 5. merged metrics: one export, a worker label per process ==")
+    text = fleet.metrics_text()
+    for line in text.splitlines():
+        if line.startswith(("fleet_requests_total", "serving_requests_total")):
+            print(f"  {line}")
+
+    clean = fleet.close()
+    print(f"== done (clean close: {clean}) ==")
+
+
+if __name__ == "__main__":
+    main()

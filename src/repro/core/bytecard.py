@@ -430,6 +430,53 @@ class ByteCard(CountEstimator, NdvEstimator):
         """Expose ByteCard as an engine estimator suite."""
         return EstimatorSuite("bytecard", count_estimator=self, ndv_estimator=self)
 
+    def fleet(
+        self,
+        n_workers: int = 2,
+        store_dir=None,
+        serving_config=None,
+        fleet_config=None,
+    ):
+        """A multi-process serving fleet warm-started from this instance.
+
+        Persists the current registry contents into a crash-safe
+        :class:`~repro.forge.store.ArtifactStore` at ``store_dir`` (a
+        temporary directory when omitted), then spawns ``n_workers``
+        estimator processes that each warm-start from it with **zero
+        training** -- each running the same
+        :class:`~repro.serving.core.EstimationCore` pipeline as
+        :meth:`serve`, behind a :class:`~repro.fleet.FleetRouter` that
+        shards requests by table scope, hedges around stalled workers, and
+        restarts dead ones.  The workers mirror this instance's current
+        monitor verdicts (``fallback_tables``), so routed estimates match
+        in-process serving bit for bit.
+
+        ``fleet_config`` overrides ``n_workers`` when provided.  Close the
+        router (it is a context manager) to reap the worker processes.
+        """
+        import tempfile
+
+        from repro.fleet import FleetConfig, FleetRouter
+        from repro.forge.store import ArtifactStore
+
+        if store_dir is None:
+            store_dir = tempfile.mkdtemp(prefix="bytecard-fleet-")
+        store = ArtifactStore(store_dir, metrics=self.obs)
+        store.persist_registry(self.registry)
+        if fleet_config is None:
+            fleet_config = FleetConfig(n_workers=n_workers)
+        return FleetRouter(
+            bundle=self.bundle,
+            store_dir=store_dir,
+            fallback_count=self._traditional_count,
+            fallback_ndv=self._traditional_ndv,
+            bytecard_config=self.config,
+            serving_config=serving_config,
+            fleet_config=fleet_config,
+            fallback_tables=tuple(sorted(self.fallback_tables)),
+            registry=self.obs,
+        )
+
     def serve(self, config=None):
         """Wrap this ByteCard in a concurrent :class:`EstimationService`.
 

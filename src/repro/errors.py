@@ -48,3 +48,15 @@ class TrainingError(ModelError):
 
 class ExecutionError(ReproError):
     """The execution engine could not run a physical plan."""
+
+
+class FleetError(ReproError):
+    """The multi-process serving fleet failed to start, route, or stop."""
+
+
+class ConnectionClosed(FleetError):
+    """The peer closed its end of a fleet IPC connection."""
+
+
+class WorkerDied(FleetError):
+    """A fleet worker process exited or lost its connection mid-request."""

@@ -200,19 +200,7 @@ class ForgeManager:
         Unchanged blobs (same checksum as the stored current version) are
         skipped, so repeated calls do not mint redundant versions.
         """
-        from repro.forge.store import _sha256
-
-        persisted: list[tuple[str, str]] = []
-        for kind, name in self.bytecard.registry.keys():
-            record = self.bytecard.registry.latest(kind, name)
-            if record is None:
-                continue
-            current = self.store.current(kind, name)
-            if current is not None and current.sha256 == _sha256(record.blob):
-                continue
-            self.store.put(kind, name, record.blob, timestamp=record.timestamp)
-            persisted.append((kind, name))
-        return persisted
+        return self.store.persist_registry(self.bytecard.registry)
 
     def rollback(self, kind: str, name: str) -> ArtifactRecord:
         """Roll the stored model back one version and hot-swap it in.

@@ -388,6 +388,27 @@ class ArtifactStore:
             published.append((kind, name))
         return published
 
+    def persist_registry(self, registry) -> list[tuple[str, str]]:
+        """Persist every key's latest registry blob into the store.
+
+        The inverse of :meth:`sync_registry`: memory -> disk.  Unchanged
+        blobs (same checksum as the stored current version) are skipped,
+        so repeated calls do not mint redundant versions.  This is how
+        ``ByteCard.fleet`` snapshots a live instance's models so worker
+        processes can warm-start from them with zero training.
+        """
+        persisted: list[tuple[str, str]] = []
+        for kind, name in registry.keys():
+            record = registry.latest(kind, name)
+            if record is None:  # pragma: no cover - keys() implies latest
+                continue
+            current = self.current(kind, name)
+            if current is not None and current.sha256 == _sha256(record.blob):
+                continue
+            self.put(kind, name, record.blob, timestamp=record.timestamp)
+            persisted.append((kind, name))
+        return persisted
+
     # ------------------------------------------------------------------
     def _record_gauges(self) -> None:
         if not self.metrics.enabled:

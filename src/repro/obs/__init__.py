@@ -13,6 +13,7 @@ from repro.obs.export import (
     export_text,
     missing_series,
 )
+from repro.obs.merge import WORKER_LABEL, merged_registry
 from repro.obs.metrics import (
     NULL_METRIC,
     Counter,
@@ -37,9 +38,11 @@ __all__ = [
     "Series",
     "SpanRecord",
     "Tracer",
+    "WORKER_LABEL",
     "export_json",
     "export_json_text",
     "export_text",
+    "merged_registry",
     "missing_series",
     "render_series_name",
 ]

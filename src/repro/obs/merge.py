@@ -1,0 +1,49 @@
+"""Cross-process metric merging: one export for a fleet of registries.
+
+A multi-process deployment (``repro.fleet``) records metrics in *every*
+process: each estimator worker has its own :class:`MetricsRegistry`, and so
+does the router.  Exporting only the router's registry would make the
+workers' serving counters, cache hit rates, and latency histograms go dark
+the moment the serving tier leaves the single-interpreter world.
+
+The merge protocol keeps observability alive across that boundary:
+
+1. each worker serializes its registry with :meth:`MetricsRegistry.state`
+   (plain dicts/lists/floats -- safe over pickle frames or JSON);
+2. the router collects the snapshots over IPC and calls
+   :func:`merged_registry`, which rebuilds every series into a fresh
+   registry with a ``worker`` label appended;
+3. the ordinary exporters (:func:`repro.obs.export_text` /
+   :func:`repro.obs.export_json`) then render a fleet-wide view in which
+   ``serving_requests_total{task="count",worker="2"}`` and its siblings
+   coexist without collisions.
+
+Counters and histogram lifetime totals *add* when two snapshots share a
+label set, histogram windows concatenate (quantiles stay approximate, as
+within one process), gauges are last-write-wins, series concatenate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.obs.metrics import MetricsRegistry
+
+#: label under which each contributing process appears in the merged export
+WORKER_LABEL = "worker"
+
+
+def merged_registry(
+    states: Mapping[str, Iterable[Mapping]],
+    label: str = WORKER_LABEL,
+) -> MetricsRegistry:
+    """Build one registry from per-process state snapshots.
+
+    ``states`` maps a process identity (e.g. ``"router"``, ``"0"``, ``"1"``)
+    to that process's :meth:`MetricsRegistry.state` snapshot; every series
+    gets ``{label: identity}`` appended so nothing collides.
+    """
+    registry = MetricsRegistry(enabled=True)
+    for identity, state in states.items():
+        registry.load_state(state, extra_labels={label: identity})
+    return registry

@@ -64,6 +64,12 @@ class Counter:
         with self._lock:
             return self._value
 
+    def state_dict(self) -> dict:
+        return {"value": self.value}
+
+    def merge_state(self, state: Mapping) -> None:
+        self.inc(float(state["value"]))
+
 
 class Gauge:
     """Last-write-wins instantaneous value."""
@@ -88,6 +94,13 @@ class Gauge:
     def value(self) -> float:
         with self._lock:
             return self._value
+
+    def state_dict(self) -> dict:
+        return {"value": self.value}
+
+    def merge_state(self, state: Mapping) -> None:
+        # Last-write-wins semantics: an imported snapshot replaces.
+        self.set(float(state["value"]))
 
 
 @dataclass(frozen=True)
@@ -160,6 +173,28 @@ class Histogram:
             count=count, total=total, min=lo, max=hi, p50=p50, p90=p90, p99=p99
         )
 
+    def state_dict(self) -> dict:
+        with self._lock:
+            return {
+                "count": self._count,
+                "total": self._total,
+                "min": self._min,
+                "max": self._max,
+                "window": list(self._ring),
+                "window_size": self._ring.maxlen,
+            }
+
+    def merge_state(self, state: Mapping) -> None:
+        """Fold another histogram's state in: lifetime counters add, the
+        bounded window concatenates (most recent observations win)."""
+        with self._lock:
+            self._count += int(state["count"])
+            self._total += float(state["total"])
+            if state["count"]:
+                self._min = min(self._min, float(state["min"]))
+                self._max = max(self._max, float(state["max"]))
+            self._ring.extend(float(v) for v in state["window"])
+
 
 class Series:
     """Bounded append-only series: one value per event, oldest dropped.
@@ -190,6 +225,14 @@ class Series:
     def last(self) -> float | None:
         with self._lock:
             return self._points[-1] if self._points else None
+
+    def state_dict(self) -> dict:
+        with self._lock:
+            return {"points": list(self._points), "maxlen": self._points.maxlen}
+
+    def merge_state(self, state: Mapping) -> None:
+        with self._lock:
+            self._points.extend(float(v) for v in state["points"])
 
 
 class NullMetric:
@@ -295,3 +338,62 @@ class MetricsRegistry:
     def __len__(self) -> int:
         with self._lock:
             return len(self._metrics)
+
+    # ------------------------------------------------------------------
+    # Cross-process state transfer
+    # ------------------------------------------------------------------
+    def state(self) -> list[dict]:
+        """A serializable snapshot of every registered metric.
+
+        The returned list is built from plain dicts / lists / floats, so it
+        survives any transport (pickle frames over a fleet worker's pipe,
+        JSON for files).  Feed it to :meth:`load_state` on the other side.
+        """
+        states: list[dict] = []
+        for metric in self.metrics():
+            state_dict = getattr(metric, "state_dict", None)
+            if state_dict is None:  # pragma: no cover - foreign metric type
+                continue
+            states.append(
+                {
+                    "kind": metric.kind,
+                    "name": metric.name,
+                    "labels": [list(pair) for pair in metric.labels],
+                    "state": state_dict(),
+                }
+            )
+        return states
+
+    def load_state(
+        self, states: Iterable[Mapping], extra_labels: Mapping[str, object] = {}
+    ) -> None:
+        """Reconstruct (merging) metrics from a :meth:`state` snapshot.
+
+        ``extra_labels`` is appended to every series -- the fleet router
+        passes ``{"worker": <id>}`` so per-worker registries merge into one
+        fleet-wide export without colliding.  Loading the same snapshot
+        into an existing series *adds* (counters sum, histogram windows
+        concatenate), so repeated pulls must target a fresh registry.
+        """
+        kinds = {
+            "counter": (Counter, {}),
+            "gauge": (Gauge, {}),
+            "histogram": (Histogram, {}),
+            "series": (Series, {}),
+        }
+        for entry in states:
+            try:
+                cls, _ = kinds[entry["kind"]]
+            except KeyError:  # pragma: no cover - forward compatibility
+                continue
+            labels = dict(tuple(pair) for pair in entry["labels"])
+            labels.update(extra_labels)
+            state = entry["state"]
+            kwargs = {}
+            if cls is Histogram and state.get("window_size"):
+                kwargs["window"] = int(state["window_size"])
+            if cls is Series and state.get("maxlen"):
+                kwargs["maxlen"] = int(state["maxlen"])
+            metric = self._get_or_create(cls, entry["name"], labels, **kwargs)
+            if not isinstance(metric, NullMetric):
+                metric.merge_state(state)

@@ -27,6 +27,7 @@ warehouse under heavy traffic with strict latency budgets:
 from repro.serving.batching import MicroBatcher
 from repro.serving.cache import EstimateCache
 from repro.serving.config import ServingConfig
+from repro.serving.core import EstimationCore
 from repro.serving.fingerprint import query_fingerprint, table_scope_fingerprint
 from repro.serving.plan_cache import PlanDistributionCache
 from repro.serving.service import EstimationService, ServedEstimate
@@ -34,6 +35,7 @@ from repro.serving.stats import ServiceStats, StatsCollector
 from repro.serving.workers import WorkerPool
 
 __all__ = [
+    "EstimationCore",
     "EstimationService",
     "ServedEstimate",
     "ServingConfig",

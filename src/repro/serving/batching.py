@@ -26,6 +26,7 @@ import threading
 import time
 from typing import Callable
 
+from repro.errors import EstimationError
 from repro.sql.query import CardQuery
 
 #: ``batch_fn(key, queries) -> list[float]`` aligned with the input order
@@ -82,6 +83,7 @@ class MicroBatcher:
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._pending: dict[str, list[_Item]] = {}
+        self._closed = False
 
     # ------------------------------------------------------------------
     def estimate(self, query: CardQuery) -> float:
@@ -89,6 +91,8 @@ class MicroBatcher:
         key = self.key_fn(query)
         item = _Item(query)
         with self._cond:
+            if self._closed:
+                raise EstimationError("micro-batcher is closed")
             queue = self._pending.setdefault(key, [])
             queue.append(item)
             is_leader = len(queue) == 1
@@ -103,7 +107,10 @@ class MicroBatcher:
         """Wait out the batching window, then drain and execute the queue."""
         deadline = time.monotonic() + self.max_wait_s
         with self._cond:
-            while len(self._pending.get(key, ())) < self.max_batch_size:
+            while (
+                not self._closed
+                and len(self._pending.get(key, ())) < self.max_batch_size
+            ):
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     break
@@ -130,6 +137,24 @@ class MicroBatcher:
                 i.deliver(float(value))
 
     # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Fail every queued request and refuse new ones.
+
+        Called *after* the worker pool drained (so normally nothing is
+        queued); when a drain timed out, this is what unblocks followers
+        still waiting on a batch a hung leader will never execute.
+        """
+        with self._cond:
+            self._closed = True
+            stranded = [
+                item for queue in self._pending.values() for item in queue
+            ]
+            self._pending.clear()
+            self._cond.notify_all()
+        error = EstimationError("micro-batcher closed with requests queued")
+        for item in stranded:
+            item.fail(error)
+
     def pending_count(self, key: str | None = None) -> int:
         with self._lock:
             if key is not None:

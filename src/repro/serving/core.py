@@ -1,0 +1,408 @@
+"""The transport-agnostic estimation core shared by every serving surface.
+
+:class:`EstimationCore` is the cache / micro-batch / deadline-fallback
+pipeline that used to live inside :class:`EstimationService` -- extracted so
+the *same* object (same caches, same batching protocol, same degradation
+contract, same stats) serves requests regardless of how they arrive:
+
+* in-process -- :class:`repro.serving.service.EstimationService` wraps a
+  core behind the :class:`CountEstimator`/:class:`NdvEstimator` interface
+  for the optimizer's direct calls;
+* over IPC -- each :mod:`repro.fleet` worker process wraps a core behind a
+  length-prefixed frame protocol; the fleet is a *composition* of this core
+  with process supervision, not a fork of the serving logic.
+
+Request path::
+
+    request -> fingerprint -> cache? -> admission -> [micro-batch] -> model
+                   |            hit ^        | full          | deadline/error
+                   |                |        v               v
+                   +----------------+---- traditional fallback (recorded)
+
+The cache stamp is taken *before* inference starts, so an estimate computed
+against a model generation that got swapped mid-flight is never inserted as
+current (see :mod:`repro.serving.cache`).
+
+Shutdown is drain-ordered and bounded (:meth:`EstimationCore.close`): stop
+admitting (new requests degrade to the fallback, they are still answered),
+wait out in-flight work up to the timeout, close the micro-batcher (failing
+anything a hung leader stranded), then tear down the pool -- abandoning a
+hung worker thread rather than wedging interpreter exit.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import CancelledError as FutureCancelledError
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.core.loader import ModelLoader, RefreshReport
+from repro.errors import EstimationError
+from repro.estimators.base import CountEstimator, NdvEstimator
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecord, Tracer
+from repro.serving.batching import MicroBatcher, default_batch_key
+from repro.serving.cache import EstimateCache
+from repro.serving.config import ServingConfig
+from repro.serving.fingerprint import query_fingerprint
+from repro.serving.plan_cache import PlanDistributionCache
+from repro.serving.stats import ServiceStats, StatsCollector
+from repro.serving.workers import WorkerPool
+from repro.sql.query import AggKind, CardQuery
+
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class ServedEstimate:
+    """One answered request: the value plus how it was produced."""
+
+    value: float
+    #: "cache" | "model" | "fallback-timeout" | "fallback-error" |
+    #: "fallback-rejected"
+    source: str
+    latency_s: float
+    #: the answer came through the same-table micro-batcher
+    batched: bool = False
+    #: per-stage timings of this request (request-scoped trace)
+    stages: tuple[SpanRecord, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        return self.source.startswith("fallback")
+
+    @property
+    def path(self) -> str:
+        """The latency-accounting path: cache | batch | model | fallback."""
+        if self.source == "cache":
+            return "cache"
+        if self.degraded:
+            return "fallback"
+        return "batch" if self.batched else "model"
+
+
+class EstimationCore:
+    """Cache + micro-batch + deadline-fallback pipeline, transport-free."""
+
+    def __init__(
+        self,
+        estimator: CountEstimator,
+        fallback_count: CountEstimator,
+        fallback_ndv: NdvEstimator | None = None,
+        config: ServingConfig | None = None,
+        loader: ModelLoader | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
+        self.estimator = estimator
+        self.fallback_count = fallback_count
+        self.fallback_ndv = fallback_ndv
+        self.config = config or ServingConfig()
+        self.registry = registry if registry is not None else MetricsRegistry(enabled=False)
+        self.tracer = Tracer(self.registry)
+        self.stats_collector = StatsCollector(self.config.latency_window)
+        # Surface the always-on per-path latency rings through the export.
+        for hist in self.stats_collector.path_histograms.values():
+            self.registry.adopt(hist)
+        self.cache = (
+            EstimateCache(self.config.cache_entries)
+            if self.config.enable_cache
+            else None
+        )
+        # Cross-query shared-belief plan cache: installed into the estimator
+        # when it supports inference plans (ByteCard / FactorJoin), bumped by
+        # the same loader refreshes that bump the estimate cache.
+        self.plan_cache: PlanDistributionCache | None = None
+        install_plan_cache = getattr(estimator, "install_plan_cache", None)
+        if self.config.enable_plan_cache and callable(install_plan_cache):
+            self.plan_cache = PlanDistributionCache(
+                self.config.plan_cache_entries, registry=self.registry
+            )
+            install_plan_cache(self.plan_cache)
+        self.pool = WorkerPool(
+            num_workers=self.config.num_workers,
+            queue_capacity=self.config.queue_capacity,
+        )
+        batch_hook = getattr(estimator, "estimate_count_batch", None)
+        self._join_batching = self.config.enable_join_batching and bool(
+            getattr(estimator, "supports_join_batching", False)
+        )
+        self.batcher: MicroBatcher | None = None
+        if self.config.enable_batching and callable(batch_hook):
+            self.batcher = MicroBatcher(
+                batch_fn=batch_hook,
+                max_batch_size=self.config.max_batch_size,
+                max_wait_ms=self.config.batch_wait_ms,
+                on_batch=self.stats_collector.record_batch,
+                key_fn=self._batch_key,
+            )
+        if loader is not None:
+            loader.add_refresh_listener(self.on_loader_refresh)
+
+    # ------------------------------------------------------------------
+    # Model lifecycle integration
+    # ------------------------------------------------------------------
+    def on_loader_refresh(self, report: RefreshReport) -> None:
+        """Invalidate cached estimates (and plan artifacts) for tables whose
+        models changed."""
+        caches = [c for c in (self.cache, self.plan_cache) if c is not None]
+        if not caches:
+            return
+        tables: set[str] = set()
+        bump_everything = False
+        for kind, name in report.changed_keys():
+            if kind == "bn":
+                # Shard models ("table@shardN") serve their base table.
+                tables.add(name.split("@", 1)[0])
+            else:
+                # RBX (universal or per-column) influences NDV answers for
+                # any table; the coarse global bump keeps correctness.
+                bump_everything = True
+        if bump_everything:
+            for cache in caches:
+                cache.bump_all()
+            self.registry.counter(
+                "serving_cache_generation_bumps_total", scope="all"
+            ).inc()
+        elif tables:
+            for cache in caches:
+                cache.bump_tables(tables)
+            self.registry.counter(
+                "serving_cache_generation_bumps_total", scope="tables"
+            ).inc(len(tables))
+
+    # ------------------------------------------------------------------
+    # Serving pipeline
+    # ------------------------------------------------------------------
+    def _deadline_s(self, deadline_ms) -> float | None:
+        if deadline_ms is _UNSET:
+            deadline_ms = self.config.deadline_ms
+        return None if deadline_ms is None else deadline_ms / 1000.0
+
+    def _serve(
+        self,
+        query: CardQuery,
+        task: str,
+        compute: Callable[[], float],
+        fallback: Callable[[CardQuery], float],
+        deadline_ms=_UNSET,
+        batched: bool = False,
+    ) -> ServedEstimate:
+        start = time.perf_counter()
+        self.stats_collector.increment("requests")
+        self.registry.counter("serving_requests_total", task=task).inc()
+        stages: list[SpanRecord] = []
+        key = (task, query_fingerprint(query))
+        if self.cache is not None:
+            with self.tracer.span("serve.cache_lookup", sink=stages):
+                cached = self.cache.get(key)
+            if cached is not None:
+                return self._finish(cached, "cache", start, stages=stages)
+        stamp = self.cache.stamp(query.tables) if self.cache is not None else None
+        future = self.pool.try_submit(compute)
+        if future is None:
+            self.stats_collector.record_fallback("rejected")
+            self.registry.counter(
+                "serving_fallbacks_total", reason="rejected"
+            ).inc()
+            with self.tracer.span("serve.fallback", sink=stages):
+                value = fallback(query)
+            return self._finish(value, "fallback-rejected", start, stages=stages)
+        deadline = self._deadline_s(deadline_ms)
+        remaining = None
+        if deadline is not None:
+            remaining = max(0.0, deadline - (time.perf_counter() - start))
+        compute_span = "serve.batch" if batched else "serve.model"
+        try:
+            with self.tracer.span(compute_span, sink=stages):
+                value = float(future.result(timeout=remaining))
+        except FutureTimeoutError:
+            self.stats_collector.record_fallback("timeouts")
+            self.registry.counter(
+                "serving_fallbacks_total", reason="timeout"
+            ).inc()
+            self._cache_late_result(key, stamp, future)
+            with self.tracer.span("serve.fallback", sink=stages):
+                fell_back = fallback(query)
+            return self._finish(
+                fell_back, "fallback-timeout", start, stages=stages
+            )
+        except (Exception, FutureCancelledError):
+            # CancelledError (a BaseException since 3.8) reaches here when a
+            # bounded close cancels the queue under this request: it is
+            # answered by the fallback like any other learned-path error.
+            self.stats_collector.record_fallback("errors")
+            self.registry.counter(
+                "serving_fallbacks_total", reason="error"
+            ).inc()
+            with self.tracer.span("serve.fallback", sink=stages):
+                fell_back = fallback(query)
+            return self._finish(fell_back, "fallback-error", start, stages=stages)
+        if self.cache is not None and stamp is not None:
+            self.cache.put(key, value, stamp)
+        return self._finish(value, "model", start, batched=batched, stages=stages)
+
+    def _cache_late_result(self, key, stamp, future: Future) -> None:
+        """A timed-out estimate still warms the cache once it completes --
+        unless a loader refresh made its stamp stale in the meantime."""
+        if self.cache is None or stamp is None:
+            return
+        cache = self.cache
+
+        def on_done(completed: Future) -> None:
+            if not completed.cancelled() and completed.exception() is None:
+                cache.put(key, float(completed.result()), stamp)
+
+        future.add_done_callback(on_done)
+
+    def _finish(
+        self,
+        value: float,
+        source: str,
+        start: float,
+        batched: bool = False,
+        stages: list[SpanRecord] | None = None,
+    ) -> ServedEstimate:
+        latency = time.perf_counter() - start
+        estimate = ServedEstimate(
+            value=float(value),
+            source=source,
+            latency_s=latency,
+            batched=batched,
+            stages=tuple(stages) if stages else (),
+        )
+        self.stats_collector.record_latency(latency, path=estimate.path)
+        return estimate
+
+    def _batch_key(self, query: CardQuery) -> str:
+        """Micro-batch grouping: single-table queries by table, join queries
+        by their (sorted) table set, so one leader primes shared plans."""
+        if query.is_single_table():
+            return default_batch_key(query)
+        return "join::" + "|".join(sorted(query.tables))
+
+    def _batchable(self, query: CardQuery) -> bool:
+        if (
+            self.batcher is None
+            or query.agg.kind is not AggKind.COUNT
+            or query.group_by
+        ):
+            return False
+        return query.is_single_table() or self._join_batching
+
+    # ------------------------------------------------------------------
+    # COUNT serving
+    # ------------------------------------------------------------------
+    def serve_count(self, query: CardQuery, deadline_ms=_UNSET) -> ServedEstimate:
+        batched = self._batchable(query)
+        if batched:
+            batcher = self.batcher
+            assert batcher is not None
+            compute: Callable[[], float] = lambda: batcher.estimate(query)
+        else:
+            compute = lambda: self.estimator.estimate_count(query)
+        return self._serve(
+            query,
+            "count",
+            compute,
+            self.fallback_count.estimate_count,
+            deadline_ms,
+            batched=batched,
+        )
+
+    # ------------------------------------------------------------------
+    # NDV serving
+    # ------------------------------------------------------------------
+    def serve_ndv(self, query: CardQuery, deadline_ms=_UNSET) -> ServedEstimate:
+        primary = self.estimator
+        if not isinstance(primary, NdvEstimator):
+            if self.fallback_ndv is None:
+                raise EstimationError("service has no NDV estimator")
+            primary = self.fallback_ndv
+        fallback = (
+            self.fallback_ndv.estimate_ndv
+            if self.fallback_ndv is not None
+            else primary.estimate_ndv
+        )
+        return self._serve(
+            query, "ndv", lambda: primary.estimate_ndv(query), fallback, deadline_ms
+        )
+
+    # ------------------------------------------------------------------
+    # Planner-facing fast path
+    # ------------------------------------------------------------------
+    def selectivity_detail(self, query: CardQuery) -> tuple[float, str]:
+        """Selectivity plus its provenance: cache | model | fallback-error.
+
+        Served in the calling thread (no pool round-trip: the optimizer
+        issues dozens of these per plan and the futures overhead would
+        dominate); errors degrade to the traditional estimator.
+        """
+        self.stats_collector.increment("requests")
+        self.registry.counter("serving_requests_total", task="selectivity").inc()
+        key = ("selectivity", query_fingerprint(query))
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached, "cache"
+            stamp = self.cache.stamp(query.tables)
+        try:
+            value = float(self.estimator.selectivity(query))
+        except Exception:
+            self.stats_collector.record_fallback("errors")
+            self.registry.counter(
+                "serving_fallbacks_total", reason="error"
+            ).inc()
+            return float(self.fallback_count.selectivity(query)), "fallback-error"
+        if self.cache is not None:
+            self.cache.put(key, value, stamp)
+        return value, "model"
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """Counter snapshot, with cache counters folded in."""
+        snapshot = self.stats_collector.snapshot()
+        if self.cache is None:
+            return snapshot
+        return replace(
+            snapshot,
+            cache_hits=self.cache.hits,
+            cache_misses=self.cache.misses,
+            cache_invalidations=self.cache.invalidations,
+        )
+
+    def close(self, timeout: float | None = None) -> bool:
+        """Drain-ordered, bounded teardown.
+
+        1. Stop admitting learned-path work -- requests arriving from now
+           on are still *answered*, via the fallback-rejected path.
+        2. Wait (up to ``timeout``) for in-flight requests to finish.
+        3. Close the micro-batcher: if the drain timed out, queued batch
+           followers are failed so their callers unblock into the fallback.
+        4. Tear down the pool, cancelling the queue when the drain failed;
+           a hung worker thread is abandoned (daemon), never joined forever.
+
+        Returns ``True`` when everything drained within the budget.
+        """
+        start = time.monotonic()
+        self.pool.refuse_new()
+        drained = self.pool.drain(timeout)
+        if self.batcher is not None:
+            self.batcher.close()
+        remaining = None
+        if timeout is not None:
+            remaining = max(0.0, timeout - (time.monotonic() - start))
+        self.pool.shutdown(
+            wait=True, timeout=remaining, cancel_futures=not drained
+        )
+        return drained
+
+    def __enter__(self) -> "EstimationCore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,62 +1,198 @@
 """The worker pool: bounded concurrency with admission control.
 
-A thin wrapper over :class:`concurrent.futures.ThreadPoolExecutor` that
-caps the number of *admitted* requests (running + queued).  When the bound
-is reached, :meth:`WorkerPool.try_submit` returns ``None`` instead of
-queueing -- the service answers such requests with the traditional
-estimator immediately, which is the paper's degradation contract: under a
-traffic spike the optimizer must keep planning (with coarser estimates)
-rather than stall behind an unbounded inference queue.
+A small thread pool with a hard cap on the number of *admitted* requests
+(running + queued).  When the bound is reached, :meth:`WorkerPool.try_submit`
+returns ``None`` instead of queueing -- the service answers such requests
+with the traditional estimator immediately, which is the paper's degradation
+contract: under a traffic spike the optimizer must keep planning (with
+coarser estimates) rather than stall behind an unbounded inference queue.
+
+The pool runs its own **daemon** worker threads instead of a
+:class:`~concurrent.futures.ThreadPoolExecutor` so teardown can be bounded:
+``ThreadPoolExecutor`` registers an interpreter-exit hook that *joins* its
+workers, so a single hung inference call would wedge process exit forever.
+Here :meth:`shutdown` can give up on a hung worker after a timeout -- the
+thread is abandoned (daemonized, it dies with the process) and queued work
+is either finished or cancelled, never silently dropped: a cancelled future
+raises ``CancelledError`` to its waiter, which the serving tier answers with
+the traditional fallback.
+
+Shutdown ordering for a graceful close is: :meth:`refuse_new` (new requests
+degrade instead of queueing), :meth:`drain` (bounded wait for in-flight
+work), then :meth:`shutdown` (bounded join, cancelling the queue if the
+drain timed out).
 """
 
 from __future__ import annotations
 
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor
+import time
+from collections import deque
+from concurrent.futures import Future
 from typing import Callable, TypeVar
 
 T = TypeVar("T")
 
 
 class WorkerPool:
-    """ThreadPoolExecutor with a hard admission bound."""
+    """Bounded thread pool with admission control and bounded teardown."""
 
-    def __init__(self, num_workers: int = 4, queue_capacity: int = 64):
+    def __init__(
+        self,
+        num_workers: int = 4,
+        queue_capacity: int = 64,
+        thread_name_prefix: str = "repro-serving",
+    ):
         self.num_workers = num_workers
         self.queue_capacity = queue_capacity
-        self._executor = ThreadPoolExecutor(
-            max_workers=num_workers, thread_name_prefix="repro-serving"
-        )
         # One slot per worker plus the queue bound; acquired at admission,
-        # released when the task finishes (success or failure).
+        # released when the task finishes (success, failure, or cancel).
         self._slots = threading.Semaphore(num_workers + queue_capacity)
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._queue: deque[tuple[Future, Callable[[], object]]] = deque()
+        #: admitted tasks (queued or running) not yet finished
+        self._active = 0
+        self._refusing = False
         self._shutdown = False
+        self._threads = [
+            threading.Thread(
+                target=self._run,
+                name=f"{thread_name_prefix}-{i}",
+                daemon=True,
+            )
+            for i in range(num_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
 
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
     def try_submit(
         self, fn: Callable[..., T], *args, **kwargs
     ) -> Future | None:
         """Submit ``fn`` if a slot is free; ``None`` means *rejected*."""
-        if self._shutdown:
+        if self._refusing or self._shutdown:
             return None
         if not self._slots.acquire(blocking=False):
             return None
-
-        def run() -> T:
-            try:
-                return fn(*args, **kwargs)
-            finally:
+        future: Future = Future()
+        task = (future, lambda: fn(*args, **kwargs))
+        with self._lock:
+            if self._shutdown or self._refusing:
                 self._slots.release()
+                return None
+            self._queue.append(task)
+            self._active += 1
+            self._work.notify()
+        return future
 
-        try:
-            return self._executor.submit(run)
-        except RuntimeError:  # executor shut down concurrently
-            self._slots.release()
-            return None
+    def _run(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._shutdown:
+                    self._work.wait()
+                if self._queue:
+                    future, thunk = self._queue.popleft()
+                elif self._shutdown:
+                    return
+                else:  # pragma: no cover - spurious wakeup
+                    continue
+            try:
+                if future.set_running_or_notify_cancel():
+                    try:
+                        result = thunk()
+                    except BaseException as exc:
+                        future.set_exception(exc)
+                    else:
+                        future.set_result(result)
+            finally:
+                self._finish_one()
 
-    def shutdown(self, wait: bool = True) -> None:
-        self._shutdown = True
-        self._executor.shutdown(wait=wait)
+    def _finish_one(self) -> None:
+        self._slots.release()
+        with self._lock:
+            self._active -= 1
+            if self._active == 0:
+                self._idle.notify_all()
 
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def refuse_new(self) -> None:
+        """Stop admitting: every future ``try_submit`` returns ``None``."""
+        self._refusing = True
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait until every admitted task finished; ``False`` on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while self._active:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(remaining)
+        return True
+
+    def shutdown(
+        self,
+        wait: bool = True,
+        timeout: float | None = None,
+        cancel_futures: bool = False,
+    ) -> bool:
+        """Stop the pool.
+
+        ``cancel_futures`` cancels queued-but-unstarted tasks (their waiters
+        see ``CancelledError``); already-running tasks always finish on
+        their own.  With ``wait``, worker threads are joined for at most
+        ``timeout`` seconds total; a hung worker is abandoned (daemon
+        thread) rather than wedging the caller.  Returns ``True`` when
+        every worker thread exited.
+        """
+        self._refusing = True
+        cancelled: list[Future] = []
+        with self._lock:
+            self._shutdown = True
+            if cancel_futures:
+                while self._queue:
+                    future, _thunk = self._queue.pop()
+                    cancelled.append(future)
+            self._work.notify_all()
+        for future in cancelled:
+            future.cancel()
+            self._finish_one()
+        if not wait:
+            return False
+        deadline = None if timeout is None else time.monotonic() + timeout
+        joined = True
+        for thread in self._threads:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            thread.join(remaining)
+            joined = joined and not thread.is_alive()
+        return joined
+
+    def close(self, timeout: float | None = None) -> bool:
+        """Graceful bounded teardown: refuse, drain, then shut down.
+
+        Returns ``True`` when in-flight work drained within ``timeout``;
+        on ``False`` the queue was cancelled and any hung worker abandoned.
+        """
+        start = time.monotonic()
+        self.refuse_new()
+        drained = self.drain(timeout)
+        remaining = None
+        if timeout is not None:
+            remaining = max(0.0, timeout - (time.monotonic() - start))
+        self.shutdown(wait=True, timeout=remaining, cancel_futures=not drained)
+        return drained
+
+    # ------------------------------------------------------------------
     def __enter__(self) -> "WorkerPool":
         return self
 

@@ -1,0 +1,46 @@
+"""Shared fleet fixtures: one small trained ByteCard per test session.
+
+The bundle is deliberately tiny (the fleet tests verify transport,
+routing, and fault semantics -- not model accuracy), and the serving
+deadline is disabled in fleet tests so learned-vs-fallback selection is
+deterministic: bit-identity assertions must not depend on scheduler
+timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bytecard import ByteCard
+from repro.core.config import ByteCardConfig
+from repro.datasets import make_aeolus
+from repro.serving import ServingConfig
+from repro.workloads import aeolus_online
+
+
+@pytest.fixture(scope="package")
+def fleet_bundle():
+    return make_aeolus(scale=0.08)
+
+
+@pytest.fixture(scope="package")
+def fleet_card(fleet_bundle):
+    config = ByteCardConfig(
+        training_sample_rows=4000,
+        rbx_corpus_size=200,
+        rbx_epochs=4,
+        monitor_queries_per_table=4,
+        join_bucket_count=40,
+        max_bins=32,
+    )
+    return ByteCard.build(fleet_bundle, config=config, run_monitor=False)
+
+
+@pytest.fixture(scope="package")
+def fleet_workload(fleet_bundle):
+    return aeolus_online(fleet_bundle, num_queries=24, seed=11)
+
+
+@pytest.fixture(scope="package")
+def fleet_serving_config():
+    return ServingConfig(deadline_ms=None)

@@ -1,0 +1,96 @@
+"""Frame protocol: framing, multiplexing, and failure surfacing."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ConnectionClosed, FleetError
+from repro.fleet import MAX_FRAME_BYTES, FrameConnection
+
+
+def make_pair() -> tuple[FrameConnection, FrameConnection]:
+    left, right = socket.socketpair()
+    return FrameConnection(left), FrameConnection(right)
+
+
+class TestFrameConnection:
+    def test_roundtrip(self):
+        a, b = make_pair()
+        a.send("est", 7, ("count", "payload", None))
+        kind, req_id, payload = b.recv()
+        assert (kind, req_id, payload) == ("est", 7, ("count", "payload", None))
+        a.close()
+        b.close()
+
+    def test_out_of_order_ids_survive(self):
+        a, b = make_pair()
+        for req_id in (3, 1, 2):
+            a.send("res", req_id, req_id * 10)
+        received = [b.recv() for _ in range(3)]
+        assert [r[1] for r in received] == [3, 1, 2]
+        assert [r[2] for r in received] == [30, 10, 20]
+        a.close()
+        b.close()
+
+    def test_large_payload(self):
+        a, b = make_pair()
+        blob = list(range(100_000))
+        done = threading.Thread(target=a.send, args=("res", 1, blob))
+        done.start()
+        kind, _req_id, payload = b.recv()
+        done.join(timeout=10)
+        assert kind == "res"
+        assert payload == blob
+        a.close()
+        b.close()
+
+    def test_peer_close_raises_connection_closed(self):
+        a, b = make_pair()
+        a.close()
+        with pytest.raises(ConnectionClosed):
+            b.recv()
+
+    def test_send_after_local_close_raises(self):
+        a, _b = make_pair()
+        a.close()
+        with pytest.raises(ConnectionClosed):
+            a.send("ping", 1, None)
+
+    def test_oversized_frame_refused_at_send(self):
+        a, b = make_pair()
+        too_big = b"x" * (MAX_FRAME_BYTES + 1)
+        with pytest.raises(FleetError):
+            a.send("res", 1, too_big)
+        a.close()
+        b.close()
+
+    def test_concurrent_senders_never_interleave(self):
+        a, b = make_pair()
+        per_thread = 50
+
+        def sender(tag: int) -> None:
+            for i in range(per_thread):
+                a.send("res", tag * 1000 + i, b"z" * 4096)
+
+        threads = [
+            threading.Thread(target=sender, args=(t,)) for t in range(4)
+        ]
+        received = []
+
+        def reader() -> None:
+            for _ in range(4 * per_thread):
+                received.append(b.recv())
+
+        reader_t = threading.Thread(target=reader)
+        reader_t.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        reader_t.join(timeout=10)
+        assert len(received) == 4 * per_thread
+        assert {r[0] for r in received} == {"res"}
+        assert len({r[1] for r in received}) == 4 * per_thread
+        a.close()
+        b.close()

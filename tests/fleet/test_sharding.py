@@ -1,0 +1,53 @@
+"""Consistent-hash shard map invariants."""
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet import ShardMap
+
+
+class TestShardMap:
+    def test_deterministic_across_instances(self):
+        first = ShardMap([0, 1, 2, 3])
+        second = ShardMap([0, 1, 2, 3])
+        keys = [f"table:t{i}" for i in range(200)]
+        assert [first.owner_of(k) for k in keys] == [
+            second.owner_of(k) for k in keys
+        ]
+
+    def test_every_worker_owns_something(self):
+        shard_map = ShardMap([0, 1, 2, 3], virtual_nodes=64)
+        keys = [f"table:t{i}" for i in range(500)]
+        grouped = shard_map.assignment(keys)
+        assert set(grouped) == {0, 1, 2, 3}
+        assert all(grouped[wid] for wid in grouped)
+
+    def test_scope_key_is_order_insensitive(self):
+        assert ShardMap.scope_key(["b", "a"]) == ShardMap.scope_key(["a", "b"])
+        assert ShardMap.scope_key(["only"]) == "table:only"
+        assert ShardMap.scope_key(["x", "y"]) == "scope:x|y"
+
+    def test_owner_for_tables_routes_joins_by_scope(self):
+        shard_map = ShardMap([0, 1])
+        assert shard_map.owner_for_tables(["b", "a"]) == shard_map.owner_of(
+            "scope:a|b"
+        )
+
+    def test_removal_only_moves_the_lost_workers_keys(self):
+        # The consistent-hashing property: dropping one worker must not
+        # reshuffle keys owned by the survivors.
+        full = ShardMap([0, 1, 2, 3])
+        reduced = ShardMap([0, 1, 2])
+        keys = [f"table:t{i}" for i in range(300)]
+        for key in keys:
+            before = full.owner_of(key)
+            if before != 3:
+                assert reduced.owner_of(key) == before
+
+    def test_validation(self):
+        with pytest.raises(FleetError):
+            ShardMap([])
+        with pytest.raises(FleetError):
+            ShardMap([0, 0])
+        with pytest.raises(FleetError):
+            ShardMap([0], virtual_nodes=0)

@@ -1,0 +1,112 @@
+"""Cross-process metric state transfer and fleet-wide merging."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, export_json, export_text, merged_registry
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("requests_total", task="count").inc(5)
+    registry.gauge("queue_depth").set(3)
+    hist = registry.histogram("latency_seconds", window=64)
+    for value in (0.1, 0.2, 0.3):
+        hist.observe(value)
+    registry.series("drift", maxlen=16, table="ads").append(1.5)
+    return registry
+
+
+class TestMetricState:
+    def test_counter_roundtrip_adds(self):
+        a = MetricsRegistry(enabled=True)
+        a.counter("c").inc(2)
+        b = MetricsRegistry(enabled=True)
+        b.counter("c").inc(3)
+        b.load_state(a.state())
+        assert b.get("c").value == 5
+
+    def test_gauge_is_last_write_wins(self):
+        a = MetricsRegistry(enabled=True)
+        a.gauge("g").set(7)
+        b = MetricsRegistry(enabled=True)
+        b.gauge("g").set(1)
+        b.load_state(a.state())
+        assert b.get("g").value == 7
+
+    def test_histogram_merges_lifetime_and_window(self):
+        a = MetricsRegistry(enabled=True)
+        for value in (1.0, 2.0):
+            a.histogram("h", window=8).observe(value)
+        b = MetricsRegistry(enabled=True)
+        b.histogram("h", window=8).observe(10.0)
+        b.load_state(a.state())
+        snap = b.get("h").snapshot()
+        assert snap.count == 3
+        assert snap.total == 13.0
+        assert snap.min == 1.0
+        assert snap.max == 10.0
+
+    def test_empty_histogram_does_not_poison_min_max(self):
+        a = MetricsRegistry(enabled=True)
+        a.histogram("h")  # registered, never observed
+        b = MetricsRegistry(enabled=True)
+        b.histogram("h").observe(4.0)
+        b.load_state(a.state())
+        snap = b.get("h").snapshot()
+        assert snap.count == 1
+        assert snap.min == 4.0 and snap.max == 4.0
+
+    def test_series_concatenates(self):
+        a = MetricsRegistry(enabled=True)
+        a.series("s").append(1.0)
+        b = MetricsRegistry(enabled=True)
+        b.series("s").append(2.0)
+        b.load_state(a.state())
+        assert b.get("s").values() == [2.0, 1.0]
+
+    def test_state_is_plain_data(self):
+        import json
+
+        state = populated_registry().state()
+        # Must survive any transport: JSON round-trip loses nothing needed.
+        restored = json.loads(json.dumps(state))
+        target = MetricsRegistry(enabled=True)
+        target.load_state(restored)
+        assert target.get("requests_total", task="count").value == 5
+
+
+class TestMergedRegistry:
+    def test_worker_label_keeps_series_apart(self):
+        states = {
+            "0": populated_registry().state(),
+            "1": populated_registry().state(),
+        }
+        merged = merged_registry(states)
+        first = merged.get("requests_total", task="count", worker="0")
+        second = merged.get("requests_total", task="count", worker="1")
+        assert first is not second
+        assert first.value == 5 and second.value == 5
+
+    def test_router_and_workers_coexist_in_exports(self):
+        states = {
+            "router": populated_registry().state(),
+            "2": populated_registry().state(),
+        }
+        merged = merged_registry(states)
+        text = export_text(merged)
+        assert 'worker="router"' in text
+        assert 'worker="2"' in text
+        doc = export_json(merged)
+        assert (
+            'requests_total{task="count",worker="router"}' in doc["counters"]
+        )
+        assert 'requests_total{task="count",worker="2"}' in doc["counters"]
+
+    def test_merge_preserves_histogram_quantile_window(self):
+        source = MetricsRegistry(enabled=True)
+        for value in (0.5, 1.5, 2.5):
+            source.histogram("lat", window=4).observe(value)
+        merged = merged_registry({"3": source.state()})
+        snap = merged.get("lat", worker="3").snapshot()
+        assert snap.count == 3
+        assert snap.p50 == pytest.approx(1.5)
