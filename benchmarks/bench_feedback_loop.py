@@ -1,0 +1,263 @@
+"""Runtime feedback loop: capture overhead and drift-to-retrain latency.
+
+Two claims about ``repro.feedback`` are measured:
+
+* **overhead** -- capturing (estimate, actual) pairs as a by-product of
+  ordinary query execution must be nearly free.  The enforced < 2%
+  budget is measured *within one run*: the executor's capture hooks are
+  wrapped with timers and their summed time is divided by the replay's
+  total, so the numerator and denominator see identical CPU conditions
+  (shared runners drift several percent between back-to-back replays,
+  which makes off-vs-on comparisons unable to resolve a 2% bar -- that
+  comparison is still reported, unenforced, for reference).  The timer
+  wrappers' own cost is billed *to* capture, so the share is an upper
+  bound.
+* **drift detection** -- after a table's distribution shifts, ordinary
+  production queries alone (zero synthetic monitor probes) must supply
+  enough evidence for ``assess_from_feedback`` to fail the stale model
+  and for the forge to schedule a HIGH-or-better retrain.
+
+The JSON report lands in ``benchmarks/results/feedback_loop.json``.
+Set ``FEEDBACK_BENCH_SMOKE=1`` for a reduced configuration suitable for a
+CI smoke job; the < 2% overhead bar is only enforced in the full
+configuration (smoke-sized queries are too short for the fixed
+fingerprinting cost to amortize, and shared CI runners are noisy -- the
+smoke bar is a loose 25% sanity ceiling instead).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import math
+import os
+import time
+
+import pytest
+
+from conftest import RESULTS_DIR, record_table, render_grid
+
+from repro.core import ByteCard, ByteCardConfig
+from repro.datasets import make_aeolus
+from repro.engine import EngineConfig, EngineSession, EstimatorSuite
+from repro.estimators.traditional import SelingerEstimator, SketchNdvEstimator
+from repro.forge.scheduler import JobPriority
+from repro.sql.query import CardQuery, PredicateOp, TablePredicate
+from repro.storage import Table
+from repro.workloads import aeolus_online
+
+SMOKE = os.environ.get("FEEDBACK_BENCH_SMOKE", "") not in ("", "0")
+SCALE = 0.15 if SMOKE else 0.5
+NUM_QUERIES = 30 if SMOKE else 120
+ROUNDS = 2 if SMOKE else 8
+OVERHEAD_BAR = 0.25 if SMOKE else 0.02
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return make_aeolus(scale=SCALE, seed=23)
+
+
+@pytest.fixture(scope="module")
+def workload(bundle):
+    return aeolus_online(bundle, num_queries=NUM_QUERIES, seed=11)
+
+
+@pytest.fixture(scope="module")
+def suite(bundle):
+    return EstimatorSuite(
+        "sketch",
+        SelingerEstimator(bundle.catalog),
+        SketchNdvEstimator(bundle.catalog),
+    )
+
+
+def _replay(session, queries) -> float:
+    """Wall seconds for one pass over the workload.
+
+    A collection runs *before* the clock starts so garbage from the
+    previous pass is not billed to this one.
+    """
+    gc.collect()
+    start = time.perf_counter()
+    for query in queries:
+        session.run(query)
+    return time.perf_counter() - start
+
+
+def _instrument_capture(executor) -> list[float]:
+    """Wrap the executor's capture hooks with timers.
+
+    Returns the (mutable) accumulator cell; the two ``perf_counter``
+    calls per hook invocation are inside the measured window, so the
+    accumulated total *over*-counts the capture cost slightly.
+    """
+    spent = [0.0]
+
+    def timed(fn):
+        def wrapper(*args, **kwargs):
+            start = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                spent[0] += time.perf_counter() - start
+
+        return wrapper
+
+    executor._capture_scan_feedback = timed(executor._capture_scan_feedback)
+    executor._record_join_feedback = timed(executor._record_join_feedback)
+    return spent
+
+
+def test_capture_overhead(bundle, workload, suite):
+    """Feedback capture on the hot execution path costs < 2% of query time."""
+    off = EngineSession(bundle.catalog, suite=suite, config=EngineConfig())
+    on = EngineSession(
+        bundle.catalog, suite=suite, config=EngineConfig(enable_feedback=True)
+    )
+    queries = workload.queries
+
+    # Warm both sessions once (numpy allocators, scan caches) so the timed
+    # rounds compare steady-state execution only.
+    _replay(off, queries)
+    _replay(on, queries)
+
+    spent = _instrument_capture(on.executor)
+    total_on = total_off = 0.0
+    best_off = best_on = float("inf")
+    for _ in range(ROUNDS):  # interleaved, so drift in machine load cancels
+        wall = _replay(off, queries)
+        total_off += wall
+        best_off = min(best_off, wall)
+        wall = _replay(on, queries)
+        total_on += wall
+        best_on = min(best_on, wall)
+
+    assert on.feedback is not None and len(on.feedback) > 0
+    assert spent[0] > 0.0, "capture hooks never fired"
+    overhead = spent[0] / total_on
+    endtoend = best_on / best_off - 1.0  # informational: noise-limited
+    report = {
+        "smoke": SMOKE,
+        "scale": SCALE,
+        "num_queries": NUM_QUERIES,
+        "rounds": ROUNDS,
+        "capture_seconds": spent[0],
+        "replay_seconds_on": total_on,
+        "overhead": overhead,
+        "overhead_bar": OVERHEAD_BAR,
+        "end_to_end_best_off": best_off,
+        "end_to_end_best_on": best_on,
+        "end_to_end_delta_unenforced": endtoend,
+        "records_captured": len(on.feedback),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "feedback_loop.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    record_table(
+        "feedback_loop",
+        render_grid(
+            "Runtime feedback capture overhead",
+            ["measure", "seconds", "share", "records"],
+            [
+                ["replay (capture on)", f"{total_on:7.3f}", "-", str(len(on.feedback))],
+                ["capture hooks", f"{spent[0]:7.3f}", f"{overhead:6.2%}", "-"],
+                ["best replay off/on", f"{best_off:.3f}/{best_on:.3f}",
+                 f"{endtoend:+6.2%}", "-"],
+            ],
+        ),
+    )
+    assert overhead < OVERHEAD_BAR, (
+        f"feedback capture consumed {overhead:.2%} of execution time, "
+        f"over the {OVERHEAD_BAR:.0%} bar "
+        f"({spent[0]:.4f}s of {total_on:.3f}s)"
+    )
+
+
+# ----------------------------------------------------------------------
+def _shift_distribution(bundle, table_name: str, column: str) -> None:
+    table = bundle.catalog.table(table_name)
+    arrays = {
+        name: table.column(name).values.copy() for name in table.column_names()
+    }
+    values = arrays[column]
+    arrays[column] = (values + values.max() + 1).astype(values.dtype)
+    bundle.catalog.replace(
+        Table.from_arrays(table_name, arrays, block_size=table.block_size)
+    )
+
+
+def test_drift_detected_from_runtime_feedback(tmp_path):
+    """Drifted table -> failed assessment + prioritized retrain, from
+    production query evidence alone (no synthetic monitor queries)."""
+    bundle = make_aeolus(scale=0.15, seed=71)
+    config = ByteCardConfig(
+        training_sample_rows=4000,
+        rbx_corpus_size=300,
+        rbx_epochs=5,
+        monitor_queries_per_table=10,
+        join_bucket_count=40,
+        max_bins=32,
+        qerror_gate=8.0,
+    )
+    built = ByteCard.build(bundle, config=config, run_monitor=False)
+    built.enable_feedback()
+    _shift_distribution(bundle, "impressions", "cost_millis")
+    _shift_distribution(bundle, "impressions", "user_segment")
+
+    session = EngineSession(
+        bundle.catalog,
+        suite=built.as_suite(),
+        config=EngineConfig(enable_feedback=True),
+        registry=built.obs,
+    )
+    values = bundle.catalog.table("impressions").column("cost_millis").values
+    anchors = sorted(
+        {float(values.min()), float(values.mean()), float(values.max())}
+    )
+    drift_start = time.perf_counter()
+    for index, anchor in enumerate(anchors):
+        session.run(
+            CardQuery(
+                tables=("impressions",),
+                predicates=(
+                    TablePredicate(
+                        "impressions", "cost_millis", PredicateOp.GE, anchor
+                    ),
+                ),
+                name=f"prod-{index}",
+            )
+        )
+
+    with built.forge(tmp_path / "store") as manager:
+        submitted: list[tuple[str, str, int]] = []
+        manager.submit_retrain = lambda kind, name, priority=(
+            JobPriority.HIGH
+        ): submitted.append((kind, name, priority))
+        report = built.reassess_from_feedback("impressions")
+    detect_seconds = time.perf_counter() - drift_start
+
+    assert report is not None and report.source == "feedback"
+    assert report.passed is False
+    assert "impressions" in built.fallback_tables
+    assert submitted and submitted[0][:2] == ("bn", "impressions")
+    priority = submitted[0][2]
+    assert priority <= JobPriority.HIGH
+
+    doc = json.loads((RESULTS_DIR / "feedback_loop.json").read_text())
+    doc["drift"] = {
+        "queries_observed": len(anchors),
+        "qerror_worst": report.worst,
+        "error_mass": report.error_mass,
+        "retrain_priority": {
+            JobPriority.URGENT: "URGENT",
+            JobPriority.HIGH: "HIGH",
+            JobPriority.NORMAL: "NORMAL",
+        }.get(priority, str(priority)),
+        "detect_seconds": detect_seconds,
+    }
+    (RESULTS_DIR / "feedback_loop.json").write_text(
+        json.dumps(doc, indent=2) + "\n"
+    )
+    assert math.isfinite(report.worst)

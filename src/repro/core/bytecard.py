@@ -76,6 +76,10 @@ class ByteCard(CountEstimator, NdvEstimator):
         # Cross-query shared-belief plan cache; installed by the serving
         # tier, re-threaded into every FactorJoin rebuild by refresh().
         self._plan_cache = None
+        #: runtime feedback ring (:meth:`enable_feedback`): observed
+        #: (estimate, actual) pairs from the execution path, consumed by the
+        #: monitor and ranked on by the forge's retrain priorities
+        self.feedback_log = None
         self.fallback_tables: set[str] = set()
         self.monitor_reports: list[MonitorReport] = []
         self._rbx_samples = {
@@ -244,6 +248,43 @@ class ByteCard(CountEstimator, NdvEstimator):
             # Failed *or* untested (passed is None): an unassessed model
             # must not serve as if it had been vetted.
             self.fallback_tables.add(table)
+        return report
+
+    def enable_feedback(self, capacity: int = 4096):
+        """Create (or return) the runtime cardinality feedback log.
+
+        The returned :class:`repro.feedback.FeedbackLog` is attached to the
+        Model Monitor (so COUNT assessments consume observed evidence in
+        place of a share of their synthetic test queries) and handed to any
+        service created by :meth:`serve` afterwards.  Wire it into an
+        :class:`~repro.engine.session.EngineSession` with
+        ``EngineConfig(enable_feedback=True)`` -- the session inherits it
+        through the service or this facade automatically.
+        """
+        if self.feedback_log is None:
+            from repro.feedback import FeedbackLog
+
+            self.feedback_log = FeedbackLog(capacity=capacity, registry=self.obs)
+            self.monitor.attach_feedback(self.feedback_log)
+        return self.feedback_log
+
+    def reassess_from_feedback(self, table: str) -> MonitorReport | None:
+        """Gate one table's COUNT model on runtime feedback alone.
+
+        Unlike :meth:`reassess_table` this issues **zero** synthetic test
+        queries: the verdict comes entirely from observed (estimate, actual)
+        pairs the executor captured.  Returns ``None`` when no feedback log
+        is attached or it holds no evidence for ``table``; fallback state is
+        updated only on a definitive verdict.
+        """
+        report = self.monitor.assess_from_feedback(table)
+        if report is None:
+            return None
+        if report.passed:
+            self.fallback_tables.discard(table)
+        elif report.passed is False:
+            self.fallback_tables.add(table)
+        self.monitor_reports.append(report)
         return report
 
     def monitor_and_heal(self, max_cycles: int = 2) -> list[MonitorReport]:
@@ -477,13 +518,16 @@ class ByteCard(CountEstimator, NdvEstimator):
             registry=self.obs,
         )
 
-    def serve(self, config=None):
+    def serve(self, config=None, feedback=None):
         """Wrap this ByteCard in a concurrent :class:`EstimationService`.
 
         The service keeps the traditional estimators as its deadline/error
         fallbacks and subscribes to this instance's Model Loader, so a
         ``refresh()`` that swaps models invalidates the affected cached
         estimates.  ``config`` is a :class:`repro.serving.ServingConfig`.
+        ``feedback`` defaults to this instance's :attr:`feedback_log` (see
+        :meth:`enable_feedback`): served estimates -- cache hits included --
+        are then noted as pending pairs for the executor to complete.
         """
         from repro.serving import EstimationService
 
@@ -494,6 +538,7 @@ class ByteCard(CountEstimator, NdvEstimator):
             config=config,
             loader=self.loader,
             registry=self.obs,
+            feedback=feedback if feedback is not None else self.feedback_log,
         )
 
     # ------------------------------------------------------------------

@@ -38,6 +38,11 @@ class ByteCardConfig:
     qerror_gate: float = 25.0
     #: per-column NDV Q-Error above which calibration fine-tuning triggers
     ndv_finetune_trigger: float = 5.0
+    #: with a feedback log attached (:meth:`ModelMonitor.attach_feedback`),
+    #: the fraction of a COUNT assessment's evidence budget served by
+    #: observed runtime (estimate, actual) pairs instead of synthetic test
+    #: queries -- free drift evidence from the execution path
+    monitor_feedback_share: float = 0.5
 
     # -- RBX serving ----------------------------------------------------
     rbx_sample_rows: int = 20_000

@@ -18,6 +18,7 @@ cardinalities, computes Q-Errors of the deployed models, and
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -53,6 +54,12 @@ class MonitorReport:
     name: str
     qerrors: list[float] = field(default_factory=list)
     passed: bool | None = None
+    #: where the evidence came from: ``synthetic`` (generated test
+    #: queries), ``feedback`` (runtime pairs only), or ``mixed``
+    source: str = "synthetic"
+    #: the subset of :attr:`qerrors` derived from runtime feedback -- the
+    #: forge's observed-error-mass priority signal
+    feedback_qerrors: list[float] = field(default_factory=list)
 
     @property
     def untested(self) -> bool:
@@ -61,11 +68,28 @@ class MonitorReport:
 
     @property
     def p90(self) -> float | None:
-        return quantile(self.qerrors, 0.9) if self.qerrors else None
+        """p90 over the *finite* Q-Errors (``None`` when none are).
+
+        A NaN slipped into the list (a buggy estimator, a hand-built
+        report) must not poison the gate: ``quantile`` would propagate it
+        into every decision downstream.
+        """
+        finite = [q for q in self.qerrors if math.isfinite(q)]
+        return quantile(finite, 0.9) if finite else None
 
     @property
     def worst(self) -> float | None:
-        return max(self.qerrors) if self.qerrors else None
+        finite = [q for q in self.qerrors if math.isfinite(q)]
+        return max(finite) if finite else None
+
+    @property
+    def error_mass(self) -> float:
+        """Sum of log-Q-Error over the feedback-derived evidence."""
+        return sum(
+            math.log(max(q, 1.0))
+            for q in self.feedback_qerrors
+            if math.isfinite(q)
+        )
 
 
 class ModelMonitor:
@@ -86,7 +110,22 @@ class ModelMonitor:
         #: callbacks invoked after every assessment with (report, kind);
         #: the forge's drift-triggered retrain loop subscribes here
         self._listeners: list = []
+        #: runtime feedback evidence (attach_feedback); when present, a
+        #: configurable share of synthetic test queries is replaced by
+        #: observed (estimate, actual) pairs from real executions
+        self.feedback = None
         self._rng = derive_rng(bundle.seed, "monitor")
+
+    def attach_feedback(self, log) -> None:
+        """Attach a :class:`repro.feedback.FeedbackLog` as drift evidence.
+
+        Subsequent :meth:`assess_count_model` calls consume up to
+        ``config.monitor_feedback_share`` of their evidence from the log
+        (free -- no test queries executed for those), and
+        :meth:`assess_from_feedback` becomes available for assessments
+        driven purely by runtime pairs.
+        """
+        self.feedback = log
 
     def add_assessment_listener(self, listener) -> None:
         """Register ``listener(report, kind)`` to observe every assessment.
@@ -102,21 +141,28 @@ class ModelMonitor:
     def _random_predicates(
         self, table: str, count: int, exclude: str | None = None
     ) -> list[TablePredicate]:
+        """``count`` random predicates on distinct filter columns.
+
+        Columns are sampled *without replacement*: the retry loop this
+        replaces could exhaust its draws on tables with few filter columns
+        and silently return fewer predicates than requested, skewing
+        assessments toward under-constrained queries.  Now a request for at
+        least ``len(columns)`` predicates deterministically covers every
+        filter column.
+        """
         columns = [
             c for c in self.bundle.filter_columns.get(table, []) if c != exclude
         ]
-        if not columns:
+        if not columns or count <= 0:
             return []
         catalog_table = self.bundle.catalog.table(table)
+        if count >= len(columns):
+            chosen = list(columns)
+        else:
+            picked = self._rng.choice(len(columns), size=count, replace=False)
+            chosen = [columns[int(i)] for i in picked]
         predicates: list[TablePredicate] = []
-        used: set[str] = set()
-        for _ in range(count * 3):
-            if len(predicates) >= count:
-                break
-            column = columns[self._rng.integers(len(columns))]
-            if column in used:
-                continue
-            used.add(column)
+        for column in chosen:
             values = catalog_table.column(column).values
             anchor = float(values[self._rng.integers(len(values))])
             roll = self._rng.random()
@@ -128,10 +174,18 @@ class ModelMonitor:
                 predicates.append(TablePredicate(table, column, PredicateOp.GE, anchor))
         return predicates
 
-    def generate_count_tests(self, table: str) -> list[CardQuery]:
-        """Multi-predicate single-table COUNT test queries for one table."""
+    def generate_count_tests(
+        self, table: str, count: int | None = None
+    ) -> list[CardQuery]:
+        """Multi-predicate single-table COUNT test queries for one table.
+
+        ``count`` overrides ``config.monitor_queries_per_table`` -- the
+        feedback-evidence path generates only the synthetic remainder.
+        """
+        if count is None:
+            count = self.config.monitor_queries_per_table
         queries = []
-        for index in range(self.config.monitor_queries_per_table):
+        for index in range(count):
             num_predicates = int(self._rng.integers(1, 4))
             predicates = self._random_predicates(table, num_predicates)
             if not predicates:
@@ -165,19 +219,90 @@ class ModelMonitor:
     # ------------------------------------------------------------------
     # Assessments
     # ------------------------------------------------------------------
+    def _consume_feedback_evidence(self, report: MonitorReport, budget: int) -> int:
+        """Fold up to ``budget`` runtime feedback pairs into the report.
+
+        Returns how many were used.  Consumed records are *removed* from
+        the log: evidence against a model must not be replayed against its
+        retrained successor.
+        """
+        if self.feedback is None or budget <= 0:
+            return 0
+        records = self.feedback.take_for_table(report.name, limit=budget)
+        for record in records:
+            q = record.qerror
+            report.feedback_qerrors.append(q)
+            report.qerrors.append(q)
+        if records and self.metrics.enabled:
+            self.metrics.counter(
+                "monitor_feedback_evidence_total", model=report.name
+            ).inc(len(records))
+        return len(records)
+
+    def _gate(self, report: MonitorReport, threshold: float) -> None:
+        p90 = report.p90
+        # p90 is None when untested *or* when every q-error was non-finite
+        # (hand-built reports): both mean "not vetted", never "passing".
+        report.passed = None if p90 is None else bool(p90 <= threshold)
+
+    def _finite_estimate(self, estimate: float, model: str) -> bool:
+        if math.isfinite(estimate):
+            return True
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "monitor_nonfinite_estimates_total", model=model
+            ).inc()
+        return False
+
     def assess_count_model(
         self, table: str, estimator: CountEstimator
     ) -> MonitorReport:
-        """Q-Error-gate one table's single-table COUNT model."""
+        """Q-Error-gate one table's single-table COUNT model.
+
+        With feedback attached, up to ``config.monitor_feedback_share`` of
+        the evidence budget comes from observed runtime pairs -- free drift
+        evidence replacing that many synthetic test queries.
+        """
         report = MonitorReport(name=table)
-        for query in self.generate_count_tests(table):
+        total = self.config.monitor_queries_per_table
+        budget = int(round(total * self.config.monitor_feedback_share))
+        used = self._consume_feedback_evidence(report, budget)
+        for query in self.generate_count_tests(table, count=total - used):
             truth = true_count(self.bundle.catalog, query)
             estimate = estimator.estimate_count(query)
+            if not self._finite_estimate(estimate, table):
+                continue
             report.qerrors.append(qerror(estimate, truth))
-        if report.qerrors:
-            report.passed = bool(report.p90 <= self.config.qerror_gate)
-        else:
-            report.passed = None  # untested, not passing
+        if used:
+            report.source = "feedback" if used == len(report.qerrors) else "mixed"
+        self._gate(report, self.config.qerror_gate)
+        self._record_assessment(report, kind="count")
+        return report
+
+    def assess_from_feedback(self, table: str) -> MonitorReport | None:
+        """Assess one table's COUNT model purely from runtime feedback.
+
+        Zero synthetic test queries and zero estimator calls: the evidence
+        is the (estimated, actual) pairs the executor captured.  Returns
+        ``None`` when no feedback log is attached or it holds no
+        single-table records for ``table`` -- *no evidence* is not the same
+        as *untested-and-failing*.  Consumes the records it uses.
+        """
+        if self.feedback is None:
+            return None
+        records = self.feedback.take_for_table(table)
+        if not records:
+            return None
+        report = MonitorReport(name=table, source="feedback")
+        for record in records:
+            q = record.qerror
+            report.feedback_qerrors.append(q)
+            report.qerrors.append(q)
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "monitor_feedback_evidence_total", model=table
+            ).inc(len(records))
+        self._gate(report, self.config.qerror_gate)
         self._record_assessment(report, kind="count")
         return report
 
@@ -191,11 +316,10 @@ class ModelMonitor:
             if truth == 0:
                 continue
             estimate = estimator.estimate_ndv(query)
+            if not self._finite_estimate(estimate, report.name):
+                continue
             report.qerrors.append(qerror(estimate, truth))
-        if report.qerrors:
-            report.passed = bool(report.p90 <= self.config.ndv_finetune_trigger)
-        else:
-            report.passed = None  # untested, not passing
+        self._gate(report, self.config.ndv_finetune_trigger)
         self._record_assessment(report, kind="ndv")
         return report
 

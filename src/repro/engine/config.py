@@ -55,6 +55,19 @@ class EngineConfig:
     scan_parallelism: int = field(default_factory=_default_scan_parallelism)
     #: consult zone maps to skip partitions before any block I/O
     partition_pruning: bool = True
+    #: capture (fingerprint, estimated, actual) pairs into the session's
+    #: :class:`repro.feedback.FeedbackLog` as a by-product of every scan
+    #: and join -- the runtime evidence behind feedback-driven monitoring
+    #: and observed-error-mass retrain priorities (off by default: the
+    #: capture must stay opt-in and under 2% executor overhead)
+    enable_feedback: bool = False
+    #: ring capacity of an auto-created feedback log
+    feedback_capacity: int = 4096
+    #: mid-plan adaptivity: when a join step's actual cardinality deviates
+    #: from its estimate by more than this factor (Q-Error-style ratio),
+    #: re-rank the remaining join order on observed scan cardinalities and
+    #: count ``adaptive_replan_total``.  ``0`` disables replanning.
+    adaptive_replan_factor: float = 0.0
 
     # cost-model weights (abstract units)
     io_block_cost: float = 1.0

@@ -10,6 +10,7 @@ cost units (Figure 5).
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 
@@ -18,12 +19,15 @@ import numpy as np
 from repro.engine.aggregation import AggregationResult, hash_aggregate
 from repro.obs.metrics import MetricsRegistry
 from repro.engine.config import EngineConfig
-from repro.engine.join import JoinExecution, hash_join_tree
-from repro.engine.optimizer import PhysicalPlan
+from repro.engine.join import JoinExecution, hash_join_step, hash_join_tree
+from repro.engine.optimizer import Optimizer, PhysicalPlan
 from repro.engine.partitioned import partitioned_scan
 from repro.engine.readers import ReaderKind, ScanResult
+from repro.errors import ExecutionError
+from repro.feedback import FeedbackLog
 from repro.metrics.latency import LatencyRecord
-from repro.sql.query import AggKind, CardQuery
+from repro.serving.fingerprint import query_fingerprint
+from repro.sql.query import AggKind, CardQuery, JoinCondition
 from repro.storage.catalog import Catalog
 from repro.storage.io_stats import IOCounter
 
@@ -53,6 +57,8 @@ class QueryResult:
     #: optimizer's estimates were produced, incl. actual vs. saved BN
     #: inference pass counts from shared-belief plans)
     estimate_provenance: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: mid-plan join-order re-rankings triggered by observed cardinalities
+    adaptive_replans: int = 0
 
     @property
     def total_cost(self) -> float:
@@ -75,10 +81,15 @@ class Executor:
         catalog: Catalog,
         config: EngineConfig | None = None,
         registry: MetricsRegistry | None = None,
+        feedback: FeedbackLog | None = None,
     ):
         self.catalog = catalog
         self.config = config or EngineConfig()
         self.registry = registry if registry is not None else MetricsRegistry(enabled=False)
+        #: runtime feedback ring; pairs the plan's (or the serving tier's)
+        #: estimates with the actual cardinalities this executor observes.
+        #: Only consulted when ``config.enable_feedback`` is set.
+        self.feedback = feedback
 
     # ------------------------------------------------------------------
     def execute(self, plan: PhysicalPlan) -> QueryResult:
@@ -105,15 +116,27 @@ class Executor:
             )
         stage_timings["scan"] = time.perf_counter() - stage_start
 
+        capture = self.feedback is not None and self.config.enable_feedback
+        if capture:
+            self._capture_scan_feedback(query, plan, scans)
+
         scanned_rows = {name: scan.row_indices for name, scan in scans.items()}
         stage_start = time.perf_counter()
-        join_exec = hash_join_tree(
-            self.catalog,
-            query,
-            scanned_rows,
-            plan.join_order,
-            max_intermediate_rows=self.config.max_intermediate_rows,
-        )
+        adaptive_replans = 0
+        if capture or self.config.adaptive_replan_factor > 0:
+            join_exec, adaptive_replans = self._execute_joins_stepwise(
+                query, plan, scanned_rows, capture
+            )
+        else:
+            # The historical single-call path: zero added work when the
+            # feedback loop and adaptivity are both off.
+            join_exec = hash_join_tree(
+                self.catalog,
+                query,
+                scanned_rows,
+                plan.join_order,
+                max_intermediate_rows=self.config.max_intermediate_rows,
+            )
         stage_timings["join"] = time.perf_counter() - stage_start
 
         aggregation: AggregationResult | None = None
@@ -162,7 +185,210 @@ class Executor:
                 decision: dict(sources)
                 for decision, sources in plan.decision_provenance.items()
             },
+            adaptive_replans=adaptive_replans,
         )
+
+    # ------------------------------------------------------------------
+    # Runtime feedback capture + adaptive join driver
+    # ------------------------------------------------------------------
+    def _capture_scan_feedback(
+        self,
+        query: CardQuery,
+        plan: PhysicalPlan,
+        scans: dict[str, ScanResult],
+    ) -> None:
+        """Pair each scan's actual cardinality with its estimate.
+
+        A pending served estimate (noted by the serving tier under the same
+        canonical fingerprint) wins over the plan-recorded one because it
+        carries provenance -- ``cache`` hits in particular never reach the
+        optimizer's provenance accounting.
+
+        Canonical fingerprints exist only to pair those pending estimates,
+        and computing one means building the single-table subquery and
+        serializing it -- the bulk of the capture cost.  When the pending
+        side table is empty (no serving tier attached, the common
+        engine-only deployment) a cheap positional key is recorded instead;
+        the monitor consumes evidence by table scope, never by fingerprint.
+        """
+        feedback = self.feedback
+        assert feedback is not None
+        pair = feedback.pending_count > 0
+        for table, scan in scans.items():
+            if pair:
+                fingerprint = query_fingerprint(
+                    query.single_table_subquery(table)
+                )
+                pending = feedback.take_estimate(fingerprint)
+            else:
+                fingerprint = f"scan:{query.name or 'q'}:{table}"
+                pending = None
+            source = "plan"
+            estimated: float | None
+            if pending is not None:
+                estimated = pending.value
+                if pending.unit == "fraction":
+                    estimated *= len(self.catalog.table(table))
+                source = pending.source
+            else:
+                estimated = plan.estimated_table_rows.get(table)
+            if estimated is None:
+                continue
+            feedback.record(
+                fingerprint,
+                (table,),
+                estimated,
+                float(scan.row_indices.size),
+                source=source,
+                kind="scan",
+            )
+
+    def _execute_joins_stepwise(
+        self,
+        query: CardQuery,
+        plan: PhysicalPlan,
+        scanned_rows: dict[str, np.ndarray],
+        capture: bool,
+    ) -> tuple[JoinExecution, int]:
+        """Drive the joins one step at a time.
+
+        After every step the actual intermediate cardinality is known; it is
+        (a) recorded as join feedback and (b) compared against the plan's
+        per-step estimate -- when the deviation exceeds
+        ``config.adaptive_replan_factor`` the remaining order is re-ranked
+        on observed scan cardinalities (a valid linearization is preserved:
+        every re-ranked step still connects to the joined prefix).
+        """
+        if not query.joins:
+            table = query.tables[0]
+            return JoinExecution(tuples={table: scanned_rows[table]}), 0
+        order = list(plan.join_order)
+        if len(order) != len(query.joins):
+            raise ExecutionError(
+                f"join order has {len(order)} steps for {len(query.joins)} joins"
+            )
+        estimates = plan.join_step_estimates
+        execution = JoinExecution(
+            tuples={order[0].left_table: scanned_rows[order[0].left_table]}
+        )
+        executed: list[JoinCondition] = []
+        replans = 0
+        factor = self.config.adaptive_replan_factor
+        index = 0
+        while index < len(order):
+            join = order[index]
+            out_rows = hash_join_step(
+                self.catalog,
+                execution,
+                join,
+                scanned_rows,
+                max_intermediate_rows=self.config.max_intermediate_rows,
+            )
+            executed.append(join)
+            # Plan-recorded estimates only line up with the original order;
+            # after a replan the executed prefix diverges from what the
+            # optimizer costed, so stop attributing its numbers.
+            estimate: float | None = None
+            if replans == 0 and index < len(estimates):
+                estimate = estimates[index]
+                if not math.isfinite(estimate):
+                    estimate = None
+            if capture:
+                self._record_join_feedback(query, execution, executed, estimate)
+            if (
+                factor > 0
+                and replans == 0
+                and estimate is not None
+                and estimate > 0
+                and index + 1 < len(order)
+            ):
+                actual = max(float(out_rows), 1.0)
+                expected = max(estimate, 1.0)
+                deviation = max(actual / expected, expected / actual)
+                if deviation > factor:
+                    order = order[: index + 1] + self._rerank_remaining(
+                        set(execution.tuples), order[index + 1 :], scanned_rows
+                    )
+                    replans += 1
+                    self.registry.counter("adaptive_replan_total").inc()
+            index += 1
+        return execution, replans
+
+    def _record_join_feedback(
+        self,
+        query: CardQuery,
+        execution: JoinExecution,
+        executed: list[JoinCondition],
+        plan_estimate: float | None,
+    ) -> None:
+        feedback = self.feedback
+        assert feedback is not None
+        scope = tuple(sorted(execution.tuples))
+        pending = None
+        if feedback.pending_count > 0:
+            # Canonical fingerprinting (subquery reconstruction + canonical
+            # serialization) is only worth paying when a serving tier may
+            # have noted an estimate to pair; see _capture_scan_feedback.
+            subquery = Optimizer._connected_subquery(
+                query, set(execution.tuples), executed
+            )
+            fingerprint = query_fingerprint(subquery)
+            pending = feedback.take_estimate(fingerprint)
+        else:
+            fingerprint = f"join:{query.name or 'q'}:{'+'.join(scope)}"
+        if pending is not None and pending.unit == "rows":
+            estimated: float | None = pending.value
+            source = pending.source
+        else:
+            estimated = plan_estimate
+            source = "plan"
+        if estimated is None:
+            return
+        feedback.record(
+            fingerprint,
+            scope,
+            estimated,
+            float(execution.result_rows),
+            source=source,
+            kind="join",
+        )
+
+    def _rerank_remaining(
+        self,
+        joined: set[str],
+        remaining: list[JoinCondition],
+        scanned_rows: dict[str, np.ndarray],
+    ) -> list[JoinCondition]:
+        """Greedy smallest-observed-next ordering of the leftover joins.
+
+        Unlike planning-time ordering this ranks on *actual* scanned
+        cardinalities -- free information the plan's estimates got wrong
+        badly enough to trigger the replan.
+        """
+        joined = set(joined)
+        queue = list(remaining)
+        reordered: list[JoinCondition] = []
+        while queue:
+            candidates = [
+                j
+                for j in queue
+                if (j.left_table in joined) != (j.right_table in joined)
+            ]
+            if not candidates:
+                # Disconnected leftovers; keep their original relative order.
+                candidates = queue[:1]
+
+            def observed_size(condition: JoinCondition) -> int:
+                left, right = condition.tables()
+                new_table = right if left in joined else left
+                rows = scanned_rows.get(new_table)
+                return int(rows.size) if rows is not None else 0
+
+            best = min(candidates, key=observed_size)
+            reordered.append(best)
+            joined |= set(best.tables())
+            queue.remove(best)
+        return reordered
 
     # ------------------------------------------------------------------
     def _record_metrics(

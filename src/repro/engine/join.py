@@ -63,52 +63,71 @@ def hash_join_tree(
     execution = JoinExecution(tuples={start_table: scanned[start_table]})
 
     for join in join_order:
-        joined_tables = set(execution.tuples)
-        left, right = join.tables()
-        if left in joined_tables and right not in joined_tables:
-            new_table = right
-        elif right in joined_tables and left not in joined_tables:
-            new_table = left
-        else:
-            raise ExecutionError(
-                f"join order step {join} does not extend the joined prefix"
-            )
-        old_table = left if new_table == right else right
-
-        old_keys = catalog.table(old_table).column(join.side_for(old_table)).values[
-            execution.tuples[old_table]
-        ]
-        new_rows = scanned[new_table]
-        new_keys = catalog.table(new_table).column(join.side_for(new_table)).values[
-            new_rows
-        ]
-
-        # Build on the new table's rows, probe with the intermediate.
-        order = np.argsort(new_keys, kind="stable")
-        sorted_rows = new_rows[order]
-        sorted_keys = new_keys[order]
-        lo = np.searchsorted(sorted_keys, old_keys, side="left")
-        hi = np.searchsorted(sorted_keys, old_keys, side="right")
-        counts = hi - lo
-        out_rows = int(counts.sum())
-        if out_rows > max_intermediate_rows:
-            raise ExecutionError(
-                f"intermediate join result of {out_rows} rows exceeds the "
-                f"cap of {max_intermediate_rows}"
-            )
-        repeat_index = np.repeat(np.arange(old_keys.size), counts)
-        if old_keys.size:
-            take = np.concatenate(
-                [np.arange(a, b) for a, b in zip(lo, hi)]
-            ).astype(np.int64)
-        else:
-            take = np.empty(0, dtype=np.int64)
-
-        execution.tuples = {
-            table: rows[repeat_index] for table, rows in execution.tuples.items()
-        }
-        execution.tuples[new_table] = sorted_rows[take]
-        execution.build_rows += int(new_rows.size)
-        execution.probe_rows += int(old_keys.size)
-        execution.intermediate_sizes.append(out_rows)
+        hash_join_step(catalog, execution, join, scanned, max_intermediate_rows)
     return execution
+
+
+def hash_join_step(
+    catalog: Catalog,
+    execution: JoinExecution,
+    join: JoinCondition,
+    scanned: dict[str, np.ndarray],
+    max_intermediate_rows: int = 30_000_000,
+) -> int:
+    """Join one new table into the accumulated execution, **in place**.
+
+    The single-step building block of :func:`hash_join_tree`, exposed so
+    the executor can drive joins step by step -- observing each step's
+    actual intermediate cardinality (runtime feedback) and re-ranking the
+    remaining order when an actual deviates wildly from its estimate
+    (adaptive replanning).  Returns the step's output row count.
+    """
+    joined_tables = set(execution.tuples)
+    left, right = join.tables()
+    if left in joined_tables and right not in joined_tables:
+        new_table = right
+    elif right in joined_tables and left not in joined_tables:
+        new_table = left
+    else:
+        raise ExecutionError(
+            f"join order step {join} does not extend the joined prefix"
+        )
+    old_table = left if new_table == right else right
+
+    old_keys = catalog.table(old_table).column(join.side_for(old_table)).values[
+        execution.tuples[old_table]
+    ]
+    new_rows = scanned[new_table]
+    new_keys = catalog.table(new_table).column(join.side_for(new_table)).values[
+        new_rows
+    ]
+
+    # Build on the new table's rows, probe with the intermediate.
+    order = np.argsort(new_keys, kind="stable")
+    sorted_rows = new_rows[order]
+    sorted_keys = new_keys[order]
+    lo = np.searchsorted(sorted_keys, old_keys, side="left")
+    hi = np.searchsorted(sorted_keys, old_keys, side="right")
+    counts = hi - lo
+    out_rows = int(counts.sum())
+    if out_rows > max_intermediate_rows:
+        raise ExecutionError(
+            f"intermediate join result of {out_rows} rows exceeds the "
+            f"cap of {max_intermediate_rows}"
+        )
+    repeat_index = np.repeat(np.arange(old_keys.size), counts)
+    if old_keys.size:
+        take = np.concatenate(
+            [np.arange(a, b) for a, b in zip(lo, hi)]
+        ).astype(np.int64)
+    else:
+        take = np.empty(0, dtype=np.int64)
+
+    execution.tuples = {
+        table: rows[repeat_index] for table, rows in execution.tuples.items()
+    }
+    execution.tuples[new_table] = sorted_rows[take]
+    execution.build_rows += int(new_rows.size)
+    execution.probe_rows += int(old_keys.size)
+    execution.intermediate_sizes.append(out_rows)
+    return out_rows

@@ -72,6 +72,13 @@ class PhysicalPlan:
     partition_selectivities: dict[str, dict[int, float]] = field(
         default_factory=dict
     )
+    #: estimated surviving rows per table (selectivity x row count) -- the
+    #: executor pairs these with observed scan cardinalities for the
+    #: runtime feedback log
+    estimated_table_rows: dict[str, float] = field(default_factory=dict)
+    #: estimated intermediate size after each step of ``join_order``
+    #: (parallel lists); ``inf`` marks a step the estimator failed on
+    join_step_estimates: list[float] = field(default_factory=list)
 
 
 class Optimizer:
@@ -117,6 +124,14 @@ class Optimizer:
                         query, table, plan
                     )
             self._plan_partitions(query, table, plan)
+            rows = self._table_rows(table)
+            if rows:
+                # After partition planning: a pinned partition may have
+                # replaced the table-level selectivity with its effective
+                # (shard-model) value.
+                plan.estimated_table_rows[table] = (
+                    plan.table_selectivities[table] * rows
+                )
         if query.joins:
             with self._decision(plan, "join_order", "join_order"):
                 plan.join_order = self._choose_join_order(query, plan)
@@ -453,6 +468,7 @@ class Optimizer:
                     best_join = join
             assert best_join is not None
             order.append(best_join)
+            plan.join_step_estimates.append(best_size)
             used_joins.append(best_join)
             joined |= set(best_join.tables())
             remaining.remove(best_join)
@@ -530,7 +546,17 @@ class Optimizer:
         if final is None:
             # Disconnected under the available edges; fall back to greedy.
             return self._greedy_join_order(query, plan)
-        return final[1]
+        order = final[1]
+        # Reconstruct the per-step size estimates along the chosen order
+        # from the DP's memo (every prefix state was costed there).
+        running = 0
+        for join in order:
+            for table in join.tables():
+                running |= 1 << index_of[table]
+            plan.join_step_estimates.append(
+                size_cache.get(running, float("inf"))
+            )
+        return order
 
     @staticmethod
     def _connected_subquery(

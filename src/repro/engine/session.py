@@ -14,6 +14,7 @@ from repro.engine.config import EngineConfig
 from repro.engine.executor import Executor, QueryResult
 from repro.engine.optimizer import Optimizer
 from repro.estimators.base import CountEstimator, NdvEstimator
+from repro.feedback import FeedbackLog
 from repro.metrics.latency import LatencyProfile
 from repro.sql.query import CardQuery
 from repro.storage.catalog import Catalog
@@ -38,6 +39,7 @@ class EngineSession:
         config: EngineConfig | None = None,
         service=None,
         registry=None,
+        feedback: FeedbackLog | None = None,
     ):
         """Either pass an estimator ``suite`` or an estimation ``service``.
 
@@ -50,6 +52,12 @@ class EngineSession:
         optimizer's decision spans and the executor's scan/join/resize
         counters; when omitted, the session inherits the service's registry
         or the estimator's own (``ByteCard.metrics()``), if either exists.
+
+        ``feedback`` is the runtime :class:`repro.feedback.FeedbackLog`.
+        When ``config.enable_feedback`` is set and none is passed, the
+        session inherits the service's log (so served estimates pair with
+        executed actuals), then the estimator's (``ByteCard.feedback_log``),
+        and finally creates a private one.
         """
         if (suite is None) == (service is None):
             raise ValueError("provide exactly one of suite= or service=")
@@ -67,6 +75,15 @@ class EngineSession:
         self.service = service
         self.registry = registry
         self.config = config or EngineConfig()
+        if feedback is None and self.config.enable_feedback:
+            feedback = getattr(service, "feedback", None)
+            if feedback is None:
+                feedback = getattr(suite.count_estimator, "feedback_log", None)
+            if feedback is None:
+                feedback = FeedbackLog(
+                    capacity=self.config.feedback_capacity, registry=registry
+                )
+        self.feedback = feedback
         self.optimizer = Optimizer(
             suite.count_estimator,
             suite.ndv_estimator,
@@ -74,7 +91,7 @@ class EngineSession:
             registry,
             catalog=catalog,
         )
-        self.executor = Executor(catalog, self.config, registry)
+        self.executor = Executor(catalog, self.config, registry, feedback=feedback)
 
     def run(self, query: CardQuery) -> QueryResult:
         """Plan and execute one query."""

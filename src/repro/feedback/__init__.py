@@ -1,0 +1,8 @@
+"""Runtime cardinality feedback: capture -> monitor -> forge priority.
+
+See :mod:`repro.feedback.log` for the subsystem overview.
+"""
+
+from repro.feedback.log import FeedbackLog, FeedbackRecord, PendingEstimate
+
+__all__ = ["FeedbackLog", "FeedbackRecord", "PendingEstimate"]

@@ -24,8 +24,22 @@ from repro.datasets.base import DatasetBundle
 from repro.errors import ConnectionClosed, FleetError, WorkerDied
 from repro.fleet.protocol import DEADLINE_FROM_CONFIG
 from repro.fleet.worker import WorkerSpec, spawn_worker
+from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["WorkerClient"]
+__all__ = ["WorkerClient", "FRAME_DROP_REASONS"]
+
+#: every way a frame can be dropped on the parent side, pre-registered so
+#: the export shows explicit zeros (a silent swallow is exactly what the
+#: ``fleet_frames_dropped_total`` counter exists to expose)
+FRAME_DROP_REASONS = (
+    "desync",
+    "undecodable",
+    "unknown-kind",
+    "abandoned",
+    "ping",
+    "late-reply",
+    "metrics",
+)
 
 
 class WorkerClient:
@@ -36,9 +50,13 @@ class WorkerClient:
         spec: WorkerSpec,
         bundle: DatasetBundle,
         start_method: str = "fork",
+        registry: MetricsRegistry | None = None,
     ):
         self.spec = spec
         self.worker_id = spec.worker_id
+        self.registry = (
+            registry if registry is not None else MetricsRegistry(enabled=False)
+        )
         self.process, self.conn = spawn_worker(spec, bundle, start_method)
         self._lock = threading.Lock()
         self._pending: dict[int, Future] = {}
@@ -61,9 +79,15 @@ class WorkerClient:
         while True:
             try:
                 kind, req_id, payload = self.conn.recv()
-            except (ConnectionClosed, FleetError):
+            except ConnectionClosed:
+                break  # normal EOF: the worker exited
+            except FleetError:
+                # Oversized/garbled frame: the stream is desynchronized and
+                # nothing after it can be trusted -- count it and give up.
+                self._count_drop("desync")
                 break
             except Exception:  # pragma: no cover - defensive: bad frame
+                self._count_drop("undecodable")
                 break
             if kind == "ready":
                 self.ready_info = payload
@@ -77,10 +101,22 @@ class WorkerClient:
                     future.set_exception(FleetError(str(payload)))
             elif kind in ("res", "pong", "metrics_res", "bye"):
                 future = self._pop_pending(req_id)
-                if future is not None and not future.done():
+                if future is None:
+                    # Nobody is waiting: an abandoned (hedged-away) request's
+                    # late reply, or a reply to a request that already died.
+                    self._count_drop("abandoned")
+                elif not future.done():
                     future.set_result(payload)
-            # unknown frame kinds are ignored (forward compatibility)
+            else:
+                # Unknown frame kinds are tolerated (forward compatibility)
+                # but never silently: the counter is the paper trail.
+                self._count_drop("unknown-kind")
         self._mark_dead()
+
+    def _count_drop(self, reason: str) -> None:
+        self.registry.counter(
+            "fleet_frames_dropped_total", reason=reason
+        ).inc()
 
     def _pop_pending(self, req_id: int) -> Future | None:
         with self._lock:
@@ -156,6 +192,9 @@ class WorkerClient:
             future.result(timeout)
             return True
         except Exception:
+            # A ping that never resolves is a dropped health frame: the
+            # caller only sees False, so leave an audit trail here.
+            self._count_drop("ping")
             return False
 
     def fetch_metrics(self, timeout: float) -> list:

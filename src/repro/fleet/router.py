@@ -44,7 +44,7 @@ from repro.core.config import ByteCardConfig
 from repro.datasets.base import DatasetBundle
 from repro.errors import EstimationError, FleetError, WorkerDied
 from repro.estimators.base import CountEstimator, NdvEstimator
-from repro.fleet.client import WorkerClient
+from repro.fleet.client import FRAME_DROP_REASONS, WorkerClient
 from repro.fleet.config import FleetConfig
 from repro.fleet.sharding import ShardMap
 from repro.fleet.worker import WorkerSpec
@@ -118,6 +118,13 @@ class FleetRouter(CountEstimator, NdvEstimator):
         self.registry = (
             registry if registry is not None else MetricsRegistry(enabled=True)
         )
+        # Every dropped-frame reason shows up in exports as an explicit
+        # zero from the start -- a swallow that never happened is then
+        # distinguishable from one that was never counted.
+        if self.registry.enabled:
+            self.registry.preregister(
+                "fleet_frames_dropped_total", "reason", FRAME_DROP_REASONS
+            )
         worker_ids = list(range(self.config.n_workers))
         self.shard_map = ShardMap(
             worker_ids, virtual_nodes=self.config.virtual_nodes
@@ -171,6 +178,7 @@ class FleetRouter(CountEstimator, NdvEstimator):
             self._spec(worker_id),
             self.bundle,
             start_method=self.config.start_method,
+            registry=self.registry,
         )
 
     def _client(self, worker_id: int) -> WorkerClient | None:
@@ -346,6 +354,11 @@ class FleetRouter(CountEstimator, NdvEstimator):
                 try:
                     payload = future.result()
                 except Exception:
+                    # The late reply was an error frame; it is discarded in
+                    # favor of the hedge -- count the drop, don't hide it.
+                    self.registry.counter(
+                        "fleet_frames_dropped_total", reason="late-reply"
+                    ).inc()
                     self._note_failure(owner)
                     self._bump("worker_errors")
                     return self._finish(
@@ -431,6 +444,11 @@ class FleetRouter(CountEstimator, NdvEstimator):
             try:
                 states[str(worker_id)] = client.fetch_metrics(timeout)
             except Exception:
+                # A worker whose snapshot frame never arrived is simply
+                # absent from the merge; the counter records the gap.
+                self.registry.counter(
+                    "fleet_frames_dropped_total", reason="metrics"
+                ).inc()
                 continue
         return states
 

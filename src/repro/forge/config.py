@@ -25,6 +25,13 @@ class ForgeConfig:
     retention: int = 4
 
     # -- drift-triggered retraining -------------------------------------
+    #: observed-error-mass thresholds (sum of log-Q-Error over the runtime
+    #: feedback behind a failing assessment): at or above ``urgent`` the
+    #: retrain preempts everything (URGENT), at or above ``high`` it takes
+    #: the monitor path's usual HIGH; below, it queues as NORMAL -- a model
+    #: failed by thin or mild evidence must not starve a badly broken one
+    error_mass_high: float = 10.0
+    error_mass_urgent: float = 40.0
     #: a monitor assessment whose p90 Q-Error grew by more than this factor
     #: over the previous assessment counts as *drifting* even if it still
     #: passes the gate, and schedules a proactive retrain

@@ -130,13 +130,35 @@ class ForgeManager:
             ).inc()
         try:
             if kind == "count":
-                self.submit_retrain("bn", report.name)
+                self.submit_retrain(
+                    "bn", report.name, priority=self._retrain_priority(report)
+                )
             elif kind == "ndv":
                 # per-column RBX drift retrains the shared universal
                 # network; per-column jobs coalesce into one.
                 self.submit_retrain("rbx", "universal")
         except RuntimeError:  # scheduler already shut down
             pass
+
+    def _retrain_priority(self, report: MonitorReport) -> int:
+        """Rank a COUNT retrain by *observed* error mass.
+
+        Assessments backed by runtime feedback carry the evidence's summed
+        log-Q-Error (:attr:`MonitorReport.error_mass`); any leftover
+        feedback still in the attached log adds to it.  Purely synthetic
+        assessments (no runtime evidence) keep the legacy fixed HIGH.
+        """
+        mass = report.error_mass
+        feedback = getattr(self.bytecard.monitor, "feedback", None)
+        if feedback is not None:
+            mass += feedback.error_mass(report.name)
+        if not report.feedback_qerrors and mass == 0.0:
+            return JobPriority.HIGH
+        if mass >= self.config.error_mass_urgent:
+            return JobPriority.URGENT
+        if mass >= self.config.error_mass_high:
+            return JobPriority.HIGH
+        return JobPriority.NORMAL
 
     def _drifting(self, name: str) -> bool:
         history = self.bytecard.monitor.drift.get(name, [])

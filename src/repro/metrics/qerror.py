@@ -11,6 +11,7 @@ Q-Error at the 50th/90th/99th percentiles (Tables 1 and 2) and as violin plots
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -27,7 +28,10 @@ def qerror(estimate: float, truth: float) -> float:
     """Return the Q-Error of a single estimate.
 
     Both arguments are clamped to at least one row; the result is always
-    ``>= 1``.
+    ``>= 1``.  Non-finite inputs (NaN, +/-inf) are rejected with
+    ``ValueError``: ``max(nan, 1.0)`` is NaN in Python, so letting them
+    through would silently poison every quantile and drift series computed
+    downstream.
 
     >>> qerror(10, 100)
     10.0
@@ -36,8 +40,14 @@ def qerror(estimate: float, truth: float) -> float:
     >>> qerror(0, 0)
     1.0
     """
-    est = max(float(estimate), _CLAMP_ROWS)
-    tru = max(float(truth), _CLAMP_ROWS)
+    est = float(estimate)
+    tru = float(truth)
+    if not math.isfinite(est):
+        raise ValueError(f"non-finite estimate in qerror: {est!r}")
+    if not math.isfinite(tru):
+        raise ValueError(f"non-finite truth in qerror: {tru!r}")
+    est = max(est, _CLAMP_ROWS)
+    tru = max(tru, _CLAMP_ROWS)
     return max(est / tru, tru / est)
 
 
@@ -46,14 +56,21 @@ def qerror_many(
 ) -> np.ndarray:
     """Vectorized :func:`qerror` over parallel sequences.
 
-    Raises ``ValueError`` when the sequences differ in length.
+    Raises ``ValueError`` when the sequences differ in length or when
+    either side contains a non-finite value.
     """
-    est = np.maximum(np.asarray(list(estimates), dtype=np.float64), _CLAMP_ROWS)
-    tru = np.maximum(np.asarray(list(truths), dtype=np.float64), _CLAMP_ROWS)
+    est = np.asarray(list(estimates), dtype=np.float64)
+    tru = np.asarray(list(truths), dtype=np.float64)
     if est.shape != tru.shape:
         raise ValueError(
             f"estimates and truths differ in length: {est.shape} vs {tru.shape}"
         )
+    if not np.isfinite(est).all():
+        raise ValueError("non-finite estimate in qerror_many")
+    if not np.isfinite(tru).all():
+        raise ValueError("non-finite truth in qerror_many")
+    est = np.maximum(est, _CLAMP_ROWS)
+    tru = np.maximum(tru, _CLAMP_ROWS)
     return np.maximum(est / tru, tru / est)
 
 

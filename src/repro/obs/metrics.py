@@ -24,7 +24,7 @@ from __future__ import annotations
 import threading
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterator, Mapping
+from typing import Iterable, Iterator, Mapping
 
 from repro.metrics.quantiles import quantile
 
@@ -300,6 +300,17 @@ class MetricsRegistry:
 
     def counter(self, name: str, **labels) -> Counter:
         return self._get_or_create(Counter, name, labels)
+
+    def preregister(self, name: str, label: str, values: Iterable[str]) -> None:
+        """Create one zero-valued counter per label value up front.
+
+        Error-path counters (dropped frames, refused loads) must exist in
+        the export *before* the first failure: an absent series is
+        indistinguishable from "never happened", which is exactly the
+        blindness pre-registration removes.
+        """
+        for value in values:
+            self.counter(name, **{label: value})
 
     def gauge(self, name: str, **labels) -> Gauge:
         return self._get_or_create(Gauge, name, labels)

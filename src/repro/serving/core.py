@@ -42,6 +42,7 @@ from typing import Callable
 from repro.core.loader import ModelLoader, RefreshReport
 from repro.errors import EstimationError
 from repro.estimators.base import CountEstimator, NdvEstimator
+from repro.feedback import FeedbackLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import SpanRecord, Tracer
 from repro.serving.batching import MicroBatcher, default_batch_key
@@ -95,10 +96,15 @@ class EstimationCore:
         config: ServingConfig | None = None,
         loader: ModelLoader | None = None,
         registry: MetricsRegistry | None = None,
+        feedback: FeedbackLog | None = None,
     ):
         self.estimator = estimator
         self.fallback_count = fallback_count
         self.fallback_ndv = fallback_ndv
+        #: runtime feedback log; every served COUNT estimate (cache hits
+        #: included -- they never reach the optimizer's provenance) is noted
+        #: as pending so the executor can pair it with the observed actual
+        self.feedback = feedback
         self.config = config or ServingConfig()
         self.registry = registry if registry is not None else MetricsRegistry(enabled=False)
         self.tracer = Tracer(self.registry)
@@ -199,7 +205,10 @@ class EstimationCore:
             with self.tracer.span("serve.cache_lookup", sink=stages):
                 cached = self.cache.get(key)
             if cached is not None:
-                return self._finish(cached, "cache", start, stages=stages)
+                return self._finish(
+                    cached, "cache", start, stages=stages, task=task, query=query,
+                    fingerprint=key[1],
+                )
         stamp = self.cache.stamp(query.tables) if self.cache is not None else None
         future = self.pool.try_submit(compute)
         if future is None:
@@ -209,7 +218,10 @@ class EstimationCore:
             ).inc()
             with self.tracer.span("serve.fallback", sink=stages):
                 value = fallback(query)
-            return self._finish(value, "fallback-rejected", start, stages=stages)
+            return self._finish(
+                value, "fallback-rejected", start, stages=stages, task=task,
+                query=query, fingerprint=key[1],
+            )
         deadline = self._deadline_s(deadline_ms)
         remaining = None
         if deadline is not None:
@@ -227,7 +239,8 @@ class EstimationCore:
             with self.tracer.span("serve.fallback", sink=stages):
                 fell_back = fallback(query)
             return self._finish(
-                fell_back, "fallback-timeout", start, stages=stages
+                fell_back, "fallback-timeout", start, stages=stages, task=task,
+                query=query, fingerprint=key[1],
             )
         except (Exception, FutureCancelledError):
             # CancelledError (a BaseException since 3.8) reaches here when a
@@ -239,10 +252,16 @@ class EstimationCore:
             ).inc()
             with self.tracer.span("serve.fallback", sink=stages):
                 fell_back = fallback(query)
-            return self._finish(fell_back, "fallback-error", start, stages=stages)
+            return self._finish(
+                fell_back, "fallback-error", start, stages=stages, task=task,
+                query=query, fingerprint=key[1],
+            )
         if self.cache is not None and stamp is not None:
             self.cache.put(key, value, stamp)
-        return self._finish(value, "model", start, batched=batched, stages=stages)
+        return self._finish(
+            value, "model", start, batched=batched, stages=stages, task=task,
+            query=query, fingerprint=key[1],
+        )
 
     def _cache_late_result(self, key, stamp, future: Future) -> None:
         """A timed-out estimate still warms the cache once it completes --
@@ -264,6 +283,9 @@ class EstimationCore:
         start: float,
         batched: bool = False,
         stages: list[SpanRecord] | None = None,
+        task: str | None = None,
+        query: CardQuery | None = None,
+        fingerprint=None,
     ) -> ServedEstimate:
         latency = time.perf_counter() - start
         estimate = ServedEstimate(
@@ -274,6 +296,15 @@ class EstimationCore:
             stages=tuple(stages) if stages else (),
         )
         self.stats_collector.record_latency(latency, path=estimate.path)
+        if (
+            self.feedback is not None
+            and task == "count"
+            and fingerprint is not None
+            and query is not None
+        ):
+            self.feedback.note_estimate(
+                fingerprint, tuple(query.tables), estimate.value, source=source
+            )
         return estimate
 
     def _batch_key(self, query: CardQuery) -> str:
@@ -342,11 +373,24 @@ class EstimationCore:
         """
         self.stats_collector.increment("requests")
         self.registry.counter("serving_requests_total", task="selectivity").inc()
-        key = ("selectivity", query_fingerprint(query))
+        fingerprint = query_fingerprint(query)
+        key = ("selectivity", fingerprint)
+
+        def noted(value: float, source: str) -> tuple[float, str]:
+            if self.feedback is not None:
+                self.feedback.note_estimate(
+                    fingerprint,
+                    tuple(query.tables),
+                    value,
+                    source=source,
+                    unit="fraction",
+                )
+            return value, source
+
         if self.cache is not None:
             cached = self.cache.get(key)
             if cached is not None:
-                return cached, "cache"
+                return noted(cached, "cache")
             stamp = self.cache.stamp(query.tables)
         try:
             value = float(self.estimator.selectivity(query))
@@ -355,10 +399,10 @@ class EstimationCore:
             self.registry.counter(
                 "serving_fallbacks_total", reason="error"
             ).inc()
-            return float(self.fallback_count.selectivity(query)), "fallback-error"
+            return noted(float(self.fallback_count.selectivity(query)), "fallback-error")
         if self.cache is not None:
             self.cache.put(key, value, stamp)
-        return value, "model"
+        return noted(value, "model")
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle

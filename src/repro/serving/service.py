@@ -45,6 +45,7 @@ class EstimationService(CountEstimator, NdvEstimator):
         config: ServingConfig | None = None,
         loader: ModelLoader | None = None,
         registry: MetricsRegistry | None = None,
+        feedback=None,
     ):
         self.core = EstimationCore(
             estimator=estimator,
@@ -53,6 +54,7 @@ class EstimationService(CountEstimator, NdvEstimator):
             config=config,
             loader=loader,
             registry=registry,
+            feedback=feedback,
         )
 
     # ------------------------------------------------------------------
@@ -77,6 +79,10 @@ class EstimationService(CountEstimator, NdvEstimator):
     @property
     def registry(self) -> MetricsRegistry:
         return self.core.registry
+
+    @property
+    def feedback(self):
+        return self.core.feedback
 
     @property
     def cache(self):

@@ -1,0 +1,69 @@
+"""Regression tests for the monitor's test-predicate generator.
+
+The old generator drew columns *with* replacement inside a bounded retry
+loop (``count * 3`` draws): on tables with few filter columns it could
+exhaust the draws and silently return fewer predicates than requested,
+skewing assessments toward under-constrained queries.  Sampling without
+replacement makes full coverage deterministic.
+"""
+
+from repro.core import ByteCardConfig
+from repro.core.monitor import ModelMonitor
+
+
+def _monitor(bundle):
+    return ModelMonitor(bundle, ByteCardConfig(monitor_queries_per_table=6))
+
+
+class TestRandomPredicates:
+    def test_full_coverage_when_count_matches_columns(self, aeolus):
+        monitor = _monitor(aeolus)
+        for table, columns in aeolus.filter_columns.items():
+            predicates = monitor._random_predicates(table, len(columns))
+            assert len(predicates) == len(columns)
+            assert {p.column for p in predicates} == set(columns)
+
+    def test_overdraw_caps_at_available_columns(self, aeolus):
+        monitor = _monitor(aeolus)
+        table, columns = next(iter(aeolus.filter_columns.items()))
+        predicates = monitor._random_predicates(table, len(columns) * 5)
+        assert len(predicates) == len(columns)
+        assert {p.column for p in predicates} == set(columns)
+
+    def test_partial_draw_is_exact_and_distinct(self, aeolus):
+        monitor = _monitor(aeolus)
+        for table, columns in aeolus.filter_columns.items():
+            if len(columns) < 2:
+                continue
+            for _ in range(20):  # the old loop failed probabilistically
+                predicates = monitor._random_predicates(table, len(columns) - 1)
+                assert len(predicates) == len(columns) - 1
+                assert len({p.column for p in predicates}) == len(predicates)
+
+    def test_exclude_removes_the_column(self, aeolus):
+        monitor = _monitor(aeolus)
+        table, columns = next(
+            (t, c) for t, c in aeolus.filter_columns.items() if len(c) >= 2
+        )
+        excluded = columns[0]
+        predicates = monitor._random_predicates(
+            table, len(columns), exclude=excluded
+        )
+        assert len(predicates) == len(columns) - 1
+        assert excluded not in {p.column for p in predicates}
+
+    def test_zero_or_no_columns_yield_empty(self, aeolus):
+        monitor = _monitor(aeolus)
+        table = next(iter(aeolus.filter_columns))
+        assert monitor._random_predicates(table, 0) == []
+        assert monitor._random_predicates("no-such-table", 3) == []
+
+    def test_generated_queries_hit_requested_predicate_counts(self, aeolus):
+        """End to end: every generated test query carries 1-3 predicates on
+        distinct columns (the generator's contract)."""
+        monitor = _monitor(aeolus)
+        for table in aeolus.filter_columns:
+            for query in monitor.generate_count_tests(table):
+                assert 1 <= len(query.predicates) <= 3
+                columns = [p.column for p in query.predicates]
+                assert len(set(columns)) == len(columns)

@@ -1,0 +1,222 @@
+"""The feedback loop end to end: executor evidence -> monitor -> forge.
+
+The acceptance scenario of the runtime feedback loop: a table's data
+distribution shifts *after* its model was trained; ordinary query execution
+(no probes, no synthetic test queries) captures (estimate, actual) pairs
+whose Q-Errors expose the stale model; ``assess_from_feedback`` gates the
+table from that evidence alone; and the forge schedules a retrain whose
+priority reflects the observed error mass.
+"""
+
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import ByteCard, ByteCardConfig
+from repro.core.monitor import MonitorReport
+from repro.engine import EngineConfig, EngineSession
+from repro.feedback import FeedbackLog
+from repro.forge.config import ForgeConfig
+from repro.forge.manager import ForgeManager
+from repro.forge.scheduler import JobPriority
+from repro.sql.query import CardQuery, PredicateOp, TablePredicate
+from repro.storage import Table
+
+
+def _shift_distribution(bundle, table_name: str, column: str) -> None:
+    table = bundle.catalog.table(table_name)
+    arrays = {
+        name: table.column(name).values.copy() for name in table.column_names()
+    }
+    values = arrays[column]
+    arrays[column] = (values + values.max() + 1).astype(values.dtype)
+    bundle.catalog.replace(
+        Table.from_arrays(table_name, arrays, block_size=table.block_size)
+    )
+
+
+@pytest.fixture()
+def fresh_aeolus():
+    from repro.datasets import make_aeolus
+
+    return make_aeolus(scale=0.15, seed=71)
+
+
+@pytest.fixture()
+def built(fresh_aeolus):
+    config = ByteCardConfig(
+        training_sample_rows=4000,
+        rbx_corpus_size=300,
+        rbx_epochs=5,
+        monitor_queries_per_table=10,
+        join_bucket_count=40,
+        max_bins=32,
+        qerror_gate=8.0,
+    )
+    return ByteCard.build(fresh_aeolus, config=config, run_monitor=False)
+
+
+def _run_drifted_queries(built, bundle, table: str, column: str) -> None:
+    """Ordinary query execution over the drifted table; the engine session
+    captures the runtime evidence as a by-product."""
+    session = EngineSession(
+        bundle.catalog,
+        suite=built.as_suite(),
+        config=EngineConfig(enable_feedback=True),
+        registry=built.obs,
+    )
+    assert session.feedback is built.feedback_log
+    values = bundle.catalog.table(table).column(column).values
+    anchors = sorted({float(values.min()), float(values.mean()), float(values.max())})
+    for index, anchor in enumerate(anchors):
+        session.run(
+            CardQuery(
+                tables=(table,),
+                predicates=(
+                    TablePredicate(table, column, PredicateOp.GE, anchor),
+                ),
+                name=f"prod-{table}-{index}",
+            )
+        )
+
+
+class TestMonitorFeedbackShare:
+    def test_assessment_mixes_feedback_evidence(self, built):
+        log = built.enable_feedback()
+        for i in range(5):
+            log.record(f"fp{i}", ("impressions",), 10.0, 10.0)
+        report = built.monitor.assess_count_model("impressions", built)
+        assert report.source in ("feedback", "mixed")
+        assert len(report.feedback_qerrors) == 5
+        # Consumed: a second assessment sees no leftover evidence.
+        assert log.records_for("impressions") == []
+
+    def test_share_zero_keeps_assessments_synthetic(self, fresh_aeolus):
+        config = ByteCardConfig(
+            training_sample_rows=4000,
+            rbx_corpus_size=300,
+            rbx_epochs=5,
+            monitor_queries_per_table=6,
+            join_bucket_count=40,
+            max_bins=32,
+            monitor_feedback_share=0.0,
+        )
+        built = ByteCard.build(fresh_aeolus, config=config, run_monitor=False)
+        log = built.enable_feedback()
+        log.record("fp", ("impressions",), 10.0, 10.0)
+        report = built.monitor.assess_count_model("impressions", built)
+        assert report.source == "synthetic"
+        assert report.feedback_qerrors == []
+        assert len(log.records_for("impressions")) == 1  # untouched
+
+
+class TestAssessFromFeedback:
+    def test_returns_none_without_evidence(self, built):
+        built.enable_feedback()
+        assert built.monitor.assess_from_feedback("impressions") is None
+
+    def test_returns_none_without_log(self, built):
+        assert built.monitor.assess_from_feedback("impressions") is None
+
+    def test_verdict_from_runtime_pairs_only(self, built, monkeypatch):
+        log = built.enable_feedback()
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - assertion aid
+            raise AssertionError("synthetic test queries must not be generated")
+
+        monkeypatch.setattr(built.monitor, "generate_count_tests", forbidden)
+        for i in range(4):
+            log.record(f"fp{i}", ("impressions",), 1.0, 1000.0)
+        report = built.monitor.assess_from_feedback("impressions")
+        assert report is not None
+        assert report.source == "feedback"
+        assert report.passed is False
+        assert report.qerrors == report.feedback_qerrors
+        assert report.error_mass == pytest.approx(4 * math.log(1000.0))
+
+
+class TestAcceptance:
+    def test_drift_flagged_and_retrain_scheduled_from_runtime_feedback(
+        self, built, fresh_aeolus, tmp_path, monkeypatch
+    ):
+        """Drifted table -> fallback imposed and a HIGH-or-better retrain
+        scheduled, from runtime feedback alone (zero synthetic queries)."""
+        built.enable_feedback()
+        _shift_distribution(fresh_aeolus, "impressions", "cost_millis")
+        _shift_distribution(fresh_aeolus, "impressions", "user_segment")
+        _run_drifted_queries(built, fresh_aeolus, "impressions", "cost_millis")
+        assert built.feedback_log.records_for("impressions")
+
+        with built.forge(tmp_path / "store") as manager:
+            submitted = []
+
+            def record_submit(kind, name, priority=JobPriority.HIGH):
+                submitted.append((kind, name, priority))
+                return SimpleNamespace(kind=kind, name=name, priority=priority)
+
+            monkeypatch.setattr(manager, "submit_retrain", record_submit)
+            monkeypatch.setattr(
+                built.monitor,
+                "generate_count_tests",
+                lambda *a, **k: pytest.fail("synthetic query generated"),
+            )
+
+            report = built.reassess_from_feedback("impressions")
+
+        assert report is not None
+        assert report.source == "feedback"
+        assert report.passed is False
+        assert "impressions" in built.fallback_tables
+        assert submitted, "no retrain was scheduled"
+        kind, name, priority = submitted[0]
+        assert (kind, name) == ("bn", "impressions")
+        assert priority <= JobPriority.HIGH
+        # Evidence was consumed: it cannot re-fail the retrained model.
+        assert built.feedback_log.records_for("impressions") == []
+
+
+class TestRetrainPriority:
+    def _manager(self, feedback=None):
+        """A detached shim exposing exactly what _retrain_priority reads."""
+        return SimpleNamespace(
+            bytecard=SimpleNamespace(monitor=SimpleNamespace(feedback=feedback)),
+            config=ForgeConfig(),
+        )
+
+    def _priority(self, report, feedback=None):
+        return ForgeManager._retrain_priority(self._manager(feedback), report)
+
+    def test_synthetic_only_keeps_legacy_high(self):
+        report = MonitorReport(name="t", qerrors=[50.0], passed=False)
+        assert self._priority(report) == JobPriority.HIGH
+
+    def test_heavy_observed_mass_is_urgent(self):
+        qs = [1000.0] * 8  # mass = 8 * ln(1000) ~ 55
+        report = MonitorReport(
+            name="t", qerrors=list(qs), feedback_qerrors=list(qs), passed=False
+        )
+        assert self._priority(report) == JobPriority.URGENT
+
+    def test_moderate_mass_is_high(self):
+        qs = [100.0] * 3  # mass ~ 13.8
+        report = MonitorReport(
+            name="t", qerrors=list(qs), feedback_qerrors=list(qs), passed=False
+        )
+        assert self._priority(report) == JobPriority.HIGH
+
+    def test_thin_mass_queues_normal(self):
+        qs = [2.0, 3.0]  # mass ~ 1.8
+        report = MonitorReport(
+            name="t", qerrors=list(qs), feedback_qerrors=list(qs), passed=False
+        )
+        assert self._priority(report) == JobPriority.NORMAL
+
+    def test_leftover_log_mass_counts(self):
+        log = FeedbackLog(capacity=16)
+        for i in range(8):
+            log.record(f"fp{i}", ("t",), 1.0, 1000.0)
+        report = MonitorReport(
+            name="t", qerrors=[5.0], feedback_qerrors=[5.0], passed=False
+        )
+        assert self._priority(report, feedback=log) == JobPriority.URGENT

@@ -1,0 +1,132 @@
+"""Dropped fleet frames are counted, never silently swallowed.
+
+The receiver loop, the hedge path, and the metrics sweep all used to eat
+broken or orphaned frames with bare ``except``/``continue``; every such
+site now increments ``fleet_frames_dropped_total{reason=...}``.  These
+tests drive a :class:`WorkerClient` over a scripted in-memory connection
+(no real worker process) so each drop reason is hit deterministically.
+"""
+
+import itertools
+import threading
+
+from repro.errors import ConnectionClosed, FleetError
+from repro.fleet.client import FRAME_DROP_REASONS, WorkerClient
+from repro.obs.metrics import MetricsRegistry
+
+
+class _ScriptedConn:
+    """Replays a fixed frame sequence, then EOF; records sends."""
+
+    def __init__(self, frames=()):
+        self.frames = list(frames)
+        self.sent = []
+
+    def recv(self):
+        if not self.frames:
+            raise ConnectionClosed("eof")
+        item = self.frames.pop(0)
+        if isinstance(item, Exception):
+            raise item
+        return item
+
+    def send(self, kind, req_id, payload):
+        self.sent.append((kind, req_id, payload))
+
+    def close(self):
+        pass
+
+
+class _StubProcess:
+    def is_alive(self):
+        return False
+
+
+def _client(frames, registry):
+    """A WorkerClient over a scripted connection; the receive loop is run
+    synchronously (no thread) so assertions need no waiting."""
+    client = WorkerClient.__new__(WorkerClient)
+    client.spec = None
+    client.worker_id = 7
+    client.registry = registry
+    client.process = _StubProcess()
+    client.conn = _ScriptedConn(frames)
+    client._lock = threading.Lock()
+    client._pending = {}
+    client._req_ids = itertools.count(1)
+    client.ready = threading.Event()
+    client.ready_info = None
+    client.dead = threading.Event()
+    client.fatal_error = None
+    return client
+
+
+def _count(registry, reason):
+    return registry.counter("fleet_frames_dropped_total", reason=reason).value
+
+
+class TestReceiverDrops:
+    def test_clean_eof_counts_nothing(self):
+        registry = MetricsRegistry(enabled=True)
+        client = _client([], registry)
+        client._receive_loop()
+        assert client.dead.is_set()
+        for reason in FRAME_DROP_REASONS:
+            assert _count(registry, reason) == 0
+
+    def test_desynchronized_stream_counted(self):
+        registry = MetricsRegistry(enabled=True)
+        client = _client([FleetError("oversized frame")], registry)
+        client._receive_loop()
+        assert _count(registry, "desync") == 1
+        assert client.dead.is_set()
+
+    def test_undecodable_frame_counted(self):
+        registry = MetricsRegistry(enabled=True)
+        client = _client([RuntimeError("pickle went sideways")], registry)
+        client._receive_loop()
+        assert _count(registry, "undecodable") == 1
+
+    def test_unknown_kind_counted_but_tolerated(self):
+        registry = MetricsRegistry(enabled=True)
+        client = _client([("mystery", 1, None), ("pong", 2, None)], registry)
+        client._receive_loop()
+        # The loop kept going after the unknown frame (forward compat) ...
+        assert _count(registry, "unknown-kind") == 1
+        # ... and the orphaned pong (nothing pending) counted as abandoned.
+        assert _count(registry, "abandoned") == 1
+
+    def test_late_reply_to_abandoned_request_counted(self):
+        registry = MetricsRegistry(enabled=True)
+        client = _client([("res", 42, (1.0, "model", 0.0, False))], registry)
+        client._receive_loop()
+        assert _count(registry, "abandoned") == 1
+
+    def test_pending_reply_is_not_a_drop(self):
+        registry = MetricsRegistry(enabled=True)
+        client = _client([("res", 5, (2.0, "model", 0.0, False))], registry)
+        from concurrent.futures import Future
+
+        future = Future()
+        client._pending[5] = future
+        client._receive_loop()
+        assert future.result(timeout=0) == (2.0, "model", 0.0, False)
+        assert _count(registry, "abandoned") == 0
+
+
+class TestPingDrops:
+    def test_unanswered_ping_counted(self):
+        registry = MetricsRegistry(enabled=True)
+        client = _client([], registry)
+        # ping submits over the scripted conn; nothing ever answers it.
+        assert client.ping(timeout=0.05) is False
+        assert _count(registry, "ping") == 1
+        assert client.conn.sent[0][0] == "ping"
+
+
+class TestDisabledRegistry:
+    def test_counting_is_noop_without_registry(self):
+        registry = MetricsRegistry(enabled=False)
+        client = _client([FleetError("boom")], registry)
+        client._receive_loop()  # must not raise
+        assert client.dead.is_set()

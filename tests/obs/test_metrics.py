@@ -112,6 +112,23 @@ class TestRegistry:
         assert registry.get("nope") is None
         assert len(registry) == 0
 
+    def test_preregister_creates_explicit_zeros(self):
+        registry = MetricsRegistry()
+        registry.preregister(
+            "dropped_total", "reason", ("garbled", "stale", "orphan")
+        )
+        assert len(registry) == 3
+        for reason in ("garbled", "stale", "orphan"):
+            metric = registry.get("dropped_total", reason=reason)
+            assert metric is not None and metric.value == 0.0
+        # The zeros show up in exports before any increment happens.
+        assert 'reason="orphan"' in export_text(registry)
+
+    def test_preregister_noop_when_disabled(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.preregister("dropped_total", "reason", ("a", "b"))
+        assert len(registry) == 0
+
 
 class TestExport:
     def make_registry(self) -> MetricsRegistry:

@@ -59,6 +59,41 @@ class TestQError:
             qerror_many([1, 2], [1])
 
 
+class TestQErrorNonFinite:
+    """Regression: ``max(nan, 1.0)`` is NaN in Python, so a NaN estimate
+    used to flow straight through the clamp and poison every quantile and
+    drift series computed downstream.  Non-finite inputs are now rejected."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_scalar_rejects_non_finite_estimate(self, bad):
+        with pytest.raises(ValueError, match="estimate"):
+            qerror(bad, 10.0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_scalar_rejects_non_finite_truth(self, bad):
+        with pytest.raises(ValueError, match="truth"):
+            qerror(10.0, bad)
+
+    def test_negative_inputs_clamp_finite(self):
+        # Negative cardinalities are nonsense but finite: the row clamp
+        # (not an exception) absorbs them, matching the zero-row case.
+        assert qerror(-5.0, 10.0) == 10.0
+        assert qerror(10.0, -5.0) == 10.0
+        assert qerror(-1.0, -2.0) == 1.0
+
+    def test_vectorized_rejects_nan_estimate(self):
+        with pytest.raises(ValueError, match="estimate"):
+            qerror_many([1.0, float("nan")], [1.0, 2.0])
+
+    def test_vectorized_rejects_inf_truth(self):
+        with pytest.raises(ValueError, match="truth"):
+            qerror_many([1.0, 2.0], [float("inf"), 2.0])
+
+    def test_vectorized_result_always_finite(self):
+        result = qerror_many([0.0, 1e12, -3.0], [1e12, 0.0, 7.0])
+        assert np.isfinite(result).all()
+
+
 class TestSummaries:
     def test_summary_quantiles_ordered(self):
         values = list(np.linspace(1, 1000, 500))
@@ -74,6 +109,20 @@ class TestSummaries:
     def test_as_row(self):
         summary = summarize_qerrors([1.0, 2.0, 3.0])
         assert summary.as_row() == (summary.p50, summary.p90, summary.p99)
+
+    def test_single_element_sample(self):
+        summary = summarize_qerrors([7.5])
+        assert summary.count == 1
+        assert summary.p50 == summary.p90 == summary.p99 == 7.5
+        assert summary.maximum == 7.5
+        assert summary.mean == 7.5
+
+    def test_constant_sample(self):
+        summary = summarize_qerrors([3.0] * 42)
+        assert summary.count == 42
+        assert summary.as_row() == (3.0, 3.0, 3.0)
+        assert summary.maximum == 3.0
+        assert summary.mean == 3.0
 
 
 class TestQuantiles:
@@ -93,6 +142,15 @@ class TestQuantiles:
         p25, p75 = quantiles(values, [0.25, 0.75])
         assert p25 == 25.0
         assert p75 == 75.0
+
+    def test_single_element_any_q(self):
+        for q in (0.0, 0.5, 0.9, 1.0):
+            assert quantile([4.2], q) == 4.2
+
+    def test_constant_sample_any_q(self):
+        values = [9.0] * 17
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert quantile(values, q) == 9.0
 
     @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1))
     def test_quantile_within_range(self, values):
