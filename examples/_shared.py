@@ -1,0 +1,63 @@
+"""Helpers shared by the runnable examples.
+
+Every demo wants the same thing before it can show its loop: a small
+Aeolus bundle and a ByteCard trained on it in seconds, not minutes.  The
+reduced knobs live here so the demo scripts stay focused on the lifecycle
+they demonstrate.  The examples are run as scripts (``python
+examples/<demo>.py``), so this module is imported as plain ``_shared``.
+"""
+
+from __future__ import annotations
+
+from repro.core import ByteCard, ByteCardConfig
+from repro.datasets import make_aeolus
+from repro.storage import Table
+
+#: demo-sized training knobs; pass overrides through
+#: :func:`build_small_bytecard` to tighten or loosen per demo
+DEMO_CONFIG = dict(
+    training_sample_rows=4000,
+    rbx_corpus_size=300,
+    rbx_epochs=5,
+    monitor_queries_per_table=10,
+    join_bucket_count=40,
+    max_bins=32,
+    qerror_gate=8.0,
+)
+
+
+def build_small_bytecard(
+    scale: float = 0.15,
+    seed: int = 71,
+    run_monitor: bool = False,
+    **overrides,
+):
+    """A demo-sized ``(bundle, bytecard)`` pair, trained and ready.
+
+    ``overrides`` patch individual :class:`ByteCardConfig` fields on top
+    of :data:`DEMO_CONFIG` (e.g. ``training_sample_rows=1500`` for an
+    even faster start).
+    """
+    bundle = make_aeolus(scale=scale, seed=seed)
+    config = ByteCardConfig(**{**DEMO_CONFIG, **overrides})
+    bytecard = ByteCard.build(bundle, config=config, run_monitor=run_monitor)
+    return bundle, bytecard
+
+
+def shift_distribution(bundle, table_name: str, column: str) -> None:
+    """Shift every value of ``column`` past the trained model's domain.
+
+    The bluntest drift instrument: a wholesale table replacement that
+    leaves any model trained on the old data maximally stale.  For
+    incremental, timestamped drift use :class:`repro.stream.DriftRecipe`
+    instead (see ``stream_demo.py``).
+    """
+    table = bundle.catalog.table(table_name)
+    arrays = {
+        name: table.column(name).values.copy() for name in table.column_names()
+    }
+    values = arrays[column]
+    arrays[column] = (values + values.max() + 1).astype(values.dtype)
+    bundle.catalog.replace(
+        Table.from_arrays(table_name, arrays, block_size=table.block_size)
+    )

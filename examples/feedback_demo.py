@@ -29,41 +29,17 @@ from __future__ import annotations
 import sys
 import tempfile
 
-from repro.core import ByteCard, ByteCardConfig
-from repro.datasets import make_aeolus
+from _shared import build_small_bytecard, shift_distribution
+
 from repro.engine import EngineConfig, EngineSession
 from repro.sql.query import CardQuery, PredicateOp, TablePredicate
-from repro.storage import Table
 
 TABLE, COLUMN = "impressions", "cost_millis"
 
 
-def shift_distribution(bundle, table_name: str, column: str) -> None:
-    """Shift every value past the trained model's observed domain."""
-    table = bundle.catalog.table(table_name)
-    arrays = {
-        name: table.column(name).values.copy() for name in table.column_names()
-    }
-    values = arrays[column]
-    arrays[column] = (values + values.max() + 1).astype(values.dtype)
-    bundle.catalog.replace(
-        Table.from_arrays(table_name, arrays, block_size=table.block_size)
-    )
-
-
 def main(store_dir: str) -> None:
     print("== 1. build ByteCard + enable the runtime feedback log ==")
-    bundle = make_aeolus(scale=0.15, seed=71)
-    config = ByteCardConfig(
-        training_sample_rows=4000,
-        rbx_corpus_size=300,
-        rbx_epochs=5,
-        monitor_queries_per_table=10,
-        join_bucket_count=40,
-        max_bins=32,
-        qerror_gate=8.0,
-    )
-    bytecard = ByteCard.build(bundle, config=config, run_monitor=False)
+    bundle, bytecard = build_small_bytecard(scale=0.15, seed=71)
     log = bytecard.enable_feedback()
     session = EngineSession(
         bundle.catalog,

@@ -145,7 +145,7 @@ class ByteCard(CountEstimator, NdvEstimator):
             bytecard.run_monitor()
         return bytecard
 
-    def forge(self, store_dir, forge_config=None) -> "object":
+    def forge(self, store_dir, forge_config=None, clock=None) -> "object":
         """An asynchronous lifecycle manager bound to this instance.
 
         Returns a :class:`repro.forge.ForgeManager`: background training
@@ -153,7 +153,10 @@ class ByteCard(CountEstimator, NdvEstimator):
         and a drift-triggered retrain loop subscribed to this instance's
         Model Monitor.  Current models are persisted on creation (unless
         the config says otherwise), so :meth:`from_store` can warm-start a
-        future process from the same directory.
+        future process from the same directory.  ``clock`` (see
+        :class:`repro.utils.clock.Clock`) puts the training scheduler on an
+        injected time source -- the streaming soak runs it on simulated
+        time.
         """
         from repro.forge import ArtifactStore, ForgeConfig, ForgeManager
 
@@ -161,7 +164,7 @@ class ByteCard(CountEstimator, NdvEstimator):
         store = ArtifactStore(
             store_dir, retention=forge_config.retention, metrics=self.obs
         )
-        return ForgeManager(self, store, forge_config)
+        return ForgeManager(self, store, forge_config, clock=clock)
 
     def _make_engine(self, kind: str, name: str):
         if kind == "bn":
@@ -184,7 +187,12 @@ class ByteCard(CountEstimator, NdvEstimator):
             if engine.model is not None:
                 models[name] = engine.model
         if models:
-            bucketizer = self.preprocessor.build_join_buckets()
+            # Assemble on the grid the models were *trained* with; the
+            # live catalog may have mutated since (streaming ingestion)
+            # and a rebuilt grid would misalign with the published BNs.
+            bucketizer = self.forge_service.training_bucketizer()
+            if bucketizer is None:
+                bucketizer = self.preprocessor.build_join_buckets()
             self._factorjoin = FactorJoinEstimator(
                 self.catalog,
                 models,

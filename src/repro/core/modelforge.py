@@ -81,6 +81,14 @@ class ModelForgeService:
         self._prepared: tuple[JoinBucketizer, dict[str, list[str]]] | None = None
         self._prepared_key: tuple[int, int] | None = None
         self._join_tables: set[str] = set()
+        # The join-bucket grid is a *contract shared across BN models*: a
+        # model discretized on one set of edges cannot be combined with a
+        # model discretized on another.  The generation counter stamps
+        # which grid each table's published BN was trained on, so partial
+        # retrains can pull grid-stale join tables into the same cycle.
+        self._bucket_generation = 0
+        self._trained_generation: dict[str, int] = {}
+        self._training_bucketizer: JoinBucketizer | None = None
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -98,6 +106,7 @@ class ModelForgeService:
         """Force the next training call to rebuild the join buckets."""
         self._prepared = None
         self._prepared_key = None
+        self._bucket_generation += 1
 
     def _prepare(
         self, bundle: DatasetBundle
@@ -128,9 +137,29 @@ class ModelForgeService:
         bundle: DatasetBundle,
         tables: list[str] | None = None,
     ) -> list[TrainedModelInfo]:
-        """Train and publish BN models for the given (or all) tables."""
+        """Train and publish BN models for the given (or all) tables.
+
+        A targeted retrain is widened to its **grid-consistency closure**:
+        when the join-bucket grid was rebuilt since a join table's BN was
+        last trained (ingestion dirt on a join table invalidates the
+        preprocessor cache), that table is pulled into this cycle too --
+        otherwise the freshly trained model and the stale ones would be
+        discretized on different bucket edges and could not be combined
+        at join-estimation time.
+        """
         bucketizer, training_columns = self._prepare(bundle)
-        targets = tables if tables is not None else sorted(training_columns)
+        self._training_bucketizer = bucketizer
+        if tables is None:
+            targets = sorted(training_columns)
+        else:
+            closure = set(tables) | {
+                name
+                for name in self._join_tables
+                if name in training_columns
+                and name in self._trained_generation
+                and self._trained_generation[name] != self._bucket_generation
+            }
+            targets = sorted(closure)
         infos: list[TrainedModelInfo] = []
         for table_name in targets:
             columns = training_columns.get(table_name)
@@ -139,7 +168,17 @@ class ModelForgeService:
             infos.append(
                 self._train_one_bn(bundle, bucketizer, table_name, columns)
             )
+            self._trained_generation[table_name] = self._bucket_generation
         return infos
+
+    def training_bucketizer(self) -> JoinBucketizer | None:
+        """The grid the most recent training cycle discretized on.
+
+        Model assembly must use exactly this bucketizer: rebuilding one
+        from the live catalog would race concurrent ingestion and drift
+        away from the edges the published BNs were trained with.
+        """
+        return self._training_bucketizer
 
     def _train_one_bn(
         self,

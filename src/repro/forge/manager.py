@@ -57,7 +57,13 @@ class ForgeManager:
         bytecard: "ByteCard",
         store: ArtifactStore,
         config: ForgeConfig | None = None,
+        clock=None,
     ):
+        """``clock`` (a :class:`repro.utils.clock.Clock`) is handed to the
+        training scheduler so job timestamps and backoff deadlines can run
+        on simulated time during streaming soaks; ``None`` keeps the system
+        monotonic clock.
+        """
         self.bytecard = bytecard
         self.store = store
         self.config = config or ForgeConfig()
@@ -69,6 +75,7 @@ class ForgeManager:
             backoff_base_s=self.config.backoff_base_s,
             backoff_max_s=self.config.backoff_max_s,
             metrics=self.metrics,
+            clock=clock,
         )
         # Publishing/refreshing mutates shared ByteCard state
         # (forge_service caches, loader contents, estimator assembly):

@@ -27,12 +27,12 @@ import enum
 import heapq
 import itertools
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import Tracer
+from repro.utils.clock import SYSTEM_CLOCK, Clock
 
 
 class JobPriority:
@@ -100,7 +100,13 @@ class TrainingScheduler:
         backoff_base_s: float = 0.05,
         backoff_max_s: float = 5.0,
         metrics: MetricsRegistry | None = None,
+        clock: Clock | None = None,
     ):
+        """``clock`` is the scheduler's only time source (job timestamps,
+        backoff deadlines, drain budgets); the default is the system
+        monotonic clock, and the stream soak driver passes a
+        :class:`repro.stream.SimClock` to run the forge on virtual time.
+        """
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         if max_attempts < 1:
@@ -109,6 +115,7 @@ class TrainingScheduler:
         self.max_attempts = max_attempts
         self.backoff_base_s = backoff_base_s
         self.backoff_max_s = backoff_max_s
+        self.clock: Clock = clock if clock is not None else SYSTEM_CLOCK
         self.metrics = (
             metrics if metrics is not None else MetricsRegistry(enabled=False)
         )
@@ -155,7 +162,7 @@ class TrainingScheduler:
                 if priority < existing.priority:
                     # escalate: requeue at the more urgent priority
                     existing.priority = priority
-                    self._push_locked(existing, ready_at=time.monotonic())
+                    self._push_locked(existing, ready_at=self.clock.now())
                 self._counter("forge_jobs_coalesced_total", kind=kind)
                 return existing
             job = ForgeJob(
@@ -163,7 +170,7 @@ class TrainingScheduler:
                 name=name,
                 priority=priority,
                 details=dict(details or {}),
-                created_s=time.monotonic(),
+                created_s=self.clock.now(),
             )
             self._pending[job.key] = job
             self._push_locked(job, ready_at=job.created_s)
@@ -198,15 +205,15 @@ class TrainingScheduler:
 
     def drain(self, timeout: float | None = None) -> bool:
         """Block until every admitted job reaches a terminal state."""
-        deadline = None if timeout is None else time.monotonic() + timeout
+        deadline = None if timeout is None else self.clock.now() + timeout
         with self._cond:
             while self._pending or self._running:
                 remaining = None
                 if deadline is not None:
-                    remaining = deadline - time.monotonic()
+                    remaining = deadline - self.clock.now()
                     if remaining <= 0:
                         return False
-                self._cond.wait(remaining)
+                self._cond.wait(self.clock.wait_timeout(remaining))
         return True
 
     def shutdown(
@@ -247,7 +254,7 @@ class TrainingScheduler:
     # ------------------------------------------------------------------
     def _next_job_locked(self) -> tuple[ForgeJob | None, float | None]:
         """The next ready job, or how long to wait for one."""
-        now = time.monotonic()
+        now = self.clock.now()
         while self._heap:
             priority, ready_at, seq, job = self._heap[0]
             stale = (
@@ -295,22 +302,22 @@ class TrainingScheduler:
                     job, wait_s = self._next_job_locked()
                     if job is not None:
                         break
-                    self._cond.wait(wait_s)
+                    self._cond.wait(self.clock.wait_timeout(wait_s))
                 if job is None:  # stopping
                     return
             self._execute(job)
 
     def _execute(self, job: ForgeJob) -> None:
         job.attempts += 1
-        started = time.monotonic()
+        started = self.clock.now()
         try:
             with self.tracer.span("forge.job", kind=job.kind):
                 result = self.runner(job)
         except Exception as exc:  # noqa: BLE001 - any training failure retries
-            self._observe("forge_job_run_seconds", time.monotonic() - started)
+            self._observe("forge_job_run_seconds", self.clock.now() - started)
             self._on_failure(job, exc)
         else:
-            self._observe("forge_job_run_seconds", time.monotonic() - started)
+            self._observe("forge_job_run_seconds", self.clock.now() - started)
             with self._cond:
                 job.result = result
                 self._running -= 1
@@ -337,14 +344,14 @@ class TrainingScheduler:
                 )
                 job.state = JobState.PENDING
                 self._pending[job.key] = job
-                self._push_locked(job, ready_at=time.monotonic() + backoff)
+                self._push_locked(job, ready_at=self.clock.now() + backoff)
                 self._counter("forge_job_retries_total", kind=job.kind)
             self._gauges_locked()
             self._cond.notify_all()
 
     def _finish_locked(self, job: ForgeJob, state: JobState) -> None:
         job.state = state
-        job.finished_s = time.monotonic()
+        job.finished_s = self.clock.now()
         self._observe(
             "forge_job_latency_seconds", job.finished_s - job.created_s
         )

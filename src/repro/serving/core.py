@@ -97,10 +97,20 @@ class EstimationCore:
         loader: ModelLoader | None = None,
         registry: MetricsRegistry | None = None,
         feedback: FeedbackLog | None = None,
+        clock=None,
     ):
+        """``clock`` (a :class:`repro.utils.clock.Clock`) supplies the
+        request timestamps and deadline arithmetic; the default system
+        clock preserves ``time.perf_counter`` semantics.  Under a simulated
+        clock the configured deadline still bounds the *real* wait on the
+        worker future -- virtual time does not advance while blocking.
+        """
         self.estimator = estimator
         self.fallback_count = fallback_count
         self.fallback_ndv = fallback_ndv
+        from repro.utils.clock import SYSTEM_CLOCK
+
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
         #: runtime feedback log; every served COUNT estimate (cache hits
         #: included -- they never reach the optimizer's provenance) is noted
         #: as pending so the executor can pair it with the observed actual
@@ -196,7 +206,7 @@ class EstimationCore:
         deadline_ms=_UNSET,
         batched: bool = False,
     ) -> ServedEstimate:
-        start = time.perf_counter()
+        start = self.clock.now()
         self.stats_collector.increment("requests")
         self.registry.counter("serving_requests_total", task=task).inc()
         stages: list[SpanRecord] = []
@@ -225,7 +235,7 @@ class EstimationCore:
         deadline = self._deadline_s(deadline_ms)
         remaining = None
         if deadline is not None:
-            remaining = max(0.0, deadline - (time.perf_counter() - start))
+            remaining = max(0.0, deadline - (self.clock.now() - start))
         compute_span = "serve.batch" if batched else "serve.model"
         try:
             with self.tracer.span(compute_span, sink=stages):
@@ -287,7 +297,7 @@ class EstimationCore:
         query: CardQuery | None = None,
         fingerprint=None,
     ) -> ServedEstimate:
-        latency = time.perf_counter() - start
+        latency = self.clock.now() - start
         estimate = ServedEstimate(
             value=float(value),
             source=source,

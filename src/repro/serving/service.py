@@ -46,6 +46,7 @@ class EstimationService(CountEstimator, NdvEstimator):
         loader: ModelLoader | None = None,
         registry: MetricsRegistry | None = None,
         feedback=None,
+        clock=None,
     ):
         self.core = EstimationCore(
             estimator=estimator,
@@ -55,6 +56,7 @@ class EstimationService(CountEstimator, NdvEstimator):
             loader=loader,
             registry=registry,
             feedback=feedback,
+            clock=clock,
         )
 
     # ------------------------------------------------------------------

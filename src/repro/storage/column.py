@@ -131,3 +131,68 @@ class Column:
         return Column(
             self.name, self.ctype, self.values[indices], dictionary=self.dictionary
         )
+
+    # ------------------------------------------------------------------
+    # Mutation (functional: returns a new column)
+    # ------------------------------------------------------------------
+    def append(self, values: "np.ndarray | Sequence[object]") -> "Column":
+        """Return a new column with ``values`` appended.
+
+        Numeric columns accept any numeric array (cast to the column's
+        dtype).  String columns accept raw strings; values outside the
+        current dictionary force a dictionary rebuild, in which case the
+        *existing* codes are remapped so the dictionary stays sorted (the
+        invariant :meth:`encode_literal`'s binary search relies on).
+        """
+        if self.ctype is ColumnType.STRING:
+            assert self.dictionary is not None
+            incoming = list(values)
+            for item in incoming:
+                if not isinstance(item, str):
+                    raise SchemaError(
+                        f"string column {self.name!r} append takes strings; "
+                        f"got {item!r}"
+                    )
+            known = set(self.dictionary)
+            if all(item in known for item in incoming):
+                code_of = {s: i for i, s in enumerate(self.dictionary)}
+                codes = np.fromiter(
+                    (code_of[s] for s in incoming),
+                    dtype=self.values.dtype,
+                    count=len(incoming),
+                )
+                return Column(
+                    self.name,
+                    ColumnType.STRING,
+                    np.concatenate([self.values, codes]),
+                    dictionary=self.dictionary,
+                )
+            uniques = sorted(known | set(incoming))
+            code_of = {s: i for i, s in enumerate(uniques)}
+            remap = np.asarray(
+                [code_of[s] for s in self.dictionary], dtype=self.values.dtype
+            )
+            codes = np.fromiter(
+                (code_of[s] for s in incoming),
+                dtype=self.values.dtype,
+                count=len(incoming),
+            )
+            return Column(
+                self.name,
+                ColumnType.STRING,
+                np.concatenate([remap[self.values], codes]),
+                dictionary=uniques,
+            )
+        arr = np.asarray(values)
+        if arr.ndim != 1:
+            raise SchemaError(f"column {self.name!r} append payload must be 1-D")
+        if not np.issubdtype(arr.dtype, np.number):
+            raise SchemaError(
+                f"numeric column {self.name!r} append takes a numeric array; "
+                f"got dtype {arr.dtype}"
+            )
+        return Column(
+            self.name,
+            self.ctype,
+            np.concatenate([self.values, arr.astype(self.values.dtype)]),
+        )

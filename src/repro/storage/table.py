@@ -100,10 +100,19 @@ class Table:
             )
         self.partition_key = partition_key
         self._partition_bounds = self._resolve_partition_bounds(partitions)
-        #: zone maps, cached per (partition index, column); built eagerly by
+        #: per-partition generation counters; a mutation that touches a
+        #: partition's rows bumps its generation, invalidating any cached
+        #: zone maps built against the previous contents
+        self._partition_gens: list[int] = [0] * len(self._partition_bounds)
+        #: table-level mutation counter (appends + deletes), exposed so the
+        #: engine and tests can detect that a table changed under them
+        self.mutation_generation = 0
+        #: zone maps, cached per (partition index, column) together with the
+        #: partition generation they were built at; built eagerly by
         #: :meth:`build_zone_maps` when the catalog loads a partitioned
-        #: table, lazily on first pruning attempt otherwise
-        self._zone_maps: dict[tuple[int, str], ZoneMap] = {}
+        #: table, lazily on first pruning attempt otherwise.  A stale entry
+        #: (generation mismatch) is rebuilt lazily, never served.
+        self._zone_maps: dict[tuple[int, str], tuple[int, ZoneMap]] = {}
 
     def _resolve_partition_bounds(
         self, partitions: int | Sequence[int] | None
@@ -201,16 +210,30 @@ class Table:
         """All partitions, in row order."""
         return tuple(self.partition(i) for i in range(self.num_partitions))
 
+    def partition_generation(self, index: int) -> int:
+        """Mutation generation of one partition (bumped by append/delete)."""
+        if index < 0 or index >= len(self._partition_gens):
+            raise IndexError(
+                f"partition {index} out of range for table {self.name!r}"
+            )
+        return self._partition_gens[index]
+
     def zone_map(self, partition_index: int, column: str) -> ZoneMap:
-        """The (cached) zone map of one column of one partition."""
-        key = (partition_index, column)
-        cached = self._zone_maps.get(key)
-        if cached is not None:
-            return cached
+        """The (cached) zone map of one column of one partition.
+
+        The cache is generation-checked: a partition mutated since the map
+        was built never serves its stale min/max refutation -- the map is
+        rebuilt from the current rows instead.
+        """
         part = self.partition(partition_index)
+        key = (partition_index, column)
+        generation = self._partition_gens[partition_index]
+        cached = self._zone_maps.get(key)
+        if cached is not None and cached[0] == generation:
+            return cached[1]
         values = self.column(column).values[part.row_start : part.row_stop]
         zone_map = ZoneMap.from_values(values)
-        self._zone_maps[key] = zone_map
+        self._zone_maps[key] = (generation, zone_map)
         return zone_map
 
     def build_zone_maps(self) -> None:
@@ -323,3 +346,123 @@ class Table:
                 f"mask shape {mask.shape} does not match table rows {self.num_rows}"
             )
         return self.take(np.flatnonzero(mask))
+
+    # ------------------------------------------------------------------
+    # In-place mutation (streaming ingestion)
+    # ------------------------------------------------------------------
+    #: default tail-coalescing bound for :meth:`append_rows`, in units of
+    #: ``block_size`` rows: batches are merged into the tail partition until
+    #: it reaches this many blocks, after which a new tail partition opens
+    DEFAULT_COALESCE_BLOCKS = 4
+
+    def append_rows(
+        self,
+        arrays: Mapping[str, "np.ndarray | Sequence[object]"],
+        coalesce_tail_rows: int | None = None,
+    ) -> int:
+        """Append a batch of rows at the end of the table, in place.
+
+        ``arrays`` must provide every column of the table, all of equal
+        length.  Small batches are coalesced into the existing tail
+        partition while it stays under ``coalesce_tail_rows`` rows
+        (default ``DEFAULT_COALESCE_BLOCKS * block_size``); larger growth
+        opens a new tail partition, mirroring how warehouses seal full
+        parts.  Either way the mutated partitions' generations are bumped,
+        so stale zone maps are invalidated rather than served.
+
+        Tables clustered by :meth:`partition_by_key` never coalesce:
+        appended rows do not respect the hash-mod shard layout, so they
+        always land in a fresh tail partition (which has no aligned shard
+        model and degrades gracefully to whole-table estimates).
+
+        Returns the number of rows appended.
+        """
+        missing = [name for name in self._order if name not in arrays]
+        extra = [name for name in arrays if name not in self._columns]
+        if missing or extra:
+            raise SchemaError(
+                f"append_rows to table {self.name!r} must supply exactly its "
+                f"columns; missing={missing}, unknown={extra}"
+            )
+        lengths = {name: len(arrays[name]) for name in self._order}
+        if len(set(lengths.values())) != 1:
+            raise SchemaError(
+                f"append_rows batches have inconsistent lengths: {lengths}"
+            )
+        batch = next(iter(lengths.values()))
+        if batch == 0:
+            return 0
+        appended = {
+            name: self._columns[name].append(arrays[name]) for name in self._order
+        }
+        # A string-dictionary rebuild remaps the codes of *every* row of that
+        # column, so all partitions' cached maps for the table go stale.
+        remapped = any(
+            appended[name].dictionary != self._columns[name].dictionary
+            for name in self._order
+        )
+
+        if coalesce_tail_rows is None:
+            coalesce_tail_rows = self.DEFAULT_COALESCE_BLOCKS * self.block_size
+        bounds = list(self._partition_bounds)
+        tail_start, tail_stop = bounds[-1]
+        tail_rows = tail_stop - tail_start
+        if self.partition_key is None and tail_rows + batch <= coalesce_tail_rows:
+            bounds[-1] = (tail_start, tail_stop + batch)
+            self._partition_gens[-1] += 1
+        else:
+            bounds.append((self.num_rows, self.num_rows + batch))
+            self._partition_gens.append(0)
+        if remapped:
+            self._partition_gens = [gen + 1 for gen in self._partition_gens]
+        self._partition_bounds = tuple(bounds)
+        self._columns = appended
+        self.num_rows += batch
+        self.mutation_generation += 1
+        return batch
+
+    def delete_where(self, *predicates) -> int:
+        """Delete the rows matching the conjunction of ``predicates``.
+
+        Deletion is tombstone-compacting: each affected partition keeps its
+        surviving rows in order and shrinks, subsequent partitions' row
+        ranges shift down, and every partition that lost rows has its
+        generation bumped (stale zone maps rebuild lazily).  Partitions
+        deleted down to zero rows stay in place as empty ranges -- keeping
+        partition indices stable preserves the partition-index <-> shard
+        model alignment, and an empty partition refutes every predicate.
+
+        Returns the number of rows deleted.
+        """
+        from repro.workloads.predicates import predicate_mask
+
+        if not predicates:
+            raise SchemaError("delete_where requires at least one predicate")
+        doomed = np.ones(self.num_rows, dtype=bool)
+        for pred in predicates:
+            if pred.table != self.name:
+                raise SchemaError(
+                    f"delete_where on table {self.name!r} got a predicate on "
+                    f"{pred.table!r}"
+                )
+            doomed &= predicate_mask(self.column(pred.column).values, pred)
+        deleted = int(doomed.sum())
+        if deleted == 0:
+            return 0
+        keep = ~doomed
+        bounds = []
+        start = 0
+        for index, (old_start, old_stop) in enumerate(self._partition_bounds):
+            kept = int(keep[old_start:old_stop].sum())
+            bounds.append((start, start + kept))
+            start += kept
+            if kept != old_stop - old_start:
+                self._partition_gens[index] += 1
+        survivors = np.flatnonzero(keep)
+        self._columns = {
+            name: self._columns[name].take(survivors) for name in self._order
+        }
+        self._partition_bounds = tuple(bounds)
+        self.num_rows -= deleted
+        self.mutation_generation += 1
+        return deleted

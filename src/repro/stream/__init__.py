@@ -1,0 +1,55 @@
+"""repro.stream: streaming workload + drift simulator closing the forge loop.
+
+A deterministic event-loop harness that replays a query arrival process and
+a data-drift ingest schedule against one :class:`~repro.core.bytecard.ByteCard`
+on simulated time, so the whole paper loop -- serving, runtime feedback,
+monitor gating, forge retrains, hot swap -- runs end to end inside one
+process with a reproducible timeline.
+"""
+
+from repro.stream.arrivals import (
+    DEFAULT_CLASSES,
+    ArrivalConfig,
+    ArrivalProcess,
+    FrequencyClass,
+    QueryEvent,
+)
+from repro.stream.clock import SYSTEM_CLOCK, Clock, SimClock, SystemClock
+from repro.stream.driver import (
+    SoakTimeline,
+    StreamConfig,
+    StreamDriver,
+    WindowStats,
+    merge_events,
+)
+from repro.stream.ingest import (
+    DRIFT_KINDS,
+    DriftProbe,
+    DriftRecipe,
+    IngestEvent,
+    IngestProcess,
+    apply_ingest,
+)
+
+__all__ = [
+    "DEFAULT_CLASSES",
+    "DRIFT_KINDS",
+    "SYSTEM_CLOCK",
+    "ArrivalConfig",
+    "ArrivalProcess",
+    "Clock",
+    "DriftProbe",
+    "DriftRecipe",
+    "FrequencyClass",
+    "IngestEvent",
+    "IngestProcess",
+    "QueryEvent",
+    "SimClock",
+    "SoakTimeline",
+    "StreamConfig",
+    "StreamDriver",
+    "SystemClock",
+    "WindowStats",
+    "apply_ingest",
+    "merge_events",
+]

@@ -1,0 +1,279 @@
+"""Timestamped query arrivals: frequency classes, diurnal bursts, freshness.
+
+Real warehouse traffic is dominated by *repeated templates* whose
+frequencies differ by orders of magnitude and drift over the day, with a
+long tail of ad-hoc variants (Breadbox; SWIRL's varying-frequency query
+classes).  :class:`ArrivalProcess` reproduces that texture on top of the
+existing :mod:`repro.workloads` templates:
+
+* every template is assigned to a **frequency class** (hot/warm/cold by
+  default); repeated arrivals replay templates proportionally to their
+  class weight, so a handful of templates carries most of the traffic;
+* arrival times follow a **non-homogeneous Poisson process** whose rate
+  swings sinusoidally over a compressed "day" (diurnal bursts), sampled
+  by thinning;
+* a configurable share of arrivals is **unique**: a template re-anchored
+  with fresh literals drawn from per-(table, column) value pools captured
+  at construction time;
+* after a drift recipe lands, unique arrivals on the drifted table start
+  **chasing fresh data**: they become probe queries over the newly
+  ingested value region (analysts query recent data), which is what
+  surfaces a stale model's misestimates to the feedback loop.
+
+Everything is pre-generated at construction from a seed-derived RNG, so
+the event timeline is bit-identical across runs -- the determinism the
+soak driver's acceptance tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.sql.query import CardQuery, PredicateOp, TablePredicate
+from repro.storage.catalog import Catalog
+from repro.stream.ingest import DriftProbe
+from repro.utils.rng import derive_rng
+from repro.workloads.generator import Workload
+
+__all__ = ["FrequencyClass", "ArrivalConfig", "QueryEvent", "ArrivalProcess"]
+
+#: values kept per (table, column) pool for re-anchoring unique queries
+POOL_SIZE = 256
+
+
+@dataclass(frozen=True)
+class FrequencyClass:
+    """One query-frequency band; ``weight`` is its share of repeated traffic."""
+
+    name: str
+    weight: float
+
+
+#: default bands: a few hot templates dominate, a long cold tail remains
+DEFAULT_CLASSES = (
+    FrequencyClass("hot", 0.6),
+    FrequencyClass("warm", 0.3),
+    FrequencyClass("cold", 0.1),
+)
+
+
+@dataclass(frozen=True)
+class ArrivalConfig:
+    """Shape of the simulated query stream."""
+
+    #: length of the simulated stream, in virtual seconds
+    horizon_s: float = 600.0
+    #: mean arrival rate at the diurnal midpoint, queries per virtual second
+    base_qps: float = 2.0
+    #: diurnal modulation depth in [0, 1): rate swings base*(1 +/- amplitude)
+    burst_amplitude: float = 0.6
+    #: period of one compressed "day", in virtual seconds
+    day_s: float = 240.0
+    #: share of arrivals that replay a template verbatim (the rest are
+    #: unique re-anchored variants or, post-drift, fresh-data probes)
+    repeat_fraction: float = 0.7
+    #: post-drift share of *unique* arrivals that probe the drifted region
+    probe_fraction: float = 0.5
+    frequency_classes: tuple[FrequencyClass, ...] = DEFAULT_CLASSES
+    seed: int = 17
+
+    def __post_init__(self) -> None:
+        if self.horizon_s <= 0:
+            raise SchemaError("horizon_s must be positive")
+        if self.base_qps <= 0:
+            raise SchemaError("base_qps must be positive")
+        if not 0 <= self.burst_amplitude < 1:
+            raise SchemaError("burst_amplitude must be in [0, 1)")
+        if self.day_s <= 0:
+            raise SchemaError("day_s must be positive")
+        if not 0 <= self.repeat_fraction <= 1:
+            raise SchemaError("repeat_fraction must be in [0, 1]")
+        if not 0 <= self.probe_fraction <= 1:
+            raise SchemaError("probe_fraction must be in [0, 1]")
+        if not self.frequency_classes:
+            raise SchemaError("at least one frequency class is required")
+
+
+@dataclass(frozen=True)
+class QueryEvent:
+    """One timestamped query arrival."""
+
+    at_s: float
+    seq: int
+    query: CardQuery
+    #: name of the template this arrival derives from ("" for probes)
+    template: str
+    #: verbatim template replay (False: unique variant or probe)
+    repeated: bool
+    #: True when this arrival probes a freshly drifted value region
+    probe: bool = False
+
+    def key(self) -> tuple:
+        """Stable comparison key for determinism assertions."""
+        return (self.at_s, self.seq, self.query.name, str(self.query))
+
+
+class ArrivalProcess:
+    """Pre-generated, deterministic stream of :class:`QueryEvent`."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        workload: Workload,
+        config: ArrivalConfig | None = None,
+        probes: Sequence[DriftProbe] = (),
+    ):
+        if not workload.queries:
+            raise SchemaError("arrival process needs a non-empty workload")
+        self.config = config or ArrivalConfig()
+        self.templates: tuple[CardQuery, ...] = tuple(workload.queries)
+        self.probes = tuple(sorted(probes, key=lambda p: p.at_s))
+        rng = derive_rng(self.config.seed, "stream", "arrivals")
+        self._class_of, self._weights = self._assign_classes(rng)
+        self._pools = self._capture_pools(catalog)
+        self._events = self._generate(
+            rng, start_s=0.0, duration_s=self.config.horizon_s, seq_base=0
+        )
+
+    # ------------------------------------------------------------------
+    def events(self) -> tuple[QueryEvent, ...]:
+        return self._events
+
+    def extension(self, start_s: float, duration_s: float) -> tuple[QueryEvent, ...]:
+        """More arrivals for ``[start_s, start_s + duration_s)``.
+
+        Deterministic in ``(seed, start_s, duration_s)`` and independent of
+        how many times it is called -- the driver uses it for post-drain
+        recovery windows.
+        """
+        rng = derive_rng(
+            self.config.seed, "stream", "arrivals", f"ext@{start_s:.3f}"
+        )
+        return self._generate(
+            rng,
+            start_s=start_s,
+            duration_s=duration_s,
+            seq_base=len(self._events),
+        )
+
+    def template_class(self, template_name: str) -> str:
+        """Frequency-class name a template was assigned to."""
+        return self._class_of[template_name]
+
+    # ------------------------------------------------------------------
+    def _assign_classes(
+        self, rng: np.random.Generator
+    ) -> tuple[dict[str, str], np.ndarray]:
+        """Partition templates into frequency classes; per-template weights."""
+        classes = self.config.frequency_classes
+        order = rng.permutation(len(self.templates))
+        chunks = np.array_split(order, len(classes))
+        class_of: dict[str, str] = {}
+        weights = np.zeros(len(self.templates))
+        for cls, chunk in zip(classes, chunks):
+            for index in chunk:
+                class_of[self.templates[int(index)].name] = cls.name
+                weights[int(index)] = cls.weight / max(1, len(chunk))
+        total = weights.sum()
+        if total <= 0:
+            raise SchemaError("frequency class weights must not all be zero")
+        return class_of, weights / total
+
+    def _capture_pools(self, catalog: Catalog) -> dict[tuple[str, str], np.ndarray]:
+        """Literal pools for unique-query re-anchoring, captured at t0."""
+        pools: dict[tuple[str, str], np.ndarray] = {}
+        for template in self.templates:
+            for pred in template.all_predicates():
+                key = (pred.table, pred.column)
+                if key in pools:
+                    continue
+                values = catalog.table(pred.table).column(pred.column).values
+                step = max(1, len(values) // POOL_SIZE)
+                pools[key] = np.sort(values[::step].astype(np.float64))[:POOL_SIZE]
+        return pools
+
+    def _generate(
+        self,
+        rng: np.random.Generator,
+        start_s: float,
+        duration_s: float,
+        seq_base: int,
+    ) -> tuple[QueryEvent, ...]:
+        config = self.config
+        peak_rate = config.base_qps * (1.0 + config.burst_amplitude)
+        events: list[QueryEvent] = []
+        t = start_s
+        seq = seq_base
+        while True:
+            # Thinning: propose at the peak rate, accept with lambda(t)/peak.
+            t += rng.exponential(1.0 / peak_rate)
+            if t >= start_s + duration_s:
+                break
+            rate = config.base_qps * (
+                1.0
+                + config.burst_amplitude * np.sin(2.0 * np.pi * t / config.day_s)
+            )
+            if rng.random() >= rate / peak_rate:
+                continue
+            events.append(self._arrival(rng, at_s=float(t), seq=seq))
+            seq += 1
+        return tuple(events)
+
+    def _arrival(self, rng: np.random.Generator, at_s: float, seq: int) -> QueryEvent:
+        index = int(rng.choice(len(self.templates), p=self._weights))
+        template = self.templates[index]
+        if rng.random() < self.config.repeat_fraction:
+            return QueryEvent(
+                at_s=at_s, seq=seq, query=template,
+                template=template.name, repeated=True,
+            )
+        active = [p for p in self.probes if p.at_s <= at_s]
+        if active and rng.random() < self.config.probe_fraction:
+            probe = active[int(rng.choice(len(active)))]
+            return QueryEvent(
+                at_s=at_s,
+                seq=seq,
+                query=probe.query(name=f"probe:{probe.table}.{probe.column}"),
+                template="",
+                repeated=False,
+                probe=True,
+            )
+        return QueryEvent(
+            at_s=at_s,
+            seq=seq,
+            query=self._unique_variant(rng, template, seq),
+            template=template.name,
+            repeated=False,
+        )
+
+    def _unique_variant(
+        self, rng: np.random.Generator, template: CardQuery, seq: int
+    ) -> CardQuery:
+        """Re-anchor the template's AND predicates with fresh literals."""
+        predicates = tuple(
+            self._reanchor(rng, pred) for pred in template.predicates
+        )
+        return replace(
+            template, predicates=predicates, name=f"{template.name}~u{seq}"
+        )
+
+    def _reanchor(
+        self, rng: np.random.Generator, pred: TablePredicate
+    ) -> TablePredicate:
+        pool = self._pools[(pred.table, pred.column)]
+        if pred.op is PredicateOp.BETWEEN:
+            low, high = np.sort(rng.choice(pool, size=2))
+            return replace(pred, value=(float(low), float(high)))
+        if pred.op is PredicateOp.IN:
+            width = min(len(pred.value), len(pool))  # type: ignore[arg-type]
+            picks = rng.choice(pool, size=width, replace=False)
+            return replace(
+                pred, value=tuple(sorted(float(v) for v in set(picks)))
+            )
+        return TablePredicate(
+            pred.table, pred.column, pred.op, float(rng.choice(pool))
+        )

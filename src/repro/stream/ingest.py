@@ -1,0 +1,351 @@
+"""Data-drift ingestion: recipes compiled into deterministic mutation events.
+
+A :class:`DriftRecipe` declares *what* changes and *when* -- which table and
+column, the kind of drift (domain shift, skew flip, NDV explosion, or a bulk
+delete), how much data moves, and over how many batches.  At construction
+time :class:`IngestProcess` compiles every recipe against the *t0* catalog
+into fully materialized :class:`IngestEvent` objects: appended batches carry
+their row arrays, deletes carry their predicates.  Nothing is drawn from the
+RNG at apply time, so the mutation stream is bit-identical across runs with
+the same seed -- and independent of how the interleaved queries execute.
+
+Drift kinds
+-----------
+``shift``
+    Bootstrap-sampled rows whose target column moves past the trained
+    domain by ``magnitude`` domain-widths (NeuroCard's data-update
+    degradation scenario: new values the stale model has never binned).
+``skew``
+    Sampled rows whose target column is re-drawn Zipf-distributed over
+    the t0 values ranked coldest-first, flipping which values are hot.
+``ndv``
+    Sampled rows whose target column is re-drawn uniformly over a domain
+    ``magnitude`` times wider than t0, inflating the distinct count.
+``delete``
+    Tombstone-compacting bulk delete of roughly ``fraction`` of the rows
+    (the lowest ``fraction`` quantile of the target column).
+
+Each recipe also yields a :class:`DriftProbe`: a single-table predicate
+over the freshly drifted value region.  The arrival process turns probes
+into "analysts querying recent data" traffic, which is what drags the
+stale model's misestimates into the feedback log.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.sql.query import CardQuery, PredicateOp, TablePredicate
+from repro.storage.catalog import Catalog
+from repro.utils.rng import derive_rng
+
+__all__ = [
+    "DriftRecipe",
+    "DriftProbe",
+    "IngestEvent",
+    "IngestProcess",
+    "apply_ingest",
+]
+
+DRIFT_KINDS = ("shift", "skew", "ndv", "delete")
+
+
+@dataclass(frozen=True)
+class DriftRecipe:
+    """One declared drift: what moves, when, and by how much."""
+
+    table: str
+    column: str
+    #: one of :data:`DRIFT_KINDS`
+    kind: str
+    #: virtual time of the first batch
+    at_s: float
+    #: appended rows as a fraction of the table's t0 size (for ``delete``:
+    #: the quantile of the column below which rows are removed)
+    fraction: float = 0.5
+    #: number of batches the drift is split into
+    batches: int = 1
+    #: batches are spread evenly over ``[at_s, at_s + spread_s]``
+    spread_s: float = 0.0
+    #: drift-kind-specific strength: domain-widths for ``shift``, Zipf
+    #: exponent for ``skew``, domain multiplier for ``ndv``
+    magnitude: float = 1.0
+    #: columns given fresh, strictly increasing values in appended rows
+    #: (primary keys), instead of bootstrap-sampled duplicates
+    fresh_columns: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in DRIFT_KINDS:
+            raise SchemaError(
+                f"unknown drift kind {self.kind!r}; expected one of {DRIFT_KINDS}"
+            )
+        if not 0 < self.fraction <= 4.0:
+            raise SchemaError("fraction must be in (0, 4]")
+        if self.batches < 1:
+            raise SchemaError("batches must be >= 1")
+        if self.spread_s < 0 or self.at_s < 0:
+            raise SchemaError("at_s and spread_s must be non-negative")
+        if self.magnitude <= 0:
+            raise SchemaError("magnitude must be positive")
+
+    @property
+    def label(self) -> str:
+        return f"{self.kind}:{self.table}.{self.column}@{self.at_s:g}"
+
+
+@dataclass(frozen=True)
+class DriftProbe:
+    """A fresh-data predicate the arrival process queries after a drift."""
+
+    table: str
+    column: str
+    #: virtual time from which the probe is live (the drift's first batch)
+    at_s: float
+    predicate: TablePredicate
+
+    def query(self, name: str = "") -> CardQuery:
+        return CardQuery(
+            tables=(self.table,),
+            predicates=(self.predicate,),
+            name=name or f"probe:{self.table}.{self.column}",
+        )
+
+
+@dataclass(frozen=True)
+class IngestEvent:
+    """One materialized mutation: an append batch or a bulk delete."""
+
+    at_s: float
+    seq: int
+    table: str
+    #: ``"append"`` or ``"delete"``
+    action: str
+    #: originating recipe label (for the timeline)
+    recipe: str
+    #: appended column arrays (``action == "append"``)
+    arrays: Mapping[str, np.ndarray] | None = None
+    #: delete predicates (``action == "delete"``)
+    predicates: tuple[TablePredicate, ...] = ()
+
+    @property
+    def num_rows(self) -> int:
+        if self.arrays is None:
+            return 0
+        return len(next(iter(self.arrays.values())))
+
+    def key(self) -> tuple:
+        """Stable comparison key (hashed payload) for determinism tests."""
+        if self.arrays is not None:
+            payload = tuple(
+                (
+                    name,
+                    hashlib.sha256(
+                        np.ascontiguousarray(values).tobytes()
+                    ).hexdigest(),
+                )
+                for name, values in sorted(self.arrays.items())
+            )
+        else:
+            payload = tuple(str(p) for p in self.predicates)
+        return (self.at_s, self.seq, self.table, self.action, payload)
+
+
+def apply_ingest(catalog: Catalog, event: IngestEvent) -> dict:
+    """Apply one event to the live catalog; returns a mutation summary."""
+    table = catalog.table(event.table)
+    if event.action == "append":
+        assert event.arrays is not None
+        appended = table.append_rows(event.arrays)
+        return {
+            "action": "append",
+            "table": event.table,
+            "rows": appended,
+            "partitions": table.num_partitions,
+        }
+    if event.action == "delete":
+        deleted = table.delete_where(*event.predicates)
+        return {
+            "action": "delete",
+            "table": event.table,
+            "rows": deleted,
+            "partitions": table.num_partitions,
+        }
+    raise SchemaError(f"unknown ingest action {event.action!r}")
+
+
+def _zipf_weights(count: int, exponent: float) -> np.ndarray:
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    weights = ranks ** (-float(exponent))
+    return weights / weights.sum()
+
+
+class IngestProcess:
+    """Recipes compiled into a deterministic, pre-materialized event stream."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        recipes: Sequence[DriftRecipe],
+        seed: int = 29,
+    ):
+        self.recipes = tuple(recipes)
+        self.seed = seed
+        events: list[IngestEvent] = []
+        probes: list[DriftProbe] = []
+        for recipe in self.recipes:
+            compiled, probe = self._compile(catalog, recipe)
+            events.extend(compiled)
+            probes.append(probe)
+        events.sort(key=lambda e: (e.at_s, e.table, e.recipe))
+        self._events = tuple(
+            IngestEvent(
+                at_s=e.at_s, seq=i, table=e.table, action=e.action,
+                recipe=e.recipe, arrays=e.arrays, predicates=e.predicates,
+            )
+            for i, e in enumerate(events)
+        )
+        self._probes = tuple(sorted(probes, key=lambda p: p.at_s))
+
+    def events(self) -> tuple[IngestEvent, ...]:
+        return self._events
+
+    def probes(self) -> tuple[DriftProbe, ...]:
+        return self._probes
+
+    # ------------------------------------------------------------------
+    def _compile(
+        self, catalog: Catalog, recipe: DriftRecipe
+    ) -> tuple[list[IngestEvent], DriftProbe]:
+        table = catalog.table(recipe.table)
+        values = table.column(recipe.column).values
+        if values.size == 0:
+            raise SchemaError(f"cannot drift empty table {recipe.table!r}")
+        t0 = {
+            name: table.column(name).values.copy()
+            for name in table.column_names()
+        }
+        lo, hi = float(values.min()), float(values.max())
+        width = hi - lo + 1.0
+
+        if recipe.kind == "delete":
+            threshold = float(np.quantile(values, recipe.fraction))
+            predicate = TablePredicate(
+                recipe.table, recipe.column, PredicateOp.LE, threshold
+            )
+            event = IngestEvent(
+                at_s=recipe.at_s, seq=0, table=recipe.table, action="delete",
+                recipe=recipe.label, predicates=(predicate,),
+            )
+            # Post-delete, the stale model still believes the deleted mass
+            # exists: probing below the threshold surfaces overestimates.
+            return [event], DriftProbe(
+                recipe.table, recipe.column, recipe.at_s, predicate
+            )
+
+        # The skew drift flips the hot set: values are re-ranked by
+        # *ascending* t0 frequency, so the Zipf head lands on what used to
+        # be the coldest value -- the flip a frequency-trained model is
+        # maximally wrong about.  The ordering is fixed per recipe (not per
+        # batch) so every batch piles mass onto the same flipped hot set
+        # and the probe predicate can target the new hot value exactly.
+        skew_uniques: np.ndarray | None = None
+        if recipe.kind == "skew":
+            uniques, counts = np.unique(values, return_counts=True)
+            skew_uniques = uniques[np.lexsort((uniques, counts))]
+
+        total_rows = max(
+            recipe.batches, int(round(recipe.fraction * table.num_rows))
+        )
+        per_batch = [
+            total_rows // recipe.batches
+            + (1 if b < total_rows % recipe.batches else 0)
+            for b in range(recipe.batches)
+        ]
+        fresh_base = {
+            name: float(t0[name].max()) + 1.0 for name in recipe.fresh_columns
+        }
+        events = []
+        for batch_index, batch_rows in enumerate(per_batch):
+            rng = derive_rng(
+                self.seed, "stream", "ingest",
+                recipe.label, str(batch_index),
+            )
+            picks = rng.choice(table.num_rows, size=batch_rows, replace=True)
+            arrays = {name: t0[name][picks].copy() for name in t0}
+            arrays[recipe.column] = self._drift_values(
+                rng, recipe, arrays[recipe.column], lo, width, skew_uniques
+            )
+            for name in recipe.fresh_columns:
+                if name == recipe.column:
+                    continue
+                start = fresh_base[name]
+                arrays[name] = (
+                    start + np.arange(batch_rows, dtype=np.float64)
+                ).astype(t0[name].dtype)
+                fresh_base[name] = start + batch_rows
+            step = 0.0 if recipe.batches == 1 else (
+                recipe.spread_s / (recipe.batches - 1)
+            )
+            events.append(
+                IngestEvent(
+                    at_s=recipe.at_s + batch_index * step, seq=0,
+                    table=recipe.table, action="append",
+                    recipe=recipe.label, arrays=arrays,
+                )
+            )
+        return events, self._probe_for(recipe, lo, hi, width, skew_uniques)
+
+    def _drift_values(
+        self,
+        rng: np.random.Generator,
+        recipe: DriftRecipe,
+        sampled: np.ndarray,
+        lo: float,
+        width: float,
+        skew_uniques: np.ndarray | None,
+    ) -> np.ndarray:
+        dtype = sampled.dtype
+        if recipe.kind == "shift":
+            return (sampled + recipe.magnitude * width).astype(dtype)
+        if recipe.kind == "skew":
+            assert skew_uniques is not None
+            weights = _zipf_weights(len(skew_uniques), recipe.magnitude)
+            return rng.choice(
+                skew_uniques, size=len(sampled), p=weights
+            ).astype(dtype)
+        if recipe.kind == "ndv":
+            span = max(1.0, width * recipe.magnitude)
+            if np.issubdtype(dtype, np.integer):
+                return (lo + rng.integers(0, int(span), size=len(sampled))).astype(dtype)
+            return (lo + rng.random(len(sampled)) * span).astype(dtype)
+        raise SchemaError(f"unknown drift kind {recipe.kind!r}")
+
+    def _probe_for(
+        self,
+        recipe: DriftRecipe,
+        lo: float,
+        hi: float,
+        width: float,
+        skew_uniques: np.ndarray | None,
+    ) -> DriftProbe:
+        if recipe.kind == "shift":
+            predicate = TablePredicate(
+                recipe.table, recipe.column, PredicateOp.GE,
+                lo + recipe.magnitude * width,
+            )
+        elif recipe.kind == "skew":
+            assert skew_uniques is not None
+            predicate = TablePredicate(
+                recipe.table, recipe.column, PredicateOp.EQ,
+                float(skew_uniques[0]),
+            )
+        else:  # ndv: the widened domain extends past the t0 maximum
+            predicate = TablePredicate(
+                recipe.table, recipe.column, PredicateOp.GT, hi
+            )
+        return DriftProbe(recipe.table, recipe.column, recipe.at_s, predicate)

@@ -1,6 +1,14 @@
-"""Small shared utilities: deterministic RNG handling and timers."""
+"""Small shared utilities: deterministic RNG handling, clocks, and timers."""
 
+from repro.utils.clock import SYSTEM_CLOCK, Clock, SystemClock
 from repro.utils.rng import derive_rng, spawn_seed
 from repro.utils.timer import Stopwatch
 
-__all__ = ["derive_rng", "spawn_seed", "Stopwatch"]
+__all__ = [
+    "Clock",
+    "SystemClock",
+    "SYSTEM_CLOCK",
+    "derive_rng",
+    "spawn_seed",
+    "Stopwatch",
+]

@@ -1,0 +1,28 @@
+"""Stream-test fixtures: deliberately tiny bundles and workloads.
+
+The simulator's determinism contracts are scale-free, so these tests run
+them at the smallest scales that still exercise multi-partition tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import make_aeolus
+from repro.workloads import aeolus_online
+
+
+def fresh_bundle():
+    """A new, independently mutable copy of the tiny aeolus bundle."""
+    return make_aeolus(scale=0.04, seed=71)
+
+
+@pytest.fixture(scope="session")
+def stream_bundle():
+    """Shared read-only bundle -- tests that mutate must build their own."""
+    return fresh_bundle()
+
+
+@pytest.fixture(scope="session")
+def stream_workload(stream_bundle):
+    return aeolus_online(stream_bundle, num_queries=12, seed=5)

@@ -1,0 +1,157 @@
+"""Tests for the deterministic query-arrival process."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.sql.query import PredicateOp, TablePredicate
+from repro.stream import ArrivalConfig, ArrivalProcess, DriftProbe
+
+pytestmark = pytest.mark.usefixtures("stream_bundle")
+
+
+def _process(bundle, workload, probes=(), **overrides):
+    defaults = dict(horizon_s=120.0, base_qps=1.5, seed=17)
+    defaults.update(overrides)
+    return ArrivalProcess(
+        bundle.catalog, workload, ArrivalConfig(**defaults), probes=probes
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_is_bit_identical(self, stream_bundle, stream_workload):
+        first = _process(stream_bundle, stream_workload)
+        second = _process(stream_bundle, stream_workload)
+        assert [e.key() for e in first.events()] == [
+            e.key() for e in second.events()
+        ]
+
+    def test_different_seed_differs(self, stream_bundle, stream_workload):
+        first = _process(stream_bundle, stream_workload, seed=17)
+        second = _process(stream_bundle, stream_workload, seed=18)
+        assert [e.key() for e in first.events()] != [
+            e.key() for e in second.events()
+        ]
+
+    def test_extension_is_deterministic_and_continues_seq(
+        self, stream_bundle, stream_workload
+    ):
+        process = _process(stream_bundle, stream_workload)
+        first = process.extension(120.0, 60.0)
+        second = process.extension(120.0, 60.0)
+        assert [e.key() for e in first] == [e.key() for e in second]
+        assert first[0].seq == len(process.events())
+        assert all(120.0 <= e.at_s < 180.0 for e in first)
+
+
+class TestStreamShape:
+    def test_events_within_horizon_and_ordered(
+        self, stream_bundle, stream_workload
+    ):
+        events = _process(stream_bundle, stream_workload).events()
+        assert events, "a 120s stream at 1.5 qps must produce arrivals"
+        times = [e.at_s for e in events]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 120.0 for t in times)
+        assert [e.seq for e in events] == list(range(len(events)))
+
+    def test_repeat_fraction_extremes(self, stream_bundle, stream_workload):
+        all_repeats = _process(
+            stream_bundle, stream_workload, repeat_fraction=1.0
+        ).events()
+        assert all(e.repeated for e in all_repeats)
+        template_names = {t.name for t in stream_workload.queries}
+        assert all(e.query.name in template_names for e in all_repeats)
+        no_repeats = _process(
+            stream_bundle, stream_workload, repeat_fraction=0.0
+        ).events()
+        assert not any(e.repeated for e in no_repeats)
+        assert all("~u" in e.query.name for e in no_repeats)
+
+    def test_unique_variants_reanchor_literals(
+        self, stream_bundle, stream_workload
+    ):
+        events = _process(
+            stream_bundle, stream_workload, repeat_fraction=0.0
+        ).events()
+        by_name = {t.name: t for t in stream_workload.queries}
+        changed = 0
+        for event in events:
+            template = by_name[event.template]
+            assert len(event.query.predicates) == len(template.predicates)
+            if event.query.predicates != template.predicates:
+                changed += 1
+        assert changed > 0
+
+    def test_every_template_gets_a_frequency_class(
+        self, stream_bundle, stream_workload
+    ):
+        process = _process(stream_bundle, stream_workload)
+        classes = {
+            process.template_class(t.name) for t in stream_workload.queries
+        }
+        assert classes <= {"hot", "warm", "cold"}
+        assert "hot" in classes
+
+
+class TestProbes:
+    def _probe(self, at_s):
+        return DriftProbe(
+            "impressions",
+            "cost_millis",
+            at_s,
+            TablePredicate(
+                "impressions", "cost_millis", PredicateOp.GE, 1e9
+            ),
+        )
+
+    def test_probes_only_fire_after_their_drift(
+        self, stream_bundle, stream_workload
+    ):
+        events = _process(
+            stream_bundle,
+            stream_workload,
+            probes=(self._probe(60.0),),
+            repeat_fraction=0.0,
+            probe_fraction=1.0,
+        ).events()
+        before = [e for e in events if e.at_s < 60.0]
+        after = [e for e in events if e.at_s >= 60.0]
+        assert not any(e.probe for e in before)
+        assert after and all(e.probe for e in after)
+        assert all(
+            e.query.predicates[0].value == 1e9 for e in after
+        )
+
+    def test_zero_probe_fraction_disables_probes(
+        self, stream_bundle, stream_workload
+    ):
+        events = _process(
+            stream_bundle,
+            stream_workload,
+            probes=(self._probe(0.0),),
+            probe_fraction=0.0,
+        ).events()
+        assert not any(e.probe for e in events)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"horizon_s": 0.0},
+            {"base_qps": 0.0},
+            {"burst_amplitude": 1.0},
+            {"repeat_fraction": 1.5},
+            {"probe_fraction": -0.1},
+            {"day_s": 0.0},
+            {"frequency_classes": ()},
+        ],
+    )
+    def test_config_rejects_bad_values(self, overrides):
+        with pytest.raises(SchemaError):
+            ArrivalConfig(**overrides)
+
+    def test_empty_workload_rejected(self, stream_bundle, stream_workload):
+        empty = type(stream_workload)(name="empty", queries=[])
+        with pytest.raises(SchemaError):
+            ArrivalProcess(stream_bundle.catalog, empty, ArrivalConfig())

@@ -1,0 +1,106 @@
+"""Tests for the injectable clock and components running on virtual time."""
+
+import threading
+import time
+
+import pytest
+
+from repro.forge.scheduler import JobState, TrainingScheduler
+from repro.stream import SYSTEM_CLOCK, Clock, SimClock, SystemClock
+
+
+class TestSimClock:
+    def test_starts_at_start(self):
+        assert SimClock().now() == 0.0
+        assert SimClock(start=5.0).now() == 5.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now() == 2.0
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+    def test_advance_to_is_monotonic(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        clock.advance_to(4.0)  # never rewinds
+        assert clock.now() == 10.0
+
+    def test_wait_timeout_polls_instead_of_sleeping(self):
+        clock = SimClock(poll_s=0.005)
+        # A blocked waiter must re-check virtual time quickly: real waits
+        # are clamped to the poll interval, never the virtual delay.
+        assert clock.wait_timeout(3600.0) == 0.005
+        assert clock.wait_timeout(None) is None
+
+    def test_satisfies_clock_protocol(self):
+        assert isinstance(SimClock(), Clock)
+        assert isinstance(SystemClock(), Clock)
+
+
+class TestSystemClock:
+    def test_now_tracks_monotonic(self):
+        before = time.monotonic()
+        now = SYSTEM_CLOCK.now()
+        after = time.monotonic()
+        assert before <= now <= after
+
+    def test_wait_timeout_passes_through(self):
+        assert SYSTEM_CLOCK.wait_timeout(1.25) == 1.25
+        assert SYSTEM_CLOCK.wait_timeout(None) is None
+
+
+class TestSchedulerOnVirtualTime:
+    def test_retry_backoff_expires_on_clock_advance(self):
+        """A failed job's backoff deadline lives on the injected clock: it
+        retries only when *virtual* time passes, no matter how much real
+        time does."""
+        clock = SimClock()
+        attempts = []
+        released = threading.Event()
+
+        def runner(job):
+            attempts.append(clock.now())
+            if len(attempts) == 1:
+                raise RuntimeError("transient")
+            released.set()
+            return "ok"
+
+        scheduler = TrainingScheduler(
+            runner,
+            num_workers=1,
+            max_attempts=2,
+            backoff_base_s=30.0,  # virtual seconds
+            clock=clock,
+        )
+        try:
+            job = scheduler.submit("bn", "t")
+            deadline = time.monotonic() + 5.0
+            while len(attempts) < 1 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert len(attempts) == 1
+            # Real time passes, virtual time does not: no retry.
+            time.sleep(0.1)
+            assert not job.done
+            clock.advance(31.0)
+            assert released.wait(timeout=5.0)
+            assert job.wait(timeout=5.0)
+            assert job.state is JobState.SUCCEEDED
+            assert job.attempts == 2
+        finally:
+            scheduler.shutdown(drain=False, timeout=5.0)
+
+    def test_job_timestamps_come_from_the_clock(self):
+        clock = SimClock(start=100.0)
+        scheduler = TrainingScheduler(lambda job: "ok", clock=clock)
+        try:
+            job = scheduler.submit("bn", "t")
+            assert job.created_s == 100.0
+            assert job.wait(timeout=5.0)
+            assert job.finished_s >= 100.0
+        finally:
+            scheduler.shutdown(drain=False, timeout=5.0)

@@ -1,0 +1,187 @@
+"""Tests for drift recipes, their compiled ingest events, and apply()."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.sql.query import PredicateOp
+from repro.stream import DriftRecipe, IngestProcess, apply_ingest
+from repro.workloads.predicates import predicate_mask
+
+from .conftest import fresh_bundle
+
+TABLE, COLUMN = "impressions", "cost_millis"
+
+
+def _recipes(**overrides):
+    defaults = dict(
+        table=TABLE, column=COLUMN, kind="shift", at_s=30.0, fraction=0.3
+    )
+    defaults.update(overrides)
+    return (DriftRecipe(**defaults),)
+
+
+class TestDeterminism:
+    def test_same_seed_is_bit_identical(self, stream_bundle):
+        recipes = _recipes(batches=3, spread_s=20.0)
+        first = IngestProcess(stream_bundle.catalog, recipes, seed=29)
+        second = IngestProcess(stream_bundle.catalog, recipes, seed=29)
+        assert [e.key() for e in first.events()] == [
+            e.key() for e in second.events()
+        ]
+
+    def test_apply_reproduces_identical_catalogs(self):
+        """The same event stream applied to two fresh catalogs leaves them
+        bit-identical -- arrays, partition bounds, and dictionaries."""
+        recipes = (
+            DriftRecipe(TABLE, COLUMN, "shift", at_s=10.0, fraction=0.2),
+            DriftRecipe(TABLE, COLUMN, "delete", at_s=20.0, fraction=0.1),
+            DriftRecipe("clicks", "dwell_bucket", "ndv", at_s=30.0, fraction=0.2),
+        )
+        outcomes = []
+        for _ in range(2):
+            bundle = fresh_bundle()
+            process = IngestProcess(bundle.catalog, recipes, seed=29)
+            summaries = [
+                apply_ingest(bundle.catalog, event)
+                for event in process.events()
+            ]
+            table = bundle.catalog.table(TABLE)
+            outcomes.append(
+                (
+                    summaries,
+                    {
+                        name: table.column(name).values.tobytes()
+                        for name in table.column_names()
+                    },
+                    tuple(
+                        (p.row_start, p.row_stop) for p in table.partitions()
+                    ),
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+
+class TestCompilation:
+    def test_events_sorted_and_sequenced(self, stream_bundle):
+        recipes = (
+            DriftRecipe(TABLE, COLUMN, "shift", at_s=50.0, fraction=0.1),
+            DriftRecipe(
+                "clicks", "dwell_bucket", "skew", at_s=10.0, fraction=0.1,
+                batches=2, spread_s=30.0,
+            ),
+        )
+        events = IngestProcess(stream_bundle.catalog, recipes).events()
+        times = [e.at_s for e in events]
+        assert times == sorted(times) == [10.0, 40.0, 50.0]
+        assert [e.seq for e in events] == [0, 1, 2]
+
+    def test_fraction_sets_total_appended_rows(self, stream_bundle):
+        t0_rows = stream_bundle.catalog.table(TABLE).num_rows
+        events = IngestProcess(
+            stream_bundle.catalog, _recipes(fraction=0.25, batches=3)
+        ).events()
+        assert sum(e.num_rows for e in events) == int(round(0.25 * t0_rows))
+
+    def test_shift_moves_values_past_t0_domain(self, stream_bundle):
+        t0_max = stream_bundle.catalog.table(TABLE).column(COLUMN).values.max()
+        events = IngestProcess(
+            stream_bundle.catalog, _recipes(kind="shift")
+        ).events()
+        for event in events:
+            assert event.arrays[COLUMN].min() > t0_max
+
+    def test_ndv_widens_the_domain(self, stream_bundle):
+        values = stream_bundle.catalog.table(TABLE).column(COLUMN).values
+        t0_max = values.max()
+        events = IngestProcess(
+            stream_bundle.catalog,
+            _recipes(kind="ndv", magnitude=4.0, fraction=0.5),
+        ).events()
+        assert max(e.arrays[COLUMN].max() for e in events) > t0_max
+
+    def test_skew_concentrates_on_the_probe_value(self, stream_bundle):
+        process = IngestProcess(
+            stream_bundle.catalog,
+            _recipes(kind="skew", magnitude=2.0, fraction=0.5),
+        )
+        (probe,) = process.probes()
+        assert probe.predicate.op is PredicateOp.EQ
+        hot = probe.predicate.value
+        appended = np.concatenate(
+            [e.arrays[COLUMN] for e in process.events()]
+        )
+        # Zipf exponent 2 puts the plurality of the mass on the hot value.
+        assert (appended == hot).mean() > 0.3
+
+    def test_fresh_columns_get_new_increasing_keys(self, stream_bundle):
+        table = stream_bundle.catalog.table(TABLE)
+        key = table.column_names()[0]
+        t0_max = table.column(key).values.max()
+        events = IngestProcess(
+            stream_bundle.catalog,
+            _recipes(fraction=0.1, batches=2, fresh_columns=(key,)),
+        ).events()
+        keys = np.concatenate([e.arrays[key] for e in events])
+        assert keys.min() > t0_max
+        assert np.all(np.diff(keys) == 1)
+
+
+class TestDeleteAndApply:
+    def test_delete_event_removes_the_fraction(self):
+        bundle = fresh_bundle()
+        table = bundle.catalog.table(TABLE)
+        t0_rows = table.num_rows
+        process = IngestProcess(
+            bundle.catalog, _recipes(kind="delete", fraction=0.3)
+        )
+        (event,) = process.events()
+        assert event.action == "delete"
+        summary = apply_ingest(bundle.catalog, event)
+        assert summary["rows"] > 0
+        assert table.num_rows == t0_rows - summary["rows"]
+        # Roughly the declared quantile; ties make it inexact.
+        assert summary["rows"] >= 0.2 * t0_rows
+
+    def test_probe_selects_the_drifted_region(self):
+        bundle = fresh_bundle()
+        process = IngestProcess(bundle.catalog, _recipes(kind="shift"))
+        (probe,) = process.probes()
+        table = bundle.catalog.table(TABLE)
+        assert not predicate_mask(
+            table.column(COLUMN).values, probe.predicate
+        ).any()
+        for event in process.events():
+            apply_ingest(bundle.catalog, event)
+        matched = predicate_mask(
+            table.column(COLUMN).values, probe.predicate
+        ).sum()
+        assert matched == sum(e.num_rows for e in process.events())
+
+    def test_apply_rejects_unknown_action(self, stream_bundle):
+        process = IngestProcess(stream_bundle.catalog, _recipes())
+        (event,) = process.events()
+        bogus = type(event)(
+            at_s=0.0, seq=0, table=TABLE, action="truncate", recipe="r"
+        )
+        with pytest.raises(SchemaError):
+            apply_ingest(stream_bundle.catalog, bogus)
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            DriftRecipe(TABLE, COLUMN, "explode", at_s=0.0)
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.5, 4.5])
+    def test_bad_fraction_rejected(self, fraction):
+        with pytest.raises(SchemaError):
+            DriftRecipe(TABLE, COLUMN, "shift", at_s=0.0, fraction=fraction)
+
+    def test_bad_batches_rejected(self):
+        with pytest.raises(SchemaError):
+            DriftRecipe(TABLE, COLUMN, "shift", at_s=0.0, batches=0)
+
+    def test_label_is_stable(self):
+        recipe = DriftRecipe(TABLE, COLUMN, "skew", at_s=12.0)
+        assert recipe.label == f"skew:{TABLE}.{COLUMN}@12"
