@@ -1,0 +1,14 @@
+"""A/B testing of estimation strategies.
+
+:class:`ABHarness` plans a workload under two
+:class:`~repro.estimators.base.EstimationStrategy` implementations and
+emits a structured :class:`ABReport`: per-query plan-decision diffs
+(join order, reader choice, partition pruning, column order) plus
+Q-Error against true cardinalities.  ``benchmarks/bench_strategy_ab.py``
+drives it over the reproduction workloads and writes the JSON report CI
+uploads as an artifact.
+"""
+
+from repro.abtest.harness import ABHarness, ABReport, QueryDiff
+
+__all__ = ["ABHarness", "ABReport", "QueryDiff"]

@@ -82,6 +82,8 @@ class ByteCard(CountEstimator, NdvEstimator):
         self.feedback_log = None
         self.fallback_tables: set[str] = set()
         self.monitor_reports: list[MonitorReport] = []
+        #: named strategy registry (:meth:`strategies`), built lazily
+        self._strategies = None
         self._rbx_samples = {
             name: self.catalog.table(name).sample(
                 min(self.config.rbx_sample_rows, len(self.catalog.table(name))),
@@ -249,7 +251,9 @@ class ByteCard(CountEstimator, NdvEstimator):
         """
         if self._factorjoin is None or table not in self._factorjoin.models:
             return None
-        report = self.monitor.assess_count_model(table, self._factorjoin)
+        report = self.monitor.assess_count_model(
+            table, self._factorjoin, strategy="learned"
+        )
         if report.passed:
             self.fallback_tables.discard(table)
         else:
@@ -478,6 +482,58 @@ class ByteCard(CountEstimator, NdvEstimator):
     def as_suite(self) -> EstimatorSuite:
         """Expose ByteCard as an engine estimator suite."""
         return EstimatorSuite("bytecard", count_estimator=self, ndv_estimator=self)
+
+    def strategies(self) -> dict:
+        """The named :class:`EstimationStrategy` instances this deployment
+        can route between.
+
+        * ``learned`` -- this facade (BN/FactorJoin/RBX with the monitor's
+          fallback semantics);
+        * ``traditional`` -- the Selinger/histogram estimator alone;
+        * ``upper_bound`` -- the UES-style never-underestimate bound built
+          from this catalog's zone-map statistics.
+
+        Built lazily and cached: strategies are stateless views over the
+        live estimators, so :meth:`refresh` model swaps flow through.
+        """
+        if self._strategies is None:
+            from repro.estimators.strategy import (
+                LearnedStrategy,
+                TraditionalStrategy,
+                UpperBoundStrategy,
+            )
+
+            self._strategies = {
+                "learned": LearnedStrategy(self),
+                "traditional": TraditionalStrategy(self._traditional_count),
+                "upper_bound": UpperBoundStrategy(self.catalog),
+            }
+        return dict(self._strategies)
+
+    def strategy_router(
+        self,
+        rules=(),
+        default_chain=("learned", "traditional"),
+        risk_tag=None,
+        derate_mass=None,
+    ):
+        """A :class:`~repro.estimators.strategy.StrategyRouter` over
+        :meth:`strategies`, wired into this instance's observability
+        registry and (when :meth:`enable_feedback` has run) its runtime
+        feedback log -- so observed per-strategy error mass can derate a
+        misbehaving route.
+        """
+        from repro.estimators.strategy import StrategyRouter
+
+        return StrategyRouter(
+            self.strategies(),
+            rules=rules,
+            default_chain=default_chain,
+            registry=self.obs,
+            feedback=self.feedback_log,
+            derate_mass=derate_mass,
+            default_risk_tag=risk_tag,
+        )
 
     def fleet(
         self,

@@ -224,12 +224,14 @@ class Executor:
                 fingerprint = f"scan:{query.name or 'q'}:{table}"
                 pending = None
             source = "plan"
+            strategy = plan.strategy
             estimated: float | None
             if pending is not None:
                 estimated = pending.value
                 if pending.unit == "fraction":
                     estimated *= len(self.catalog.table(table))
                 source = pending.source
+                strategy = pending.strategy
             else:
                 estimated = plan.estimated_table_rows.get(table)
             if estimated is None:
@@ -241,6 +243,7 @@ class Executor:
                 float(scan.row_indices.size),
                 source=source,
                 kind="scan",
+                strategy=strategy,
             )
 
     def _execute_joins_stepwise(
@@ -294,7 +297,9 @@ class Executor:
                 if not math.isfinite(estimate):
                     estimate = None
             if capture:
-                self._record_join_feedback(query, execution, executed, estimate)
+                self._record_join_feedback(
+                    query, plan, execution, executed, estimate
+                )
             if (
                 factor > 0
                 and replans == 0
@@ -317,6 +322,7 @@ class Executor:
     def _record_join_feedback(
         self,
         query: CardQuery,
+        plan: PhysicalPlan,
         execution: JoinExecution,
         executed: list[JoinCondition],
         plan_estimate: float | None,
@@ -339,9 +345,11 @@ class Executor:
         if pending is not None and pending.unit == "rows":
             estimated: float | None = pending.value
             source = pending.source
+            strategy = pending.strategy
         else:
             estimated = plan_estimate
             source = "plan"
+            strategy = plan.strategy
         if estimated is None:
             return
         feedback.record(
@@ -351,6 +359,7 @@ class Executor:
             float(execution.result_rows),
             source=source,
             kind="join",
+            strategy=strategy,
         )
 
     def _rerank_remaining(

@@ -40,13 +40,22 @@ class EngineSession:
         service=None,
         registry=None,
         feedback: FeedbackLog | None = None,
+        strategy=None,
     ):
-        """Either pass an estimator ``suite`` or an estimation ``service``.
+        """Pass exactly one of ``suite``, ``service``, or ``strategy``.
 
         With ``service`` (a :class:`repro.serving.EstimationService`), the
         optimizer consults the serving tier -- estimates come through its
         cache, batcher, and deadline-fallback pipeline instead of raw
         estimator calls.
+
+        With ``strategy`` (an
+        :class:`repro.estimators.base.EstimationStrategy` -- a routed
+        :class:`~repro.estimators.strategy.StrategyRouter`, a fallback
+        :class:`~repro.estimators.strategy.StrategyChain`, or a single
+        adapted estimator), the optimizer plans against that strategy's
+        protocol surface directly; NDV estimation uses the strategy itself
+        when it is an :class:`~repro.estimators.base.NdvEstimator`.
 
         ``registry`` (a :class:`repro.obs.MetricsRegistry`) collects the
         optimizer's decision spans and the executor's scan/join/resize
@@ -59,9 +68,19 @@ class EngineSession:
         executed actuals), then the estimator's (``ByteCard.feedback_log``),
         and finally creates a private one.
         """
-        if (suite is None) == (service is None):
-            raise ValueError("provide exactly one of suite= or service=")
-        if suite is None:
+        provided = sum(x is not None for x in (suite, service, strategy))
+        if provided != 1:
+            raise ValueError(
+                "provide exactly one of suite=, service=, or strategy="
+            )
+        if strategy is not None:
+            ndv = strategy if isinstance(strategy, NdvEstimator) else None
+            suite = EstimatorSuite(
+                strategy.strategy_id,
+                count_estimator=strategy,
+                ndv_estimator=ndv,
+            )
+        elif suite is None:
             ndv = service if getattr(service, "estimate_ndv", None) else None
             suite = EstimatorSuite(
                 service.name, count_estimator=service, ndv_estimator=ndv

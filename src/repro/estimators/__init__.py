@@ -13,8 +13,50 @@ Sub-packages:
   COUNT-DISTINCT model);
 * :mod:`repro.estimators.mscn` -- the MSCN query-driven baseline (Table 3);
 * :mod:`repro.estimators.deepdb` -- a DeepDB-style SPN baseline (Table 3).
+
+The estimator-facing contracts live in :mod:`repro.estimators.base`
+(:class:`CountEstimator`, :class:`NdvEstimator`, and the
+:class:`EstimationStrategy` protocol the optimizer and serving core
+speak); :mod:`repro.estimators.strategy` supplies the adapter, the named
+learned/traditional/upper-bound strategies, deterministic fallback
+chains, and the per-query-class :class:`StrategyRouter`;
+:mod:`repro.estimators.ues` the UES-style never-underestimate bound.
 """
 
-from repro.estimators.base import CountEstimator, NdvEstimator
+from repro.estimators.base import (
+    CountEstimator,
+    EstimateDetail,
+    EstimationStrategy,
+    NdvEstimator,
+)
+from repro.estimators.strategy import (
+    EstimatorStrategy,
+    LearnedStrategy,
+    QueryClass,
+    RoutingRule,
+    StrategyChain,
+    StrategyRouter,
+    TraditionalStrategy,
+    UpperBoundStrategy,
+    as_strategy,
+    classify_query,
+)
+from repro.estimators.ues import UpperBoundEstimator
 
-__all__ = ["CountEstimator", "NdvEstimator"]
+__all__ = [
+    "CountEstimator",
+    "EstimateDetail",
+    "EstimationStrategy",
+    "EstimatorStrategy",
+    "LearnedStrategy",
+    "NdvEstimator",
+    "QueryClass",
+    "RoutingRule",
+    "StrategyChain",
+    "StrategyRouter",
+    "TraditionalStrategy",
+    "UpperBoundEstimator",
+    "UpperBoundStrategy",
+    "as_strategy",
+    "classify_query",
+]

@@ -42,13 +42,14 @@ from typing import Callable
 from repro.core.loader import ModelLoader, RefreshReport
 from repro.errors import EstimationError
 from repro.estimators.base import CountEstimator, NdvEstimator
+from repro.estimators.strategy import as_strategy
 from repro.feedback import FeedbackLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import SpanRecord, Tracer
 from repro.serving.batching import MicroBatcher, default_batch_key
 from repro.serving.cache import EstimateCache
 from repro.serving.config import ServingConfig
-from repro.serving.fingerprint import query_fingerprint
+from repro.serving.fingerprint import query_fingerprint, request_fingerprint
 from repro.serving.plan_cache import PlanDistributionCache
 from repro.serving.stats import ServiceStats, StatsCollector
 from repro.serving.workers import WorkerPool
@@ -106,6 +107,9 @@ class EstimationCore:
         worker future -- virtual time does not advance while blocking.
         """
         self.estimator = estimator
+        #: the protocol view of the estimator -- capability flags and the
+        #: per-query cache scope come from here, never from getattr probes
+        self.strategy = as_strategy(estimator)
         self.fallback_count = fallback_count
         self.fallback_ndv = fallback_ndv
         from repro.utils.clock import SYSTEM_CLOCK
@@ -131,24 +135,23 @@ class EstimationCore:
         # when it supports inference plans (ByteCard / FactorJoin), bumped by
         # the same loader refreshes that bump the estimate cache.
         self.plan_cache: PlanDistributionCache | None = None
-        install_plan_cache = getattr(estimator, "install_plan_cache", None)
-        if self.config.enable_plan_cache and callable(install_plan_cache):
+        if self.config.enable_plan_cache and self.strategy.supports_plan_cache:
             self.plan_cache = PlanDistributionCache(
                 self.config.plan_cache_entries, registry=self.registry
             )
-            install_plan_cache(self.plan_cache)
+            self.strategy.install_plan_cache(self.plan_cache)
         self.pool = WorkerPool(
             num_workers=self.config.num_workers,
             queue_capacity=self.config.queue_capacity,
         )
-        batch_hook = getattr(estimator, "estimate_count_batch", None)
-        self._join_batching = self.config.enable_join_batching and bool(
-            getattr(estimator, "supports_join_batching", False)
+        self._join_batching = (
+            self.config.enable_join_batching
+            and self.strategy.supports_join_batching
         )
         self.batcher: MicroBatcher | None = None
-        if self.config.enable_batching and callable(batch_hook):
+        if self.config.enable_batching and self.strategy.supports_batching:
             self.batcher = MicroBatcher(
-                batch_fn=batch_hook,
+                batch_fn=self.strategy.estimate_count_batch,
                 max_batch_size=self.config.max_batch_size,
                 max_wait_ms=self.config.batch_wait_ms,
                 on_batch=self.stats_collector.record_batch,
@@ -210,14 +213,16 @@ class EstimationCore:
         self.stats_collector.increment("requests")
         self.registry.counter("serving_requests_total", task=task).inc()
         stages: list[SpanRecord] = []
-        key = (task, query_fingerprint(query))
+        scope = self.strategy.cache_scope(query)
+        fingerprint = query_fingerprint(query)
+        key = request_fingerprint(task, scope, fingerprint)
         if self.cache is not None:
             with self.tracer.span("serve.cache_lookup", sink=stages):
                 cached = self.cache.get(key)
             if cached is not None:
                 return self._finish(
                     cached, "cache", start, stages=stages, task=task, query=query,
-                    fingerprint=key[1],
+                    fingerprint=fingerprint, strategy=scope,
                 )
         stamp = self.cache.stamp(query.tables) if self.cache is not None else None
         future = self.pool.try_submit(compute)
@@ -230,7 +235,7 @@ class EstimationCore:
                 value = fallback(query)
             return self._finish(
                 value, "fallback-rejected", start, stages=stages, task=task,
-                query=query, fingerprint=key[1],
+                query=query, fingerprint=fingerprint, strategy=scope,
             )
         deadline = self._deadline_s(deadline_ms)
         remaining = None
@@ -250,7 +255,7 @@ class EstimationCore:
                 fell_back = fallback(query)
             return self._finish(
                 fell_back, "fallback-timeout", start, stages=stages, task=task,
-                query=query, fingerprint=key[1],
+                query=query, fingerprint=fingerprint, strategy=scope,
             )
         except (Exception, FutureCancelledError):
             # CancelledError (a BaseException since 3.8) reaches here when a
@@ -264,13 +269,13 @@ class EstimationCore:
                 fell_back = fallback(query)
             return self._finish(
                 fell_back, "fallback-error", start, stages=stages, task=task,
-                query=query, fingerprint=key[1],
+                query=query, fingerprint=fingerprint, strategy=scope,
             )
         if self.cache is not None and stamp is not None:
             self.cache.put(key, value, stamp)
         return self._finish(
             value, "model", start, batched=batched, stages=stages, task=task,
-            query=query, fingerprint=key[1],
+            query=query, fingerprint=fingerprint, strategy=scope,
         )
 
     def _cache_late_result(self, key, stamp, future: Future) -> None:
@@ -296,6 +301,7 @@ class EstimationCore:
         task: str | None = None,
         query: CardQuery | None = None,
         fingerprint=None,
+        strategy: str = "",
     ) -> ServedEstimate:
         latency = self.clock.now() - start
         estimate = ServedEstimate(
@@ -313,7 +319,11 @@ class EstimationCore:
             and query is not None
         ):
             self.feedback.note_estimate(
-                fingerprint, tuple(query.tables), estimate.value, source=source
+                fingerprint,
+                tuple(query.tables),
+                estimate.value,
+                source=source,
+                strategy=strategy,
             )
         return estimate
 
@@ -343,7 +353,7 @@ class EstimationCore:
             assert batcher is not None
             compute: Callable[[], float] = lambda: batcher.estimate(query)
         else:
-            compute = lambda: self.estimator.estimate_count(query)
+            compute = lambda: self.strategy.estimate_count(query)
         return self._serve(
             query,
             "count",
@@ -383,8 +393,9 @@ class EstimationCore:
         """
         self.stats_collector.increment("requests")
         self.registry.counter("serving_requests_total", task="selectivity").inc()
+        scope = self.strategy.cache_scope(query)
         fingerprint = query_fingerprint(query)
-        key = ("selectivity", fingerprint)
+        key = request_fingerprint("selectivity", scope, fingerprint)
 
         def noted(value: float, source: str) -> tuple[float, str]:
             if self.feedback is not None:
@@ -394,6 +405,7 @@ class EstimationCore:
                     value,
                     source=source,
                     unit="fraction",
+                    strategy=scope,
                 )
             return value, source
 
@@ -403,7 +415,7 @@ class EstimationCore:
                 return noted(cached, "cache")
             stamp = self.cache.stamp(query.tables)
         try:
-            value = float(self.estimator.selectivity(query))
+            value = float(self.strategy.selectivity(query))
         except Exception:
             self.stats_collector.record_fallback("errors")
             self.registry.counter(

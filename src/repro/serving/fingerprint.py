@@ -133,6 +133,22 @@ def table_scope_fingerprint(
     return (table, predicate_part, or_part)
 
 
+def request_fingerprint(
+    task: str, strategy: str, fingerprint: Fingerprint
+) -> Fingerprint:
+    """The cache key of one serving request.
+
+    ``task`` ("count" / "ndv" / "selectivity") and the answering
+    strategy's cache scope are part of the key, so estimates produced
+    under different strategies -- an A/B run, a router whose derating
+    changed the route -- never cross-pollinate through the cache.
+    ``fingerprint`` is the canonical :func:`query_fingerprint` (computed
+    once by the caller; it is also the pairing key of the runtime
+    feedback log, which deliberately stays strategy-free).
+    """
+    return (task, strategy, fingerprint)
+
+
 def query_fingerprint(query: CardQuery) -> Fingerprint:
     """The canonical, hashable identity of one estimation request.
 

@@ -136,10 +136,10 @@ class EstimationService(CountEstimator, NdvEstimator):
         return self.estimate_ndv_detail(query).value
 
     def group_ndv(self, query: CardQuery) -> float:
-        group_ndv = getattr(self.core.estimator, "group_ndv", None)
-        if group_ndv is None:
+        estimator = self.core.estimator
+        if not isinstance(estimator, NdvEstimator):
             raise EstimationError("estimator does not support group NDV")
-        return float(group_ndv(query))
+        return float(estimator.group_ndv(query))
 
     # ------------------------------------------------------------------
     # Planner-facing fast path
