@@ -42,6 +42,10 @@ SCALE = 0.2 if SMOKE else 0.5
 NUM_QUERIES = 40 if SMOKE else 120
 ROUNDS = 2 if SMOKE else 3
 MIN_PASS_RATIO = 3.0
+BATCH_SIZES = (1, 4, 16, 64)
+# Fused-kernel acceptance: P99 at batch >= 16 must beat the plans path's
+# single-query P99 by this factor (full mode only; smoke machines vary).
+MIN_KERNEL_SPEEDUP = 3.0
 
 
 @pytest.fixture(scope="module")
@@ -179,6 +183,134 @@ def test_join_inference_latency(lab):
             f"Join inference: {pass_ratio:.1f}x fewer BN passes "
             f"({len(queries)} queries, bit-identical estimates)",
             ["path", "bn passes", "passes/query", "p50 ms", "p99 ms"],
+            rows,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fused-kernel batch sweep
+# ----------------------------------------------------------------------
+def _batched(queries, size):
+    """Full batches of ``size`` (at least one batch, possibly short)."""
+    full = [
+        queries[i : i + size]
+        for i in range(0, len(queries) - size + 1, size)
+    ]
+    return full or [list(queries)]
+
+
+def _timed_batches(estimator, batches):
+    """Best-of-ROUNDS per-query (batch-amortised) latency per batch."""
+    best = np.full(len(batches), np.inf)
+    for _ in range(ROUNDS):
+        for index, batch in enumerate(batches):
+            start = time.perf_counter()
+            estimator.estimate_join_batch(batch)
+            elapsed = (time.perf_counter() - start) / len(batch)
+            if elapsed < best[index]:
+                best[index] = elapsed
+    return best
+
+
+def test_kernel_batch_sweep(lab):
+    """Batched kernel inference vs the plans path across batch sizes.
+
+    For each batch size B the whole workload runs through
+    :meth:`estimate_join_batch` twice -- once with the fused kernel off
+    (the PR 5 shared-plans ``beliefs_batch`` path) and once with the
+    NumPy kernel -- and the sweep records per-query P50/P99 plus two
+    speedups: same-B kernel-vs-plans, and kernel-vs-plans-single-query
+    (the latency a caller actually left behind by batching onto the
+    kernel).  Estimates from the two paths must agree to fp noise on
+    every query, and the kernel's pass folding must show up in the
+    accounting.
+    """
+    _bundle, queries, estimator, _registry = lab
+    plans = FactorJoinEstimator(
+        estimator.catalog, estimator.models, estimator.bucketizer, kernel="off"
+    )
+    kernel = FactorJoinEstimator(
+        estimator.catalog, estimator.models, estimator.bucketizer, kernel="numpy"
+    )
+
+    sweep = {}
+    requested = executed = 0
+    plans_single_p99 = None
+    for size in BATCH_SIZES:
+        batches = _batched(queries, size)
+        # Untimed parity pass: checks agreement, warms kernel plans and
+        # the evidence cache, and accumulates pass accounting.
+        for batch in batches:
+            plans_values = plans.estimate_join_batch(batch)
+            kernel_values = kernel.estimate_join_batch(batch)
+            np.testing.assert_allclose(
+                kernel_values, plans_values, rtol=1e-9, atol=0.0
+            )
+            stats = kernel.last_pass_stats
+            requested += stats.requested
+            executed += stats.executed
+
+        plans_times = _timed_batches(plans, batches)
+        kernel_times = _timed_batches(kernel, batches)
+        plans_p50, plans_p99 = np.percentile(plans_times, [50, 99])
+        kernel_p50, kernel_p99 = np.percentile(kernel_times, [50, 99])
+        if size == 1:
+            plans_single_p99 = plans_p99
+        sweep[str(size)] = {
+            "num_batches": len(batches),
+            "plans": {"p50_ms": plans_p50 * 1e3, "p99_ms": plans_p99 * 1e3},
+            "kernel": {"p50_ms": kernel_p50 * 1e3, "p99_ms": kernel_p99 * 1e3},
+            "speedup_vs_plans_same_batch": plans_p99 / kernel_p99,
+            "speedup_vs_plans_single_query": plans_single_p99 / kernel_p99,
+        }
+
+    # Folding lone scopes and OR-terms into one kernel invocation per
+    # table must leave executed passes well under the naive request count.
+    assert executed > 0
+    assert executed < requested, (
+        f"kernel folded nothing: {executed} executed vs {requested} requested"
+    )
+
+    for size in BATCH_SIZES:
+        entry = sweep[str(size)]
+        if size >= 16:
+            assert entry["speedup_vs_plans_same_batch"] > 1.0, (
+                f"kernel slower than plans path at B={size}: {entry}"
+            )
+            if not SMOKE:
+                assert (
+                    entry["speedup_vs_plans_single_query"]
+                    >= MIN_KERNEL_SPEEDUP
+                ), f"kernel speedup below {MIN_KERNEL_SPEEDUP}x at B={size}: {entry}"
+
+    report_path = RESULTS_DIR / "join_inference_latency.json"
+    report = json.loads(report_path.read_text()) if report_path.exists() else {}
+    report["batch_sweep"] = {
+        "batch_sizes": list(BATCH_SIZES),
+        "pass_accounting": {"requested": requested, "executed": executed},
+        "min_kernel_speedup": MIN_KERNEL_SPEEDUP,
+        "per_batch": sweep,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    report_path.write_text(json.dumps(report, indent=2))
+
+    rows = [
+        [
+            str(size),
+            f"{sweep[str(size)]['plans']['p99_ms']:.3f}",
+            f"{sweep[str(size)]['kernel']['p99_ms']:.3f}",
+            f"{sweep[str(size)]['speedup_vs_plans_same_batch']:.2f}x",
+            f"{sweep[str(size)]['speedup_vs_plans_single_query']:.2f}x",
+        ]
+        for size in BATCH_SIZES
+    ]
+    record_table(
+        "kernel_batch_sweep",
+        render_grid(
+            "Fused-kernel batch sweep (per-query P99, parity to fp noise, "
+            f"{executed}/{requested} passes executed)",
+            ["B", "plans p99 ms", "kernel p99 ms", "vs plans @B", "vs plans @1"],
             rows,
         ),
     )

@@ -26,6 +26,7 @@ from repro.datasets.base import DatasetBundle
 from repro.engine.session import EstimatorSuite
 from repro.errors import EstimationError, ModelError
 from repro.estimators.base import CountEstimator, NdvEstimator
+from repro.estimators.bn.kernels import EvidenceCache
 from repro.estimators.bn.model import TreeBayesNet
 from repro.estimators.factorjoin.estimator import FactorJoinEstimator
 from repro.estimators.rbx.estimator import RBXNdvEstimator
@@ -76,6 +77,11 @@ class ByteCard(CountEstimator, NdvEstimator):
         # Cross-query shared-belief plan cache; installed by the serving
         # tier, re-threaded into every FactorJoin rebuild by refresh().
         self._plan_cache = None
+        # Compiled predicate -> bin-mask vectors feeding the BN inference
+        # kernels; owned here so it survives refresh() rebuilds, with
+        # staleness handled by per-table generations (bumped below when the
+        # loader swaps a table's BN).
+        self._evidence_cache = EvidenceCache(registry=self.obs)
         #: runtime feedback ring (:meth:`enable_feedback`): observed
         #: (estimate, actual) pairs from the execution path, consumed by the
         #: monitor and ranked on by the forge's retrain priorities
@@ -98,6 +104,7 @@ class ByteCard(CountEstimator, NdvEstimator):
             max_total_bytes=self.config.max_total_bytes,
             metrics=self.obs,
         )
+        self.loader.add_refresh_listener(self._invalidate_evidence)
 
     # ------------------------------------------------------------------
     # Bootstrap
@@ -177,6 +184,21 @@ class ByteCard(CountEstimator, NdvEstimator):
             )
         raise ModelError(f"no inference engine for model kind {kind!r}")
 
+    def _invalidate_evidence(self, report) -> None:
+        """Drop compiled evidence vectors of tables whose BN changed.
+
+        Evidence bin-masks depend only on the BN discretizers, so only
+        ``bn`` swaps bump; shard models ("table@shardN") serve their base
+        table, exactly like the serving tier's estimate/plan caches.
+        """
+        tables = {
+            name.split("@", 1)[0]
+            for kind, name in report.changed_keys()
+            if kind == "bn"
+        }
+        if tables:
+            self._evidence_cache.bump_tables(tables)
+
     def refresh(self) -> None:
         """One Model Loader pass, then reassemble the serving estimators."""
         self.loader.refresh()
@@ -201,6 +223,7 @@ class ByteCard(CountEstimator, NdvEstimator):
                 bucketizer,
                 metrics=self.obs,
                 plan_cache=self._plan_cache,
+                evidence_cache=self._evidence_cache,
             )
         universal = self.loader.get("rbx", "universal")
         if isinstance(universal, RBXInferenceEngine) and universal.network is not None:
@@ -387,6 +410,21 @@ class ByteCard(CountEstimator, NdvEstimator):
         if self._factorjoin is not None:
             self._factorjoin.install_plan_cache(cache)
 
+    def install_evidence_cache(self, cache: EvidenceCache) -> None:
+        """Replace the compiled predicate-evidence cache (tests, tuning).
+
+        Mirrors :meth:`install_plan_cache`: the cache lives on the facade
+        so it survives :meth:`refresh` rebuilds, and the loader listener
+        keeps bumping the new instance's table generations.
+        """
+        self._evidence_cache = cache
+        if self._factorjoin is not None:
+            self._factorjoin.install_evidence_cache(cache)
+
+    @property
+    def evidence_cache(self) -> EvidenceCache:
+        return self._evidence_cache
+
     @property
     def last_pass_stats(self):
         """Pass accounting of this thread's last join estimate (or None)."""
@@ -535,12 +573,37 @@ class ByteCard(CountEstimator, NdvEstimator):
             default_risk_tag=risk_tag,
         )
 
+    @staticmethod
+    def _batching_config(config, max_batch_size, batch_wait_ms):
+        """Apply micro-batch knob overrides to a (possibly None) config.
+
+        Defaults (see :class:`repro.serving.ServingConfig`): batches of up
+        to 16 queries flushed after at most 1.0 ms -- the batch >= 16
+        regime where the fused BN kernels reach their measured speedups.
+        """
+        if max_batch_size is None and batch_wait_ms is None:
+            return config
+        import dataclasses
+
+        from repro.serving import ServingConfig
+
+        if config is None:
+            config = ServingConfig()
+        overrides = {}
+        if max_batch_size is not None:
+            overrides["max_batch_size"] = max_batch_size
+        if batch_wait_ms is not None:
+            overrides["batch_wait_ms"] = batch_wait_ms
+        return dataclasses.replace(config, **overrides)
+
     def fleet(
         self,
         n_workers: int = 2,
         store_dir=None,
         serving_config=None,
         fleet_config=None,
+        max_batch_size: int | None = None,
+        batch_wait_ms: float | None = None,
     ):
         """A multi-process serving fleet warm-started from this instance.
 
@@ -558,12 +621,19 @@ class ByteCard(CountEstimator, NdvEstimator):
 
         ``fleet_config`` overrides ``n_workers`` when provided.  Close the
         router (it is a context manager) to reap the worker processes.
+
+        ``max_batch_size`` / ``batch_wait_ms`` override the workers'
+        micro-batch sizing (defaults 16 queries / 1.0 ms) without building
+        a full :class:`~repro.serving.ServingConfig` by hand.
         """
         import tempfile
 
         from repro.fleet import FleetConfig, FleetRouter
         from repro.forge.store import ArtifactStore
 
+        serving_config = self._batching_config(
+            serving_config, max_batch_size, batch_wait_ms
+        )
         if store_dir is None:
             store_dir = tempfile.mkdtemp(prefix="bytecard-fleet-")
         store = ArtifactStore(store_dir, metrics=self.obs)
@@ -582,7 +652,13 @@ class ByteCard(CountEstimator, NdvEstimator):
             registry=self.obs,
         )
 
-    def serve(self, config=None, feedback=None):
+    def serve(
+        self,
+        config=None,
+        feedback=None,
+        max_batch_size: int | None = None,
+        batch_wait_ms: float | None = None,
+    ):
         """Wrap this ByteCard in a concurrent :class:`EstimationService`.
 
         The service keeps the traditional estimators as its deadline/error
@@ -592,9 +668,15 @@ class ByteCard(CountEstimator, NdvEstimator):
         ``feedback`` defaults to this instance's :attr:`feedback_log` (see
         :meth:`enable_feedback`): served estimates -- cache hits included --
         are then noted as pending pairs for the executor to complete.
+
+        ``max_batch_size`` / ``batch_wait_ms`` override the micro-batcher's
+        sizing knobs (defaults 16 queries / 1.0 ms flush) on top of
+        whatever ``config`` carries -- larger batches feed the fused BN
+        kernels wider evidence tensors at the cost of flush latency.
         """
         from repro.serving import EstimationService
 
+        config = self._batching_config(config, max_batch_size, batch_wait_ms)
         return EstimationService(
             estimator=self,
             fallback_count=self._traditional_count,

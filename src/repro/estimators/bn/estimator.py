@@ -8,11 +8,13 @@ formats before calculating selectivities".
 
 from __future__ import annotations
 
+import threading
 from itertools import combinations
 from typing import Callable
 
 from repro.errors import EstimationError
 from repro.estimators.base import CountEstimator
+from repro.estimators.bn.kernels import EvidenceCache, KernelPlan, resolve_backend
 from repro.estimators.bn.model import TreeBayesNet, fit_tree_bn
 from repro.sql.query import CardQuery, TablePredicate
 from repro.storage.catalog import Catalog
@@ -23,8 +25,18 @@ class BNCountEstimator(CountEstimator):
 
     name = "bn"
 
-    def __init__(self, models: dict[str, TreeBayesNet]):
+    def __init__(
+        self,
+        models: dict[str, TreeBayesNet],
+        kernel: str | None = None,
+        evidence_cache: EvidenceCache | None = None,
+    ):
         self.models = dict(models)
+        #: resolved kernel backend ("numpy"/"numba"/"off"); see REPRO_BN_KERNEL
+        self.kernel_backend = resolve_backend(kernel)
+        self.evidence_cache = evidence_cache
+        self._kernel_plans: dict[str, KernelPlan] = {}
+        self._kernel_lock = threading.Lock()
 
     @classmethod
     def train(
@@ -51,6 +63,22 @@ class BNCountEstimator(CountEstimator):
             return self.models[table]
         except KeyError:
             raise EstimationError(f"no BN model for table {table!r}") from None
+
+    def kernel_plan_for(self, table: str) -> KernelPlan | None:
+        """The table's compiled kernel plan (None when the kernel is off)."""
+        if self.kernel_backend == "off":
+            return None
+        plan = self._kernel_plans.get(table)
+        if plan is None:
+            with self._kernel_lock:
+                plan = self._kernel_plans.get(table)
+                if plan is None:
+                    plan = KernelPlan(
+                        self.model_for(table).init_context(),
+                        backend=self.kernel_backend,
+                    )
+                    self._kernel_plans[table] = plan
+        return plan
 
     # ------------------------------------------------------------------
     def table_selectivity(self, query: CardQuery, table: str) -> float:
@@ -80,9 +108,13 @@ class BNCountEstimator(CountEstimator):
     ) -> list[float]:
         """Estimate a batch of single-table COUNT queries on one table.
 
-        All plain conjunctive queries share one batched sum-product pass;
-        queries carrying OR-groups take the scalar inclusion-exclusion path.
-        Results align with the input order.
+        All plain conjunctive queries share one batched sum-product pass --
+        a fused :class:`KernelPlan` upward sweep fed from the evidence
+        cache when the kernel is on (bitwise identical to
+        :meth:`TreeBayesNet.estimate_rows_batch`), the context's
+        ``selectivity_batch`` otherwise; queries carrying OR-groups take
+        the scalar inclusion-exclusion path.  Results align with the input
+        order.
         """
         model = self.model_for(table)
         results: list[float | None] = [None] * len(queries)
@@ -100,11 +132,36 @@ class BNCountEstimator(CountEstimator):
                 plain_indexes.append(i)
                 plain_predicates.append(list(query.predicates))
         if plain_indexes:
-            rows = model.estimate_rows_batch(plain_predicates)
+            rows = self._rows_batch(model, plain_predicates)
             for i, estimate in zip(plain_indexes, rows):
                 results[i] = float(estimate)
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
+
+    def _rows_batch(
+        self, model: TreeBayesNet, predicate_lists: list[list[TablePredicate]]
+    ):
+        plan = self.kernel_plan_for(model.table_name)
+        if plan is None:
+            return model.estimate_rows_batch(predicate_lists)
+        cache = self.evidence_cache
+        packs = plan.ones_packs(len(predicate_lists))
+        for b, predicates in enumerate(predicate_lists):
+            for pred in predicates:
+                if pred.table != model.table_name:
+                    raise EstimationError(
+                        f"predicate on {pred.table!r} given to BN of "
+                        f"{model.table_name!r}"
+                    )
+                index = model.column_index(pred.column)
+                discretizer = model.discretizers[pred.column]
+                vector = (
+                    cache.vector(discretizer, pred)
+                    if cache is not None
+                    else discretizer.evidence(pred)
+                )
+                plan.apply_evidence(packs, index, b, vector)
+        return plan.selectivities_packs(packs) * model.total_rows
 
     def estimation_overhead(self, query: CardQuery) -> float:
         # One tree message pass: linear in nodes, tiny constants.
@@ -166,6 +223,36 @@ def _selectivity_with_or_groups(
                 model, base + list(subset), rest, selectivity_fn
             )
     return float(min(max(total, 0.0), 1.0))
+
+
+def or_expansion_term_predicates(
+    base: list[TablePredicate],
+    groups: list[list[TablePredicate]],
+) -> list[tuple[TablePredicate, ...]]:
+    """Every conjunctive term :func:`_selectivity_with_or_groups` evaluates.
+
+    Mirrors the expansion recursion exactly -- same subset enumeration,
+    same ``base + subset`` concatenation order -- so the returned tuples
+    are the memo keys ``TableInferencePlan.term_selectivity`` will look up.
+    This is what lets the fused inference kernel pre-seed every term of a
+    scope in the same batched pass that fills its beliefs.
+    """
+    terms: list[tuple[TablePredicate, ...]] = []
+
+    def recurse(
+        acc: list[TablePredicate], rest: list[list[TablePredicate]]
+    ) -> None:
+        if not rest:
+            terms.append(tuple(acc))
+            return
+        first, tail = rest[0], rest[1:]
+        for size in range(1, len(first) + 1):
+            for subset in combinations(first, size):
+                recurse(acc + list(subset), tail)
+
+    if groups:
+        recurse(list(base), list(groups))
+    return terms
 
 
 def or_expansion_terms(groups: list[list[TablePredicate]]) -> int:

@@ -36,9 +36,11 @@ from repro.estimators.base import CountEstimator
 from repro.estimators.bn.estimator import (
     BNCountEstimator,
     _selectivity_with_or_groups,
+    or_expansion_term_predicates,
     or_expansion_terms,
     table_or_groups,
 )
+from repro.estimators.bn.kernels import EvidenceCache, KernelPlan, resolve_backend
 from repro.estimators.bn.model import TreeBayesNet, fit_tree_bn
 from repro.estimators.factorjoin.buckets import JoinBucketizer
 from repro.estimators.factorjoin.plans import (
@@ -46,6 +48,7 @@ from repro.estimators.factorjoin.plans import (
     PassStats,
     PlanArtifactSource,
     QueryInferencePlans,
+    TableInferencePlan,
 )
 from repro.estimators.jointree import JoinTree, build_join_tree
 from repro.obs.metrics import MetricsRegistry
@@ -59,6 +62,12 @@ from repro.storage.catalog import Catalog
 #: filters).  BN selectivities are already clipped to [0, 1], so flooring
 #: only at the division sites leaves all other arithmetic untouched.
 SELECTIVITY_FLOOR = 1e-12
+
+#: OR expansions beyond this many conjunctive terms are left to the
+#: memoized on-demand path rather than folded into a kernel invocation --
+#: real queries carry 1-2 small groups, so this only guards pathological
+#: batches from blowing up the evidence tensor width.
+MAX_FOLDED_TERMS = 32
 
 
 class FactorJoinEstimator(CountEstimator):
@@ -82,6 +91,8 @@ class FactorJoinEstimator(CountEstimator):
         mode: str = "expected",
         metrics: MetricsRegistry | None = None,
         plan_cache: ArtifactSource | None = None,
+        evidence_cache: EvidenceCache | None = None,
+        kernel: str | None = None,
     ):
         if mode not in ("expected", "bound"):
             raise ValueError(f"unknown inference mode {mode!r}")
@@ -89,17 +100,46 @@ class FactorJoinEstimator(CountEstimator):
         self.models = models
         self.bucketizer = bucketizer
         self.mode = mode
-        self._bn = BNCountEstimator(models)
         self.metrics = metrics if metrics is not None else MetricsRegistry(enabled=False)
         #: cross-query (table, predicate-fingerprint) artifact store; the
         #: serving tier installs its generation-invalidated cache here
         self.plan_cache = plan_cache
+        #: fused-kernel backend: "numpy" / "numba" / "off"; ``None`` reads
+        #: the REPRO_BN_KERNEL environment variable (NumPy by default)
+        self.kernel_backend = resolve_backend(kernel)
+        #: per-table compiled kernel plans, built lazily on first use; the
+        #: models dict is immutable for the estimator's lifetime, so plans
+        #: never go stale (model refreshes rebuild the whole estimator)
+        self._kernel_plans: dict[str, KernelPlan] = {}
+        #: per-table prior beliefs (all-ones evidence) -- unfiltered scopes
+        #: of join-fan tables recur in every batch and their beliefs never
+        #: change, so they are inferred once and served from here
+        self._prior_beliefs: dict[str, tuple[list[np.ndarray], float]] = {}
+        self._kernel_lock = threading.Lock()
+        #: compiled predicate->bin-mask vectors; ByteCard hands in its
+        #: loader-invalidated instance so the cache survives estimator
+        #: rebuilds across model refreshes
+        self.evidence_cache = (
+            evidence_cache
+            if evidence_cache is not None
+            else EvidenceCache(registry=self.metrics)
+        )
+        self._bn = BNCountEstimator(
+            models, kernel=self.kernel_backend, evidence_cache=self.evidence_cache
+        )
+        # Both the single-table batch path and the join priming path walk
+        # the same per-table trees; share one compiled-plan dict so each
+        # table's kernel is built (and counted) once.
+        self._bn._kernel_plans = self._kernel_plans
         self._local = threading.local()
         if self.metrics.enabled:
             # Pre-register so dashboards (and pass-ratio deltas) see zeros
             # before the first join estimate rather than missing series.
             self.metrics.counter("bn_passes_total")
             self.metrics.counter("bn_passes_saved_total")
+            self.metrics.counter("bn_kernel_batches_total")
+            self.metrics.counter("bn_kernel_queries_total")
+            self.metrics.histogram("bn_kernel_build_seconds")
 
     # ------------------------------------------------------------------
     @classmethod
@@ -151,6 +191,35 @@ class FactorJoinEstimator(CountEstimator):
     def install_plan_cache(self, cache: ArtifactSource | None) -> None:
         """Install (or clear) the cross-query plan artifact cache."""
         self.plan_cache = cache
+
+    def install_evidence_cache(self, cache: EvidenceCache | None) -> None:
+        """Install (or clear) the compiled predicate-evidence cache."""
+        self.evidence_cache = cache
+        self._bn.evidence_cache = cache
+
+    def kernel_plan_for(self, table: str) -> KernelPlan | None:
+        """The table's compiled kernel plan (``None`` when the path is off).
+
+        Compiled once per table per estimator; build time lands in the
+        ``bn_kernel_build_seconds`` histogram.
+        """
+        if self.kernel_backend == "off":
+            return None
+        plan = self._kernel_plans.get(table)
+        if plan is None:
+            with self._kernel_lock:
+                plan = self._kernel_plans.get(table)
+                if plan is None:
+                    start = time.perf_counter()
+                    plan = KernelPlan(
+                        self.model_for(table).init_context(),
+                        backend=self.kernel_backend,
+                    )
+                    self.metrics.histogram("bn_kernel_build_seconds").observe(
+                        time.perf_counter() - start
+                    )
+                    self._kernel_plans[table] = plan
+        return plan
 
     @property
     def last_pass_stats(self) -> PassStats | None:
@@ -219,15 +288,26 @@ class FactorJoinEstimator(CountEstimator):
         """
         if any(not query.is_single_table() for query in queries):
             return self.estimate_join_batch(queries)
-        return self._bn.estimate_count_batch(table, queries)
+        results = self._bn.estimate_count_batch(table, queries)
+        if self.kernel_backend != "off":
+            # The plain (no OR-group) slice of the batch ran as one fused
+            # kernel sweep inside the BN estimator; account for it here,
+            # where the metrics registry lives.
+            plain = sum(1 for query in queries if not query.or_groups)
+            if plain:
+                self.metrics.counter("bn_kernel_batches_total").inc()
+                self.metrics.counter("bn_kernel_queries_total").inc(plain)
+        return results
 
     def estimate_join_batch(self, queries: list[CardQuery]) -> list[float]:
         """Estimate a batch of join COUNT queries with shared plans.
 
         All queries share one artifact source, so identical (table,
-        predicates) scopes are inferred once for the whole batch; tables
-        with two or more distinct pending scopes are primed by a single
-        batched ``beliefs_batch`` pass.  Results align with input order.
+        predicates) scopes are inferred once for the whole batch; every
+        table's pending scopes (plus their OR-expansion terms) are primed
+        by a single fused :class:`KernelPlan` sweep -- or, with the kernel
+        off, by one ``beliefs_batch`` pass per table covering >= 2 scopes.
+        Results align with input order.
         """
         if not queries:
             return []
@@ -258,28 +338,39 @@ class FactorJoinEstimator(CountEstimator):
         plans_list: list[QueryInferencePlans | None],
         stats: PassStats,
     ) -> None:
-        """Run one ``beliefs_batch`` per table covering >= 2 pending scopes."""
-        pending: dict[str, dict[int, tuple]] = {}
+        """One fused kernel invocation per table's pending scopes.
+
+        With the kernel path on (the default), *every* table with at least
+        one pending scope is primed by a single :class:`KernelPlan` sweep
+        that also folds in lone scopes and the conjunctive terms of each
+        scope's OR expansion -- one pass per table per micro-batch.  With
+        ``REPRO_BN_KERNEL=off`` the PR 5 behavior is preserved verbatim:
+        one ``beliefs_batch`` per table covering >= 2 pending scopes,
+        lone scopes left to their scalar on-demand pass.
+        """
+        pending: dict[str, dict[int, TableInferencePlan]] = {}
         for plans in plans_list:
             if plans is None:
                 continue
             for table in plans.query.tables:
                 plan = plans.plan_for(table)
                 if plan.artifacts.beliefs is None:
-                    pending.setdefault(table, {})[id(plan.artifacts)] = (
-                        plan.artifacts,
-                        plan.base,
-                    )
+                    pending.setdefault(table, {})[id(plan.artifacts)] = plan
         for table, scopes in pending.items():
-            if len(scopes) < 2:
+            table_plans = list(scopes.values())
+            kernel = self.kernel_plan_for(table)
+            if kernel is not None:
+                self._prime_with_kernel(table, kernel, table_plans, stats)
+                continue
+            if len(table_plans) < 2:
                 continue  # a lone scope gains nothing from a batched pass
-            entries = list(scopes.values())
-            bases = [base for _artifacts, base in entries]
+            bases = [plan.base for plan in table_plans]
             node_beliefs, probabilities = self.model_for(table).beliefs_batch(
                 bases
             )
             stats.executed += 1
-            for column, (artifacts, _base) in enumerate(entries):
+            for column, plan in enumerate(table_plans):
+                artifacts = plan.artifacts
                 with artifacts.lock:
                     if artifacts.beliefs is None:
                         artifacts.probability = float(probabilities[column])
@@ -287,6 +378,99 @@ class FactorJoinEstimator(CountEstimator):
                             np.ascontiguousarray(matrix[:, column])
                             for matrix in node_beliefs
                         ]
+
+    def _table_prior(
+        self, table: str, kernel: KernelPlan, stats: PassStats
+    ) -> tuple[list[np.ndarray], float]:
+        """The table's prior beliefs (all-ones evidence), inferred once."""
+        prior = self._prior_beliefs.get(table)
+        if prior is None:
+            with self._kernel_lock:
+                prior = self._prior_beliefs.get(table)
+                if prior is None:
+                    run = kernel.run_packs(kernel.ones_packs(1))
+                    stats.executed += 1
+                    if self.metrics.enabled:
+                        self.metrics.counter("bn_kernel_batches_total").inc()
+                        self.metrics.counter("bn_kernel_queries_total").inc()
+                    prior = (run.scope_beliefs(0), run.probability(0))
+                    self._prior_beliefs[table] = prior
+        return prior
+
+    def _prime_with_kernel(
+        self,
+        table: str,
+        kernel: KernelPlan,
+        table_plans: list[TableInferencePlan],
+        stats: PassStats,
+    ) -> None:
+        """Fill every pending scope of ``table`` from one kernel sweep.
+
+        Each scope contributes one evidence column; scopes with OR-groups
+        contribute one extra column per conjunctive expansion term, whose
+        probabilities pre-seed the plan's term memo -- so the downstream
+        inclusion-exclusion walk runs without a single further BN pass.
+        The whole invocation counts as one executed pass in ``stats``
+        (that is what actually ran), which is exactly how
+        ``PassStats.saved`` credits the folded lone scopes and terms.
+        """
+        model = self.model_for(table)
+        specs: list[tuple[TableInferencePlan, tuple[TablePredicate, ...] | None]] = []
+        for plan in table_plans:
+            if not plan.base:
+                # Unfiltered scope: its beliefs are the table's prior,
+                # identical in every batch -- serve the cached pass.
+                beliefs, probability = self._table_prior(table, kernel, stats)
+                artifacts = plan.artifacts
+                with artifacts.lock:
+                    if artifacts.beliefs is None:
+                        artifacts.probability = probability
+                        artifacts.beliefs = list(beliefs)
+            else:
+                specs.append((plan, None))  # the scope's own beliefs column
+            if plan.or_groups:
+                terms = or_expansion_term_predicates(plan.base, plan.or_groups)
+                if len(terms) <= MAX_FOLDED_TERMS:
+                    seeded = plan.artifacts.terms
+                    specs.extend(
+                        (plan, term) for term in terms if term not in seeded
+                    )
+        if not specs:
+            return
+        cache = self.evidence_cache
+        discretizers = model.discretizers
+        packs = kernel.ones_packs(len(specs))
+        for column, (plan, term) in enumerate(specs):
+            predicates = plan.base if term is None else term
+            for pred in predicates:
+                if pred.table != table:
+                    raise EstimationError(
+                        f"predicate on {pred.table!r} in scope of {table!r}"
+                    )
+                discretizer = discretizers[pred.column]
+                vector = (
+                    cache.vector(discretizer, pred)
+                    if cache is not None
+                    else discretizer.evidence(pred)
+                )
+                kernel.apply_evidence(
+                    packs, model.column_index(pred.column), column, vector
+                )
+        run = kernel.run_packs(packs)
+        stats.executed += 1
+        if self.metrics.enabled:
+            self.metrics.counter("bn_kernel_batches_total").inc()
+            self.metrics.counter("bn_kernel_queries_total").inc(len(specs))
+        for column, (plan, term) in enumerate(specs):
+            artifacts = plan.artifacts
+            if term is None:
+                with artifacts.lock:
+                    if artifacts.beliefs is None:
+                        artifacts.probability = run.probability(column)
+                        artifacts.beliefs = run.scope_beliefs(column)
+            else:
+                with artifacts.lock:
+                    artifacts.terms.setdefault(term, run.probability(column))
 
     def _estimate_join(
         self, query: CardQuery, plans: QueryInferencePlans
